@@ -1,0 +1,88 @@
+// Package-level benchmarks: one testing.B benchmark per table/figure of
+// the paper's evaluation, each delegating to the experiment harness in
+// internal/bench at smoke scale (the dvbench command runs the same
+// experiments at full scale and prints the paper-style tables; see
+// EXPERIMENTS.md for the recorded full-scale results).
+//
+// Datasets are generated once per benchmark binary run into a shared
+// temporary workspace and reused across iterations, so iteration time
+// measures query processing, not data generation.
+package main
+
+import (
+	"os"
+	"testing"
+
+	"datavirt/internal/bench"
+)
+
+// benchCfg builds the shared configuration. Scale is kept small so the
+// full `go test -bench=.` sweep stays in CI-friendly time; dvbench is
+// the tool for paper-scale runs.
+func benchCfg(b *testing.B) bench.Config {
+	b.Helper()
+	dir := os.Getenv("DVBENCH_WORKDIR")
+	if dir == "" {
+		dir = os.TempDir() + "/datavirt-bench"
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		b.Fatal(err)
+	}
+	return bench.Config{WorkDir: dir, Scale: 0.25, Trials: 1}
+}
+
+func runExperiment(b *testing.B, id string) {
+	cfg := benchCfg(b)
+	e, ok := bench.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	// Prime datasets (and caches) outside the timed loop.
+	if _, err := e.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6_TitanVsRowstore reproduces Figure 6 (with the Figure 7
+// query set): the five Titan queries on the PostgreSQL-like rowstore
+// versus datavirt.
+func BenchmarkFig6_TitanVsRowstore(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig9a_LayoutsQ1 reproduces Figure 9(a): the full-scan query
+// across the hand-written L0 baseline and layouts L0, I–VI.
+func BenchmarkFig9a_LayoutsQ1(b *testing.B) { runExperiment(b, "fig9a") }
+
+// BenchmarkFig9b_LayoutsQ2to5 reproduces Figure 9(b): Figure 8's
+// queries 2–5 across the same eight variants.
+func BenchmarkFig9b_LayoutsQ2to5(b *testing.B) { runExperiment(b, "fig9b") }
+
+// BenchmarkFig10_Scalability reproduces Figure 10: a fixed query over a
+// fixed dataset re-partitioned across 1–8 data-source nodes, hand
+// versus generated.
+func BenchmarkFig10_Scalability(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11a_IparsQuerySize reproduces Figure 11(a): Ipars
+// execution time with growing query windows, hand versus generated.
+func BenchmarkFig11a_IparsQuerySize(b *testing.B) { runExperiment(b, "fig11a") }
+
+// BenchmarkFig11b_TitanQuerySize reproduces Figure 11(b): Titan
+// execution time with growing spatial windows, hand versus generated.
+func BenchmarkFig11b_TitanQuerySize(b *testing.B) { runExperiment(b, "fig11b") }
+
+// BenchmarkAblationIndex measures the generated index function's chunk
+// pruning against reading every chunk (ours; DESIGN.md A1).
+func BenchmarkAblationIndex(b *testing.B) { runExperiment(b, "ablation-index") }
+
+// BenchmarkAblationChunks measures chunked+indexed storage against a
+// monolithic file (ours; DESIGN.md A1).
+func BenchmarkAblationChunks(b *testing.B) { runExperiment(b, "ablation-chunk") }
+
+// BenchmarkAblationCoalesce measures merging contiguous aligned file
+// chunks before extraction (ours; DESIGN.md A1).
+func BenchmarkAblationCoalesce(b *testing.B) { runExperiment(b, "ablation-coalesce") }

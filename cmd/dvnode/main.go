@@ -1,0 +1,63 @@
+// Command dvnode runs one STORM node server: it owns the files whose
+// storage directories name this node and answers query requests from a
+// coordinator (dvsubmit) over TCP.
+//
+// Usage:
+//
+//	dvnode -desc dataset.dvd -root /data -node node0 -addr 127.0.0.1:7070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"datavirt/internal/cluster"
+	"datavirt/internal/core"
+)
+
+func main() {
+	desc := flag.String("desc", "", "path to the meta-data descriptor")
+	root := flag.String("root", ".", "data root directory")
+	nodeName := flag.String("node", "", "cluster node name served (must appear in the descriptor's DIR table)")
+	addr := flag.String("addr", "127.0.0.1:0", "listen address")
+	flag.Parse()
+
+	if *desc == "" || *nodeName == "" {
+		fmt.Fprintln(os.Stderr, "usage: dvnode -desc FILE -node NAME [-root DIR] [-addr HOST:PORT]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	svc, err := core.Open(*desc, *root)
+	if err != nil {
+		fatal(err)
+	}
+	known := false
+	for _, n := range svc.Nodes() {
+		if n == *nodeName {
+			known = true
+		}
+	}
+	if !known {
+		fatal(fmt.Errorf("node %q is not in the descriptor's storage table %v", *nodeName, svc.Nodes()))
+	}
+	node, err := cluster.StartNode(*nodeName, svc, *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dvnode: serving %s (%s) on %s\n", *nodeName, svc.TableName(), node.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("dvnode: shutting down")
+	if err := node.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dvnode:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,129 @@
+// Command dvq runs a SQL query against a virtualized dataset: it loads
+// a meta-data descriptor, compiles the data service, executes the query
+// over the flat files under the data root, and prints the resulting
+// virtual-table rows.
+//
+// Usage:
+//
+//	dvq -desc dataset.dvd -root /data "SELECT * FROM IparsData WHERE TIME > 1000"
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"datavirt/internal/core"
+	"datavirt/internal/table"
+)
+
+func main() {
+	desc := flag.String("desc", "", "path to the meta-data descriptor")
+	root := flag.String("root", ".", "data root directory (holds <node>/<dir>/<file>)")
+	parallel := flag.Bool("parallel", false, "extract aligned file chunks with a worker pool")
+	workers := flag.Int("workers", 0, "worker pool size (0 = automatic)")
+	quiet := flag.Bool("quiet", false, "suppress rows; print only the summary")
+	header := flag.Bool("header", true, "print a column header line")
+	explain := flag.Bool("explain", false, "print the query plan (ranges and aligned file chunks) instead of rows")
+	interactive := flag.Bool("i", false, "interactive mode: read queries from stdin, one per line")
+	flag.Parse()
+
+	if *desc == "" || (flag.NArg() != 1 && !*interactive) {
+		fmt.Fprintln(os.Stderr, "usage: dvq -desc FILE [-root DIR] [flags] \"SELECT ...\"   or   dvq -desc FILE -i")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	svc, err := core.Open(*desc, *root)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *interactive {
+		fmt.Fprintf(os.Stderr, "dvq: table %s (%s); enter SQL, one statement per line (ctrl-D to quit)\n",
+			svc.TableName(), strings.Join(svc.Schema().Names(), ", "))
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for {
+			fmt.Fprint(os.Stderr, "dvq> ")
+			if !sc.Scan() {
+				fmt.Fprintln(os.Stderr)
+				return
+			}
+			sql := strings.TrimSpace(sc.Text())
+			if sql == "" {
+				continue
+			}
+			if sql == "quit" || sql == "exit" || sql == `\q` {
+				return
+			}
+			prep, err := svc.Prepare(sql)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dvq:", err)
+				continue
+			}
+			if err := runPrepared(svc, prep, *parallel, *workers, *quiet, *header, *explain); err != nil {
+				fmt.Fprintln(os.Stderr, "dvq:", err)
+			}
+		}
+	}
+
+	sql := flag.Arg(0)
+	prep, err := svc.Prepare(sql)
+	if err != nil {
+		fatal(err)
+	}
+	if err := runPrepared(svc, prep, *parallel, *workers, *quiet, *header, *explain); err != nil {
+		fatal(err)
+	}
+}
+
+// runPrepared executes (or explains) one prepared query.
+func runPrepared(svc *core.Service, prep *core.Prepared, parallel bool, workers int, quiet, header, explain bool) error {
+	if explain {
+		fmt.Printf("table: %s\ncolumns: %s\nranges: %s\naligned file chunks: %d\n",
+			svc.TableName(), strings.Join(prep.Cols, ", "), prep.Ranges, len(prep.AFCs))
+		limit := 20
+		for i := range prep.AFCs {
+			if i >= limit {
+				fmt.Printf("... %d more\n", len(prep.AFCs)-limit)
+				break
+			}
+			fmt.Println("  " + prep.AFCs[i].String())
+		}
+		return nil
+	}
+
+	out := bufio.NewWriterSize(os.Stdout, 1<<16)
+	defer out.Flush()
+	if header && !quiet {
+		fmt.Fprintln(out, strings.Join(prep.Cols, "\t"))
+	}
+	var rows int64
+	start := time.Now()
+	stats, err := prep.Run(core.Options{Parallel: parallel, Workers: workers},
+		func(r table.Row) error {
+			rows++
+			if quiet {
+				return nil
+			}
+			_, err := fmt.Fprintln(out, table.FormatRow(r))
+			return err
+		})
+	if err != nil {
+		return err
+	}
+	out.Flush()
+	fmt.Fprintf(os.Stderr, "%d rows in %s (scanned %d rows, read %.1f MB, %d aligned file chunks)\n",
+		rows, time.Since(start).Round(time.Millisecond),
+		stats.RowsScanned, float64(stats.BytesRead)/1e6, stats.AFCs)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dvq:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module datavirt
+
+go 1.22

@@ -1,0 +1,181 @@
+package afc
+
+// Coalesce merges runs of consecutive AFCs that read contiguous byte
+// ranges of the same files into larger chunks, turning many small reads
+// into few big ones. It is an optimization the paper leaves on the
+// table (its extractor processes one aligned chunk set per outer-loop
+// value); DESIGN.md tracks it as an ablation, and dvbench's
+// ablation-coalesce experiment measures it.
+//
+// Two consecutive AFCs merge when:
+//
+//   - they live on the same node, have the same row count, and their
+//     segments are structurally identical (file, stride, attributes,
+//     byte order) and byte-contiguous (or constant and byte-identical);
+//   - their row-dimension patterns match, so the merged chunk's rows
+//     keep synthesizing the same values (the pattern wraps per chunk);
+//   - their implicit attributes agree except for at most one, whose
+//     value advances by a constant integral delta — that implicit is
+//     promoted to a modular-affine RowDim in the merged chunk.
+//
+// Passes repeat until a fixpoint, so nested flattenings compose: a full
+// scan of the paper's Layout I (one file, REL and TIME both outer
+// loops) collapses to a single chunk covering the whole file.
+//
+// The input is not modified. Order of surviving chunks is preserved.
+func Coalesce(afcs []AFC) []AFC {
+	out := afcs
+	for {
+		merged := coalesceOnce(out)
+		if len(merged) == len(out) {
+			return merged
+		}
+		out = merged
+	}
+}
+
+func coalesceOnce(afcs []AFC) []AFC {
+	out := make([]AFC, 0, len(afcs))
+	i := 0
+	for i < len(afcs) {
+		run := []*AFC{&afcs[i]}
+		varyName := ""
+		var delta int64
+		j := i + 1
+		for j < len(afcs) {
+			name, d, ok := canAppend(run, &afcs[j], varyName, delta)
+			if !ok {
+				break
+			}
+			if name != "" && varyName == "" {
+				varyName, delta = name, d
+			}
+			run = append(run, &afcs[j])
+			j++
+		}
+		out = append(out, mergeRun(run, varyName, delta))
+		i = j
+	}
+	return out
+}
+
+// canAppend decides whether cand extends the run, returning the varying
+// implicit's name and delta when one is involved.
+func canAppend(run []*AFC, cand *AFC, varyName string, delta int64) (string, int64, bool) {
+	base, last := run[0], run[len(run)-1]
+	if cand.Node != base.Node || cand.NumRows != base.NumRows || cand.NumRows == 0 {
+		return "", 0, false
+	}
+	if len(cand.Segments) != len(base.Segments) ||
+		len(cand.Implicits) != len(base.Implicits) ||
+		len(cand.RowDims) != len(base.RowDims) {
+		return "", 0, false
+	}
+	for si := range base.Segments {
+		b, l, c := &base.Segments[si], &last.Segments[si], &cand.Segments[si]
+		if c.Node != b.Node || c.File != b.File || c.RowStride != b.RowStride ||
+			c.RowBytes != b.RowBytes || c.BigEndian != b.BigEndian || !sameAttrs(c.Attrs, b.Attrs) {
+			return "", 0, false
+		}
+		if b.RowStride == 0 {
+			// Constant segments must reference the same bytes.
+			if c.Offset != b.Offset {
+				return "", 0, false
+			}
+			continue
+		}
+		if c.Offset != l.Offset+base.NumRows*b.RowStride {
+			return "", 0, false
+		}
+	}
+	for ri := range base.RowDims {
+		if cand.RowDims[ri] != base.RowDims[ri] {
+			return "", 0, false
+		}
+	}
+	// Implicits: all equal to the last chunk's, except at most one with
+	// a constant integral step.
+	vary := ""
+	var d int64
+	for ii := range base.Implicits {
+		b, l, c := &base.Implicits[ii], &last.Implicits[ii], &cand.Implicits[ii]
+		if c.Name != b.Name || c.Value.Kind != b.Value.Kind {
+			return "", 0, false
+		}
+		if c.Value == l.Value {
+			continue
+		}
+		if vary != "" {
+			return "", 0, false // more than one varying implicit
+		}
+		vary = c.Name
+		d = c.Value.AsInt() - l.Value.AsInt()
+		// The value must be integral for the promotion to be exact.
+		if float64(c.Value.AsInt()) != c.Value.AsFloat() || float64(l.Value.AsInt()) != l.Value.AsFloat() {
+			return "", 0, false
+		}
+	}
+	if vary == "" {
+		// Pure contiguation; fine regardless of an established pattern.
+		return "", 0, true
+	}
+	if varyName != "" && (vary != varyName || d != delta) {
+		return "", 0, false
+	}
+	if d == 0 {
+		return "", 0, false
+	}
+	return vary, d, true
+}
+
+func sameAttrs(a, b []SegAttr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeRun builds the merged chunk.
+func mergeRun(run []*AFC, varyName string, delta int64) AFC {
+	if len(run) == 1 {
+		return *run[0]
+	}
+	base := run[0]
+	rows0 := base.NumRows
+	out := AFC{
+		NumRows:  rows0 * int64(len(run)),
+		Node:     base.Node,
+		Segments: append([]Segment(nil), base.Segments...),
+	}
+	for i := range out.Segments {
+		out.Segments[i].Attrs = append([]SegAttr(nil), base.Segments[i].Attrs...)
+	}
+	// Existing row dims wrap per original chunk.
+	for _, rd := range base.RowDims {
+		if rd.Count <= 0 {
+			div := rd.Div
+			if div < 1 {
+				div = 1
+			}
+			rd.Count = rows0 / div
+		}
+		out.RowDims = append(out.RowDims, rd)
+	}
+	// Constant implicits stay; the varying one becomes a row dimension.
+	for _, im := range base.Implicits {
+		if im.Name != varyName {
+			out.Implicits = append(out.Implicits, im)
+			continue
+		}
+		out.RowDims = append(out.RowDims, RowDim{
+			Name: im.Name, Kind: im.Value.Kind,
+			Lo: im.Value.AsInt(), Step: delta, Div: rows0,
+		})
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package afc
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"datavirt/internal/gen"
+	"datavirt/internal/metadata"
+	"datavirt/internal/query"
+	"datavirt/internal/sqlparser"
+)
+
+// layoutIPlan compiles a Layout-I descriptor (everything in one file,
+// REL and TIME as outer loops).
+func layoutIPlan(t *testing.T, spec gen.IparsSpec) *Plan {
+	t.Helper()
+	src, err := gen.IparsDescriptor(spec, "I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := metadata.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCoalesceLayoutIFullScan: a full scan of Layout I must collapse to
+// a single chunk covering the whole file.
+func TestCoalesceLayoutIFullScan(t *testing.T) {
+	spec := gen.IparsSpec{Realizations: 3, TimeSteps: 5, GridPoints: 8, Partitions: 1, Attrs: 2, Seed: 1}
+	p := layoutIPlan(t, spec)
+	afcs, err := p.Generate(query.Ranges{}, p.Schema.Names(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(afcs) != 15 { // REL(3) × TIME(5) chunks before coalescing
+		t.Fatalf("raw AFCs = %d", len(afcs))
+	}
+	merged := Coalesce(afcs)
+	if len(merged) != 1 {
+		for _, a := range merged {
+			t.Logf("  %s", a.String())
+		}
+		t.Fatalf("coalesced AFCs = %d, want 1", len(merged))
+	}
+	m := merged[0]
+	if m.NumRows != spec.IparsTotalRows() {
+		t.Errorf("rows = %d, want %d", m.NumRows, spec.IparsTotalRows())
+	}
+	// TIME wraps every 8 rows with 5 values; REL advances every 40 rows.
+	var timeRD, relRD *RowDim
+	for i := range m.RowDims {
+		switch m.RowDims[i].Name {
+		case "TIME":
+			timeRD = &m.RowDims[i]
+		case "REL":
+			relRD = &m.RowDims[i]
+		}
+	}
+	if timeRD == nil || relRD == nil {
+		t.Fatalf("row dims = %+v", m.RowDims)
+	}
+	if timeRD.ValueAt(0) != 1 || timeRD.ValueAt(8) != 2 || timeRD.ValueAt(39) != 5 || timeRD.ValueAt(40) != 1 {
+		t.Errorf("TIME dim = %+v", timeRD)
+	}
+	if relRD.ValueAt(0) != 0 || relRD.ValueAt(39) != 0 || relRD.ValueAt(40) != 1 || relRD.ValueAt(119) != 2 {
+		t.Errorf("REL dim = %+v", relRD)
+	}
+}
+
+// TestCoalescePreservesRows compares extraction-independent decoding of
+// raw vs coalesced AFCs over real files, for Layout I and Layout V and
+// a clipped query.
+func TestCoalescePreservesRows(t *testing.T) {
+	spec := gen.IparsSpec{Realizations: 2, TimeSteps: 6, GridPoints: 10, Partitions: 1, Attrs: 3, Seed: 3}
+	for _, layoutID := range []string{"I", "III", "V"} {
+		src, err := gen.IparsDescriptor(spec, layoutID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := metadata.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := t.TempDir()
+		if err := gen.Materialize(d, root, spec.ValueFunc()); err != nil {
+			t.Fatal(err)
+		}
+		p, err := Compile(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		needed := p.Schema.Names()
+		for _, sql := range []string{
+			"SELECT * FROM IparsData",
+			"SELECT * FROM IparsData WHERE TIME >= 2 AND TIME <= 4",
+			"SELECT * FROM IparsData WHERE REL = 1",
+		} {
+			q := sqlparser.MustParse(sql)
+			afcs, err := p.Generate(query.ExtractRanges(q.Where), needed, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, err := decodeAFCs(root, afcs, needed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			merged := Coalesce(afcs)
+			if len(merged) > len(afcs) {
+				t.Fatalf("%s/%s: coalescing grew the chunk list", layoutID, sql)
+			}
+			got, err := decodeAFCs(root, merged, needed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sort.Strings(raw)
+			sort.Strings(got)
+			if strings.Join(raw, "\n") != strings.Join(got, "\n") {
+				t.Fatalf("%s / %q: coalesced rows differ (%d vs %d)", layoutID, sql, len(got), len(raw))
+			}
+		}
+	}
+}
+
+// TestCoalesceRandomizedEquivalence folds Coalesce into the randomized
+// layout property: decoded rows must be identical before and after.
+func TestCoalesceRandomizedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 60; trial++ {
+		desc, ni, _, attrs := randomDescriptor(rng)
+		d, err := metadata.Parse(desc)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		root := t.TempDir()
+		value := func(attr string, at map[string]int64) float64 {
+			ai := int64(indexOf(attrs, attr))
+			return float64(ai*4000 + at["I"]*100 + at["J"])
+		}
+		if err := gen.Materialize(d, root, value); err != nil {
+			t.Fatal(err)
+		}
+		p, err := Compile(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		needed := append([]string{"I", "J"}, attrs...)
+		ranges := query.Ranges{}
+		if rng.Intn(2) == 0 {
+			hi := rng.Intn(ni)
+			ranges["I"] = query.NewSet(query.Interval{Lo: 0, Hi: float64(hi)})
+		}
+		afcs, err := p.Generate(ranges, needed, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := decodeAFCs(root, afcs, needed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodeAFCs(root, Coalesce(afcs), needed)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, desc)
+		}
+		sort.Strings(raw)
+		sort.Strings(got)
+		if strings.Join(raw, "\n") != strings.Join(got, "\n") {
+			t.Fatalf("trial %d: coalesce changed rows (%d vs %d)\n%s", trial, len(got), len(raw), desc)
+		}
+	}
+}
+
+// TestCoalesceDoesNotMergeRepeatedCoords: the Figure 4 cluster layout
+// re-reads COORDS per TIME chunk; those chunks are NOT contiguous and
+// must not merge.
+func TestCoalesceDoesNotMergeRepeatedCoords(t *testing.T) {
+	d, err := metadata.Parse(iparsSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := sqlparser.MustParse("SELECT * FROM IparsData WHERE REL = 0 AND TIME <= 10")
+	afcs, err := p.Generate(query.ExtractRanges(q.Where), p.Schema.Names(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := Coalesce(afcs)
+	if len(merged) != len(afcs) {
+		t.Errorf("coalesced %d -> %d; COORDS-sharing chunks are not mergeable", len(afcs), len(merged))
+	}
+}
+
+func TestRowDimValueAt(t *testing.T) {
+	rd := RowDim{Lo: 10, Step: 5, Div: 3, Count: 4}
+	// idx = (i/3) % 4 → values 10,10,10,15,15,15,20,20,20,25,25,25,10,...
+	want := []int64{10, 10, 10, 15, 15, 15, 20, 20, 20, 25, 25, 25, 10}
+	for i, w := range want {
+		if got := rd.ValueAt(int64(i)); got != w {
+			t.Errorf("ValueAt(%d) = %d, want %d", i, got, w)
+		}
+	}
+	plain := RowDim{Lo: 7, Step: 2}
+	if plain.ValueAt(0) != 7 || plain.ValueAt(3) != 13 {
+		t.Error("plain form broken")
+	}
+}

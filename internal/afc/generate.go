@@ -1,0 +1,587 @@
+package afc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"datavirt/internal/index"
+	"datavirt/internal/layout"
+	"datavirt/internal/metadata"
+	"datavirt/internal/query"
+	"datavirt/internal/schema"
+)
+
+// IndexLoader resolves the chunk index for an INDEXFILE instance. The
+// AFC package does no I/O itself; callers supply a loader (typically a
+// caching one over index.ReadFile).
+type IndexLoader func(fi metadata.FileInstance) (*index.ChunkIndex, error)
+
+// maxChunkCombos caps the number of AFC sets one file group may emit,
+// guarding against degenerate descriptors.
+const maxChunkCombos = 1 << 24
+
+// Generate runs the query-time phases of the paper's Figure 5 and
+// returns the aligned file chunks that must be read to answer a query
+// whose WHERE clause implies ranges and whose select+where attributes
+// are needed. The loader is only consulted for chunked leaves; pass nil
+// for pure DATASPACE plans.
+func (p *Plan) Generate(ranges query.Ranges, needed []string, loader IndexLoader) ([]AFC, error) {
+	if err := p.CheckCoverage(needed); err != nil {
+		return nil, err
+	}
+	if ranges.Unsatisfiable() {
+		return nil, nil
+	}
+	neededSet := map[string]bool{}
+	for _, n := range needed {
+		neededSet[n] = true
+	}
+	var out []AFC
+	if len(p.DataLeaves) > 0 {
+		afcs, err := p.generateDataspace(ranges, neededSet)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, afcs...)
+	}
+	for _, cl := range p.ChunkedLeaves {
+		afcs, err := cl.generate(p.Schema, ranges, neededSet, loader)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, afcs...)
+	}
+	return out, nil
+}
+
+// Group is one aligned file group: one file from each attribute-set
+// class, with consistent implicit attributes, plus the alignment
+// analysis (union of loop dimensions and the chosen row axis). Groups
+// are computed once per plan — they depend only on the meta-data, not
+// on any query.
+type Group struct {
+	Files []*FileState
+	// Dims is the union of the files' loop dimensions, outermost first.
+	Dims []layout.Dim
+	// Axis is the row-axis dimension when HasAxis is set.
+	Axis    string
+	HasAxis bool
+	// Pins fixes dimensions that another group member binds per file:
+	// when one file loops over a variable (say I) and a partner file is
+	// one-of-many selected by a binding on the same variable (f.$I),
+	// the group only joins consistently at the bound value. Groups
+	// whose pin falls outside the dimension's lattice are discarded
+	// during analysis.
+	Pins map[string]int64
+}
+
+// Groups returns the file groups of the plan's DATASPACE leaves,
+// computing and caching them on first use (Find_File_Groups, run at
+// compile time since it needs no query input).
+func (p *Plan) Groups() ([]Group, error) {
+	p.groupsOnce.Do(func() {
+		p.groups, p.groupsErr = p.analyzeGroups()
+	})
+	return p.groups, p.groupsErr
+}
+
+func (p *Plan) analyzeGroups() ([]Group, error) {
+	// Classify files by the set of attributes they store.
+	type class struct {
+		key   string
+		files []*FileState
+	}
+	var classes []*class
+	classByKey := map[string]*class{}
+	for _, lf := range p.DataLeaves {
+		key := strings.Join(lf.Leaf.PayloadAttrs(), "\x00")
+		c := classByKey[key]
+		if c == nil {
+			c = &class{key: key}
+			classByKey[key] = c
+			classes = append(classes, c)
+		}
+		for i := range lf.Files {
+			c.files = append(c.files, &lf.Files[i])
+		}
+	}
+	// Cartesian product with implicit-attribute consistency pruning.
+	var groups []Group
+	chosen := make([]*FileState, 0, len(classes))
+	var pick func(i int) error
+	pick = func(i int) error {
+		if i == len(classes) {
+			g := Group{Files: append([]*FileState(nil), chosen...)}
+			have := map[string]bool{}
+			for _, fs := range g.Files {
+				for _, d := range fs.Layout.Dims {
+					if !have[d.Var] {
+						have[d.Var] = true
+						g.Dims = append(g.Dims, d)
+					}
+				}
+			}
+			// Binding variables that name a group dimension pin it: the
+			// paper's implicit-attribute consistency between a file
+			// selected by the variable and files iterating over it.
+			for _, fs := range g.Files {
+				for v, val := range fs.Inst.Env {
+					d, isDim := dimOf(g.Dims, v)
+					if !isDim {
+						continue
+					}
+					if val < d.Lo || val > d.Hi || (val-d.Lo)%d.Step != 0 {
+						return nil // inconsistent group: discard
+					}
+					if g.Pins == nil {
+						g.Pins = map[string]int64{}
+					}
+					g.Pins[v] = val // envAgrees guarantees a single value
+				}
+			}
+			axis, hasAxis, err := chooseAxis(g.Files)
+			if err != nil {
+				return err
+			}
+			g.Axis, g.HasAxis = axis, hasAxis
+			groups = append(groups, g)
+			return nil
+		}
+		for _, fs := range classes[i].files {
+			if !consistentWith(chosen, fs) {
+				continue
+			}
+			chosen = append(chosen, fs)
+			if err := pick(i + 1); err != nil {
+				return err
+			}
+			chosen = chosen[:len(chosen)-1]
+		}
+		return nil
+	}
+	if err := pick(0); err != nil {
+		return nil, err
+	}
+	return groups, nil
+}
+
+// generateDataspace implements the query-time part of Figure 5: prune
+// the precomputed groups against the query ranges, then process each
+// surviving group into aligned file chunks.
+func (p *Plan) generateDataspace(ranges query.Ranges, needed map[string]bool) ([]AFC, error) {
+	groups, err := p.Groups()
+	if err != nil {
+		return nil, err
+	}
+	var out []AFC
+	for i := range groups {
+		g := &groups[i]
+		pruned := false
+		for _, fs := range g.Files {
+			if p.filePrunable(fs, ranges) {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			continue
+		}
+		afcs, err := alignGroup(p.Schema, g, ranges, needed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, afcs...)
+	}
+	return out, nil
+}
+
+// filePrunable reports whether the file provably contributes no rows:
+// some implicit attribute value (binding) lies outside the query ranges,
+// or some loop dimension naming a schema attribute has an empty clip.
+// This is the file-level index check of the paper's worked example
+// ("files DATA2 and DATA3 will be excluded ... because the file names
+// are related to the REL values").
+func (p *Plan) filePrunable(fs *FileState, ranges query.Ranges) bool {
+	for v, val := range fs.Inst.Env {
+		if !p.Schema.Has(v) {
+			continue
+		}
+		if !ranges.Get(v).Contains(float64(val)) {
+			return true
+		}
+	}
+	for _, d := range fs.Layout.Dims {
+		if !p.Schema.Has(d.Var) {
+			continue
+		}
+		if len(ranges.Get(d.Var).ClipInt(d.Lo, d.Hi, d.Step)) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// consistentWith checks the candidate against the already-chosen files:
+// shared binding variables must agree and shared loop dimensions must
+// have identical bounds. This is the paper's "if the values of implicit
+// attributes are not inconsistent" test — e.g. DIR[0]/COORD and
+// DIR[1]/DATA0 have non-overlapping grid ranges and are rejected.
+func consistentWith(chosen []*FileState, cand *FileState) bool {
+	for _, prev := range chosen {
+		for v, val := range prev.Inst.Env {
+			if cv, ok := cand.Inst.Env[v]; ok && cv != val {
+				return false
+			}
+		}
+		for _, d := range prev.Layout.Dims {
+			if cd, ok := cand.Layout.Dim(d.Var); ok && cd != d {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// alignGroup finds the aligned file chunks of one file group.
+func alignGroup(sch *schema.Schema, g *Group, ranges query.Ranges, needed map[string]bool) ([]AFC, error) {
+	group, dims := g.Files, g.Dims
+	axis, hasAxis := g.Axis, g.HasAxis
+
+	// Clip every dimension against the query ranges. Dimensions naming
+	// schema attributes are constrained; others run in full. This is the
+	// chunk-level index check ("Check against index", Figure 5): for the
+	// worked example it reduces 500 TIME chunks to the 100 in range.
+	clip := func(d layout.Dim) []query.IntRange {
+		if pin, ok := g.Pins[d.Var]; ok {
+			// Pinned by a group member's binding: the dimension joins at
+			// a single value (its lattice validity was checked during
+			// group analysis), still subject to the query's ranges.
+			if sch.Has(d.Var) && !ranges.Get(d.Var).Contains(float64(pin)) {
+				return nil
+			}
+			return []query.IntRange{{Lo: pin, Hi: pin, Step: d.Step}}
+		}
+		if sch.Has(d.Var) {
+			return ranges.Get(d.Var).ClipInt(d.Lo, d.Hi, d.Step)
+		}
+		return []query.IntRange{{Lo: d.Lo, Hi: d.Hi, Step: d.Step}}
+	}
+
+	var chunkDims []layout.Dim
+	var chunkRuns [][]query.IntRange
+	var axisRuns []query.IntRange
+	combos := int64(1)
+	for _, d := range dims {
+		runs := clip(d)
+		if len(runs) == 0 {
+			return nil, nil
+		}
+		if hasAxis && d.Var == axis {
+			axisRuns = runs
+			continue
+		}
+		chunkDims = append(chunkDims, d)
+		chunkRuns = append(chunkRuns, runs)
+		var vals int64
+		for _, r := range runs {
+			vals += r.Count()
+		}
+		combos *= vals
+		if combos > maxChunkCombos {
+			return nil, fmt.Errorf("afc: file group expands to more than %d aligned chunk sets", maxChunkCombos)
+		}
+	}
+	if !hasAxis {
+		axisRuns = []query.IntRange{{Lo: 0, Hi: 0, Step: 1}}
+	}
+
+	var out []AFC
+	combo := map[string]int64{}
+	var enum func(i int) error
+	enum = func(i int) error {
+		if i == len(chunkDims) {
+			for _, run := range axisRuns {
+				a, err := buildAFC(sch, group, axis, hasAxis, run, chunkDims, combo, needed)
+				if err != nil {
+					return err
+				}
+				out = append(out, a)
+			}
+			return nil
+		}
+		for _, r := range chunkRuns[i] {
+			for v := r.Lo; v <= r.Hi; v += r.Step {
+				combo[chunkDims[i].Var] = v
+				if err := enum(i + 1); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := enum(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// chooseAxis picks the row axis: the loop dimension shared by every
+// dimensioned file of the group with the smallest worst-case byte
+// stride, i.e. the dimension along which reads are closest to
+// contiguous. It reports hasAxis=false when no file has dimensions.
+func chooseAxis(group []*FileState) (string, bool, error) {
+	var common map[string]bool
+	dimmed := 0
+	for _, fs := range group {
+		if len(fs.Layout.Dims) == 0 {
+			continue
+		}
+		dimmed++
+		set := map[string]bool{}
+		for _, d := range fs.Layout.Dims {
+			set[d.Var] = true
+		}
+		if common == nil {
+			common = set
+			continue
+		}
+		for v := range common {
+			if !set[v] {
+				delete(common, v)
+			}
+		}
+	}
+	if dimmed == 0 {
+		return "", false, nil
+	}
+	if len(common) == 0 {
+		return "", false, fmt.Errorf("afc: file group has no common loop dimension to align on")
+	}
+	best, bestCost := "", int64(-1)
+	for v := range common {
+		var cost int64
+		for _, fs := range group {
+			for _, acc := range fs.Layout.Accesses {
+				if s := acc.StrideAlong(v); s > cost {
+					cost = s
+				}
+			}
+		}
+		if bestCost < 0 || cost < bestCost || (cost == bestCost && v < best) {
+			best, bestCost = v, cost
+		}
+	}
+	return best, true, nil
+}
+
+// buildAFC materializes one aligned file chunk set for a fixed chunk-
+// dimension assignment and axis run.
+func buildAFC(sch *schema.Schema, group []*FileState, axis string, hasAxis bool,
+	run query.IntRange, chunkDims []layout.Dim, combo map[string]int64,
+	needed map[string]bool) (AFC, error) {
+
+	a := AFC{NumRows: run.Count()}
+	if len(group) > 0 {
+		a.Node = group[0].Inst.Node()
+	}
+
+	vals := make(map[string]int64, len(combo)+1)
+	for k, v := range combo {
+		vals[k] = v
+	}
+	if hasAxis {
+		vals[axis] = run.Lo
+	}
+
+	type accRef struct {
+		off    int64
+		stride int64
+		acc    *layout.Access
+	}
+	for _, fs := range group {
+		var refs []accRef
+		for i := range fs.Layout.Accesses {
+			acc := &fs.Layout.Accesses[i]
+			if !needed[acc.Attr] {
+				continue
+			}
+			off, err := acc.Offset(vals)
+			if err != nil {
+				return AFC{}, err
+			}
+			refs = append(refs, accRef{off: off, stride: acc.StrideAlong(axis), acc: acc})
+		}
+		sort.Slice(refs, func(i, j int) bool { return refs[i].off < refs[j].off })
+		// Merge adjacent same-stride accesses into segments (the paper's
+		// contiguous Num_Bytes per row).
+		for i := 0; i < len(refs); {
+			seg := Segment{
+				Node:      fs.Inst.Node(),
+				File:      fs.Inst.Path(),
+				Offset:    refs[i].off,
+				RowStride: refs[i].stride,
+				BigEndian: fs.Big,
+			}
+			j := i
+			for j < len(refs) {
+				r := refs[j]
+				if r.stride != seg.RowStride {
+					break
+				}
+				if r.off != seg.Offset+seg.RowBytes {
+					break
+				}
+				if seg.RowStride > 0 && seg.RowBytes+r.acc.Size > seg.RowStride {
+					break
+				}
+				seg.Attrs = append(seg.Attrs, SegAttr{
+					Name: r.acc.Attr, Kind: r.acc.Kind, Off: seg.RowBytes,
+				})
+				seg.RowBytes += r.acc.Size
+				j++
+			}
+			a.Segments = append(a.Segments, seg)
+			i = j
+		}
+	}
+
+	// Implicit attributes: binding variables and chunk dimensions that
+	// name schema attributes. Group consistency guarantees agreement.
+	seen := map[string]bool{}
+	addImplicit := func(name string, v int64) {
+		if seen[name] {
+			return
+		}
+		k, ok := sch.Kind(name)
+		if !ok {
+			return
+		}
+		seen[name] = true
+		a.Implicits = append(a.Implicits, Implicit{Name: name, Value: schema.KindValue(k, float64(v))})
+	}
+	for _, fs := range group {
+		// Iterate deterministically for stable output.
+		envVars := make([]string, 0, len(fs.Inst.Env))
+		for v := range fs.Inst.Env {
+			envVars = append(envVars, v)
+		}
+		sort.Strings(envVars)
+		for _, v := range envVars {
+			addImplicit(v, fs.Inst.Env[v])
+		}
+	}
+	for _, d := range chunkDims {
+		addImplicit(d.Var, combo[d.Var])
+	}
+	if hasAxis {
+		if k, ok := sch.Kind(axis); ok {
+			a.RowDims = append(a.RowDims, RowDim{Name: axis, Kind: k, Lo: run.Lo, Step: run.Step})
+		}
+	}
+	return a, nil
+}
+
+// generate produces the AFCs of a chunked leaf: one AFC per chunk whose
+// MBR intersects the query, as reported by the paired index file.
+func (cl *ChunkedLeaf) generate(sch *schema.Schema, ranges query.Ranges, needed map[string]bool, loader IndexLoader) ([]AFC, error) {
+	if loader == nil {
+		return nil, fmt.Errorf("afc: chunked dataset %q requires an index loader", cl.Node.Name)
+	}
+	var out []AFC
+	for _, cf := range cl.Files {
+		pruned := false
+		for v, val := range cf.Data.Env {
+			if sch.Has(v) && !ranges.Get(v).Contains(float64(val)) {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			continue
+		}
+		ix, err := loader(cf.Index)
+		if err != nil {
+			return nil, fmt.Errorf("afc: loading index %s: %w", cf.Index, err)
+		}
+		if got := ix.Attrs(); !equalStrings(got, cl.IndexAttrs) {
+			return nil, fmt.Errorf("afc: index %s covers attributes %v, descriptor declares %v",
+				cf.Index, got, cl.IndexAttrs)
+		}
+		// Record-internal offsets of the needed attributes.
+		type field struct {
+			off  int64
+			attr schema.Attribute
+		}
+		var fields []field
+		off := int64(0)
+		for _, at := range cl.Attrs {
+			if needed[at.Name] {
+				fields = append(fields, field{off: off, attr: at})
+			}
+			off += int64(at.Kind.Size())
+		}
+		var implicits []Implicit
+		envVars := make([]string, 0, len(cf.Data.Env))
+		for v := range cf.Data.Env {
+			envVars = append(envVars, v)
+		}
+		sort.Strings(envVars)
+		for _, v := range envVars {
+			if k, ok := sch.Kind(v); ok {
+				implicits = append(implicits, Implicit{Name: v, Value: schema.KindValue(k, float64(cf.Data.Env[v]))})
+			}
+		}
+		for _, chunk := range ix.Search(ranges) {
+			a := AFC{NumRows: chunk.NumRows, Implicits: implicits, Node: cf.Data.Node()}
+			for i := 0; i < len(fields); {
+				seg := Segment{
+					Node:      cf.Data.Node(),
+					File:      cf.Data.Path(),
+					Offset:    chunk.Offset + fields[i].off,
+					RowStride: cl.RecordBytes,
+					BigEndian: cl.Big,
+				}
+				j := i
+				for j < len(fields) {
+					f := fields[j]
+					if chunk.Offset+f.off != seg.Offset+seg.RowBytes {
+						break
+					}
+					if seg.RowBytes+int64(f.attr.Kind.Size()) > seg.RowStride {
+						break
+					}
+					seg.Attrs = append(seg.Attrs, SegAttr{Name: f.attr.Name, Kind: f.attr.Kind, Off: seg.RowBytes})
+					seg.RowBytes += int64(f.attr.Kind.Size())
+					j++
+				}
+				a.Segments = append(a.Segments, seg)
+				i = j
+			}
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// dimOf finds the named dimension in a dim list.
+func dimOf(dims []layout.Dim, v string) (layout.Dim, bool) {
+	for _, d := range dims {
+		if d.Var == v {
+			return d, true
+		}
+	}
+	return layout.Dim{}, false
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

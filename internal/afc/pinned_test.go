@@ -1,0 +1,178 @@
+package afc
+
+import (
+	"testing"
+
+	"datavirt/internal/metadata"
+	"datavirt/internal/query"
+	"datavirt/internal/sqlparser"
+)
+
+// pinnedDescriptor mixes a looped dimension with per-value file
+// bindings of the same variable: leaf0 iterates I inside one file,
+// leaf1 stores one file per I. Groups must join only at the matching I.
+const pinnedDescriptor = `
+[S]
+I = int
+J = int
+A = float
+B = double
+
+[PinData]
+DatasetDescription = S
+DIR[0] = node0/rand
+
+Dataset "PinData" {
+  DATATYPE { S }
+  DATAINDEX { I J }
+  Dataset "leaf0" {
+    DATASPACE { LOOP I 0:5:1 { LOOP J 0:3:1 { A } } }
+    DATA { DIR[0]/f0 }
+  }
+  Dataset "leaf1" {
+    DATASPACE { LOOP J 0:3:1 { B } }
+    DATA { DIR[0]/f1.$I I = 0:5:1 }
+  }
+}
+`
+
+func TestPinnedDimensionGroups(t *testing.T) {
+	d, err := metadata.Parse(pinnedDescriptor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := p.Groups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 f0 × 6 f1.k files = 6 groups, each pinning I to k.
+	if len(groups) != 6 {
+		t.Fatalf("groups = %d, want 6", len(groups))
+	}
+	seen := map[int64]bool{}
+	for _, g := range groups {
+		pin, ok := g.Pins["I"]
+		if !ok {
+			t.Fatalf("group lacks I pin: %+v", g.Files)
+		}
+		if seen[pin] {
+			t.Fatalf("duplicate pin %d", pin)
+		}
+		seen[pin] = true
+	}
+
+	// Full scan: 6 groups × 1 pinned I × 1 J-run of 4 rows = 24 rows,
+	// exactly the 6×4 virtual table (no cross joins).
+	afcs, err := p.Generate(query.Ranges{}, []string{"I", "J", "A", "B"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows int64
+	for _, a := range afcs {
+		rows += a.NumRows
+	}
+	if rows != 24 {
+		t.Fatalf("full scan rows = %d, want 24 (pin leak would give 144)", rows)
+	}
+	// I = 3 selects exactly one group.
+	q := sqlparser.MustParse("SELECT * FROM PinData WHERE I = 3")
+	afcs, err = p.Generate(query.ExtractRanges(q.Where), []string{"I", "J", "A", "B"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(afcs) != 1 || afcs[0].NumRows != 4 {
+		t.Fatalf("I=3 afcs = %v", afcs)
+	}
+	// f0's A offset for I=3 must start at (3-0)*4*4 = 48.
+	found := false
+	for _, seg := range afcs[0].Segments {
+		if seg.File == "rand/f0" {
+			found = true
+			if seg.Offset != 48 {
+				t.Errorf("f0 offset = %d, want 48", seg.Offset)
+			}
+		}
+	}
+	if !found {
+		t.Error("no f0 segment")
+	}
+}
+
+// TestPinnedAxis pins the row axis itself: leaf1 stores one scalar file
+// per J while leaf0 iterates J. Each group is a single-row join at the
+// pinned J.
+func TestPinnedAxis(t *testing.T) {
+	src := `
+[S]
+J = int
+A = float
+B = double
+
+[AxData]
+DatasetDescription = S
+DIR[0] = node0/rand
+
+Dataset "AxData" {
+  DATATYPE { S }
+  DATAINDEX { J }
+  Dataset "leaf0" {
+    DATASPACE { LOOP J 0:3:1 { A } }
+    DATA { DIR[0]/f0 }
+  }
+  Dataset "leaf1" {
+    DATASPACE { B }
+    DATA { DIR[0]/f1.$J J = 0:3:1 }
+  }
+}
+`
+	d, err := metadata.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afcs, err := p.Generate(query.Ranges{}, []string{"J", "A", "B"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(afcs) != 4 {
+		t.Fatalf("afcs = %d, want 4 (one per pinned J)", len(afcs))
+	}
+	var rows int64
+	offsets := map[int64]bool{}
+	for _, a := range afcs {
+		rows += a.NumRows
+		if a.NumRows != 1 {
+			t.Errorf("pinned-axis AFC rows = %d, want 1", a.NumRows)
+		}
+		for _, seg := range a.Segments {
+			if seg.File == "rand/f0" {
+				offsets[seg.Offset] = true
+			}
+		}
+	}
+	if rows != 4 {
+		t.Errorf("rows = %d", rows)
+	}
+	// f0 offsets must be 0, 4, 8, 12 — one element per pinned J.
+	for _, want := range []int64{0, 4, 8, 12} {
+		if !offsets[want] {
+			t.Errorf("missing f0 offset %d (got %v)", want, offsets)
+		}
+	}
+	// Query J >= 2 keeps two groups.
+	q := sqlparser.MustParse("SELECT * FROM AxData WHERE J >= 2")
+	afcs, err = p.Generate(query.ExtractRanges(q.Where), []string{"J", "A", "B"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(afcs) != 2 {
+		t.Fatalf("J>=2 afcs = %d, want 2", len(afcs))
+	}
+}

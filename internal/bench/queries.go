@@ -1,0 +1,86 @@
+package bench
+
+import "fmt"
+
+// The evaluation queries, transcribed from the paper's Figures 7 and 8
+// with literals scaled to the generated datasets (the paper's Titan
+// coordinates and Ipars time steps are properties of its specific
+// multi-GB datasets; the fractions of data touched are preserved).
+// `dvbench -list` prints both the paper's original text and the scaled
+// form actually executed.
+
+// TitanQuery is one Figure 7 query.
+type TitanQuery struct {
+	No    int
+	Paper string // the paper's text
+	SQL   func(from string) string
+}
+
+// titanQueries builds the Figure 7 set for a coordinate space of
+// xmax × ymax × zmax.
+func titanQueries(xmax, ymax, zmax int) []TitanQuery {
+	return []TitanQuery{
+		{1,
+			"SELECT * FROM TITAN",
+			func(from string) string { return "SELECT * FROM " + from }},
+		{2,
+			"SELECT * FROM TITAN WHERE X>=0 AND X<=10000 AND Y>=0 AND Y<=10000 AND Z>=0 AND Z<=100",
+			func(from string) string {
+				return fmt.Sprintf("SELECT * FROM %s WHERE X>=0 AND X<=%d AND Y>=0 AND Y<=%d AND Z>=0 AND Z<=%d",
+					from, xmax/2, ymax/2, zmax/2)
+			}},
+		{3,
+			"SELECT * FROM TITAN WHERE DISTANCE(X,Y,Z)<1000",
+			func(from string) string {
+				return fmt.Sprintf("SELECT * FROM %s WHERE DISTANCE(X,Y,Z)<%d", from, xmax/10)
+			}},
+		{4,
+			"SELECT * FROM TITAN WHERE S1 < 0.01",
+			func(from string) string { return "SELECT * FROM " + from + " WHERE S1 < 0.01" }},
+		{5,
+			"SELECT * FROM TITAN WHERE S1 < 0.5",
+			func(from string) string { return "SELECT * FROM " + from + " WHERE S1 < 0.5" }},
+	}
+}
+
+// IparsQuery is one Figure 8 query.
+type IparsQuery struct {
+	No    int
+	Type  string
+	Paper string
+	SQL   func(from string) string
+}
+
+// iparsQueries builds the Figure 8 set for a dataset with T time steps.
+// The paper's window TIME>1000 AND TIME<1100 covers ~5% of its run;
+// the scaled window covers the same fraction of T.
+func iparsQueries(T int) []IparsQuery {
+	lo := T / 2
+	hi := lo + T/10
+	mid := lo + T/20
+	return []IparsQuery{
+		{1, "Full scan of the table",
+			"SELECT * FROM IPARS",
+			func(from string) string { return "SELECT * FROM " + from }},
+		{2, "Subsetting using indexed attribute",
+			"SELECT * FROM IPARS WHERE TIME>1000 AND TIME<1100",
+			func(from string) string {
+				return fmt.Sprintf("SELECT * FROM %s WHERE TIME>%d AND TIME<%d", from, lo, hi)
+			}},
+		{3, "Subsetting using indexed attribute and filtering",
+			"SELECT * FROM IPARS WHERE TIME>1000 AND TIME<1100 AND SOIL>0.7",
+			func(from string) string {
+				return fmt.Sprintf("SELECT * FROM %s WHERE TIME>%d AND TIME<%d AND SOIL>0.7", from, lo, hi)
+			}},
+		{4, "Subsetting using indexed attribute and filtering with a user defined function",
+			"SELECT * FROM IPARS WHERE TIME>1000 AND TIME<1100 AND Speed() < 30",
+			func(from string) string {
+				return fmt.Sprintf("SELECT * FROM %s WHERE TIME>%d AND TIME<%d AND SPEED(OILVX,OILVY,OILVZ) < 30", from, lo, hi)
+			}},
+		{5, "Accessing the data from a remote client",
+			"SELECT * FROM IPARS WHERE TIME>1000 AND TIME<1050",
+			func(from string) string {
+				return fmt.Sprintf("SELECT * FROM %s WHERE TIME>%d AND TIME<%d", from, lo, mid)
+			}},
+	}
+}

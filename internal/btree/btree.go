@@ -1,0 +1,551 @@
+// Package btree implements a disk-backed B+-tree over (float64 key,
+// uint64 tid) entries, the secondary-index substrate of the rowstore
+// baseline (the role PostgreSQL's nbtree plays in the paper's Figure 6
+// comparison). Duplicate keys are allowed; entries are ordered by
+// (key, tid). Leaves are chained for range scans. Trees support both
+// one-shot bulk loading (CREATE INDEX over sorted input) and incremental
+// inserts with node splits.
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"datavirt/internal/pagefile"
+)
+
+const (
+	pageMeta     = 0
+	typeInternal = 1
+	typeLeaf     = 2
+
+	metaMagic = 0xB7EE0001
+
+	// Leaf layout: type(1) count(2) pad(1) next(4) | entries…
+	leafHdr   = 8
+	leafEntry = 16 // key float64 + tid uint64
+	// Internal layout: type(1) count(2) pad(5) | (minKey float64, child uint32)…
+	intHdr   = 8
+	intEntry = 12
+
+	maxLeaf = (pagefile.PageSize - leafHdr) / leafEntry
+	maxInt  = (pagefile.PageSize - intHdr) / intEntry
+)
+
+// Entry is one index entry.
+type Entry struct {
+	Key float64
+	TID uint64
+}
+
+// Tree is an open B+-tree.
+type Tree struct {
+	pf     *pagefile.File
+	root   uint32
+	height uint32 // 1 = root is a leaf
+	count  uint64
+}
+
+// Create initializes a new tree at path.
+func Create(path string, poolPages int) (*Tree, error) {
+	pf, err := pagefile.Create(path, poolPages)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{pf: pf}
+	// Page 0: meta. Page 1: empty leaf root.
+	if _, _, err := pf.Alloc(); err != nil {
+		return nil, err
+	}
+	pf.Unpin(pageMeta)
+	rootID, rootPg, err := pf.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	initLeaf(rootPg)
+	pf.MarkDirty(rootID)
+	pf.Unpin(rootID)
+	t.root, t.height = rootID, 1
+	if err := t.writeMeta(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Open loads an existing tree.
+func Open(path string, poolPages int) (*Tree, error) {
+	pf, err := pagefile.Open(path, poolPages)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{pf: pf}
+	pg, err := pf.Get(pageMeta)
+	if err != nil {
+		pf.Close()
+		return nil, err
+	}
+	defer pf.Unpin(pageMeta)
+	if binary.LittleEndian.Uint32(pg[0:]) != metaMagic {
+		pf.Close()
+		return nil, fmt.Errorf("btree: %s: bad magic", path)
+	}
+	t.root = binary.LittleEndian.Uint32(pg[4:])
+	t.height = binary.LittleEndian.Uint32(pg[8:])
+	t.count = binary.LittleEndian.Uint64(pg[12:])
+	if t.root == 0 || t.height == 0 {
+		pf.Close()
+		return nil, fmt.Errorf("btree: %s: corrupt meta", path)
+	}
+	return t, nil
+}
+
+func (t *Tree) writeMeta() error {
+	pg, err := t.pf.Get(pageMeta)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(pg[0:], metaMagic)
+	binary.LittleEndian.PutUint32(pg[4:], t.root)
+	binary.LittleEndian.PutUint32(pg[8:], t.height)
+	binary.LittleEndian.PutUint64(pg[12:], t.count)
+	t.pf.MarkDirty(pageMeta)
+	t.pf.Unpin(pageMeta)
+	return nil
+}
+
+// Close persists the meta page and closes the backing file.
+func (t *Tree) Close() error {
+	if err := t.writeMeta(); err != nil {
+		t.pf.Close()
+		return err
+	}
+	return t.pf.Close()
+}
+
+// Len returns the number of entries.
+func (t *Tree) Len() uint64 { return t.count }
+
+// Height returns the tree height (1 = a single leaf).
+func (t *Tree) Height() uint32 { return t.height }
+
+// SizeBytes returns the on-disk size of the index.
+func (t *Tree) SizeBytes() int64 { return t.pf.SizeBytes() }
+
+// --- page accessors ---
+
+func initLeaf(pg *pagefile.Page) {
+	for i := range pg[:leafHdr] {
+		pg[i] = 0
+	}
+	pg[0] = typeLeaf
+}
+
+func initInternal(pg *pagefile.Page) {
+	for i := range pg[:intHdr] {
+		pg[i] = 0
+	}
+	pg[0] = typeInternal
+}
+
+func pageType(pg *pagefile.Page) byte { return pg[0] }
+
+func pageCount(pg *pagefile.Page) int {
+	return int(binary.LittleEndian.Uint16(pg[1:]))
+}
+
+func setPageCount(pg *pagefile.Page, n int) {
+	binary.LittleEndian.PutUint16(pg[1:], uint16(n))
+}
+
+func leafNext(pg *pagefile.Page) uint32 {
+	return binary.LittleEndian.Uint32(pg[4:])
+}
+
+func setLeafNext(pg *pagefile.Page, id uint32) {
+	binary.LittleEndian.PutUint32(pg[4:], id)
+}
+
+func leafEntryAt(pg *pagefile.Page, i int) Entry {
+	off := leafHdr + i*leafEntry
+	return Entry{
+		Key: math.Float64frombits(binary.LittleEndian.Uint64(pg[off:])),
+		TID: binary.LittleEndian.Uint64(pg[off+8:]),
+	}
+}
+
+func setLeafEntry(pg *pagefile.Page, i int, e Entry) {
+	off := leafHdr + i*leafEntry
+	binary.LittleEndian.PutUint64(pg[off:], math.Float64bits(e.Key))
+	binary.LittleEndian.PutUint64(pg[off+8:], e.TID)
+}
+
+func intPairAt(pg *pagefile.Page, i int) (float64, uint32) {
+	off := intHdr + i*intEntry
+	return math.Float64frombits(binary.LittleEndian.Uint64(pg[off:])),
+		binary.LittleEndian.Uint32(pg[off+8:])
+}
+
+func setIntPair(pg *pagefile.Page, i int, key float64, child uint32) {
+	off := intHdr + i*intEntry
+	binary.LittleEndian.PutUint64(pg[off:], math.Float64bits(key))
+	binary.LittleEndian.PutUint32(pg[off+8:], child)
+}
+
+// less orders entries by (key, tid).
+func (e Entry) less(o Entry) bool {
+	if e.Key != o.Key {
+		return e.Key < o.Key
+	}
+	return e.TID < o.TID
+}
+
+// --- search ---
+
+// findLeaf descends to the leaf that may contain e, returning the page
+// id and the path of internal page ids (for splits).
+func (t *Tree) findLeaf(e Entry) (uint32, []uint32, error) {
+	id := t.root
+	var path []uint32
+	for level := t.height; level > 1; level-- {
+		pg, err := t.pf.Get(id)
+		if err != nil {
+			return 0, nil, err
+		}
+		n := pageCount(pg)
+		// Last child whose minKey is strictly below the key (first child
+		// otherwise): with duplicate keys the leftmost leaf that can hold
+		// the key may end exactly at it, and scans must start there.
+		child := uint32(0)
+		for i := 0; i < n; i++ {
+			k, c := intPairAt(pg, i)
+			if i == 0 || k < e.Key {
+				child = c
+			} else {
+				break
+			}
+		}
+		t.pf.Unpin(id)
+		path = append(path, id)
+		id = child
+	}
+	return id, path, nil
+}
+
+// Insert adds an entry (duplicates by TID allowed).
+func (t *Tree) Insert(key float64, tid uint64) error {
+	e := Entry{Key: key, TID: tid}
+	leafID, path, err := t.findLeaf(e)
+	if err != nil {
+		return err
+	}
+	promo, newChild, err := t.insertLeaf(leafID, e)
+	if err != nil {
+		return err
+	}
+	// Propagate splits up the path.
+	for i := len(path) - 1; i >= 0 && newChild != 0; i-- {
+		promo, newChild, err = t.insertInternal(path[i], promo, newChild)
+		if err != nil {
+			return err
+		}
+	}
+	if newChild != 0 {
+		// Root split: new root with two children.
+		oldRoot := t.root
+		var oldMin float64
+		if t.height == 1 {
+			pg, err := t.pf.Get(oldRoot)
+			if err != nil {
+				return err
+			}
+			oldMin = leafEntryAt(pg, 0).Key
+			t.pf.Unpin(oldRoot)
+		} else {
+			pg, err := t.pf.Get(oldRoot)
+			if err != nil {
+				return err
+			}
+			oldMin, _ = intPairAt(pg, 0)
+			t.pf.Unpin(oldRoot)
+		}
+		rootID, rootPg, err := t.pf.Alloc()
+		if err != nil {
+			return err
+		}
+		initInternal(rootPg)
+		setIntPair(rootPg, 0, oldMin, oldRoot)
+		setIntPair(rootPg, 1, promo, newChild)
+		setPageCount(rootPg, 2)
+		t.pf.MarkDirty(rootID)
+		t.pf.Unpin(rootID)
+		t.root = rootID
+		t.height++
+	}
+	t.count++
+	return nil
+}
+
+// insertLeaf inserts e into the leaf; on split it returns the new right
+// sibling's minimum key and page id.
+func (t *Tree) insertLeaf(id uint32, e Entry) (float64, uint32, error) {
+	pg, err := t.pf.Get(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	n := pageCount(pg)
+	// Binary search for insert position.
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if leafEntryAt(pg, mid).less(e) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	pos := lo
+	if n < maxLeaf {
+		for i := n; i > pos; i-- {
+			setLeafEntry(pg, i, leafEntryAt(pg, i-1))
+		}
+		setLeafEntry(pg, pos, e)
+		setPageCount(pg, n+1)
+		t.pf.MarkDirty(id)
+		t.pf.Unpin(id)
+		return 0, 0, nil
+	}
+	// Split: move the upper half to a new leaf.
+	rightID, rightPg, err := t.pf.Alloc()
+	if err != nil {
+		t.pf.Unpin(id)
+		return 0, 0, err
+	}
+	initLeaf(rightPg)
+	half := n / 2
+	for i := half; i < n; i++ {
+		setLeafEntry(rightPg, i-half, leafEntryAt(pg, i))
+	}
+	setPageCount(rightPg, n-half)
+	setLeafNext(rightPg, leafNext(pg))
+	setPageCount(pg, half)
+	setLeafNext(pg, rightID)
+	// Insert into the proper half.
+	if pos <= half {
+		t.pf.MarkDirty(id)
+		t.pf.MarkDirty(rightID)
+		rightMin := leafEntryAt(rightPg, 0).Key
+		t.pf.Unpin(rightID)
+		t.pf.Unpin(id)
+		if _, _, err := t.insertLeaf(id, e); err != nil {
+			return 0, 0, err
+		}
+		return rightMin, rightID, nil
+	}
+	t.pf.MarkDirty(id)
+	t.pf.MarkDirty(rightID)
+	t.pf.Unpin(rightID)
+	t.pf.Unpin(id)
+	if _, _, err := t.insertLeaf(rightID, e); err != nil {
+		return 0, 0, err
+	}
+	// Right page's minimum may have changed by the insert.
+	rpg, err := t.pf.Get(rightID)
+	if err != nil {
+		return 0, 0, err
+	}
+	rightMin := leafEntryAt(rpg, 0).Key
+	t.pf.Unpin(rightID)
+	return rightMin, rightID, nil
+}
+
+// insertInternal adds (minKey, child) into an internal page; on split it
+// returns the promotion for the next level up.
+func (t *Tree) insertInternal(id uint32, key float64, child uint32) (float64, uint32, error) {
+	pg, err := t.pf.Get(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	n := pageCount(pg)
+	pos := n
+	for i := 0; i < n; i++ {
+		if k, _ := intPairAt(pg, i); key < k {
+			pos = i
+			break
+		}
+	}
+	if n < maxInt {
+		for i := n; i > pos; i-- {
+			k, c := intPairAt(pg, i-1)
+			setIntPair(pg, i, k, c)
+		}
+		setIntPair(pg, pos, key, child)
+		setPageCount(pg, n+1)
+		t.pf.MarkDirty(id)
+		t.pf.Unpin(id)
+		return 0, 0, nil
+	}
+	// Split internal node.
+	rightID, rightPg, err := t.pf.Alloc()
+	if err != nil {
+		t.pf.Unpin(id)
+		return 0, 0, err
+	}
+	initInternal(rightPg)
+	half := n / 2
+	for i := half; i < n; i++ {
+		k, c := intPairAt(pg, i)
+		setIntPair(rightPg, i-half, k, c)
+	}
+	setPageCount(rightPg, n-half)
+	setPageCount(pg, half)
+	t.pf.MarkDirty(id)
+	t.pf.MarkDirty(rightID)
+	rightMin, _ := intPairAt(rightPg, 0)
+	t.pf.Unpin(rightID)
+	t.pf.Unpin(id)
+	target := id
+	if key >= rightMin {
+		target = rightID
+	}
+	if _, _, err := t.insertInternal(target, key, child); err != nil {
+		return 0, 0, err
+	}
+	// Minimum of the right sibling may have shifted.
+	rpg, err := t.pf.Get(rightID)
+	if err != nil {
+		return 0, 0, err
+	}
+	rightMin, _ = intPairAt(rpg, 0)
+	t.pf.Unpin(rightID)
+	return rightMin, rightID, nil
+}
+
+// BulkLoad replaces the tree's contents with the given entries, which
+// must be sorted by (key, tid). It builds leaves left to right and then
+// each internal level — the CREATE INDEX path.
+func (t *Tree) BulkLoad(entries []Entry) error {
+	for i := 1; i < len(entries); i++ {
+		if entries[i].less(entries[i-1]) {
+			return fmt.Errorf("btree: BulkLoad input not sorted at %d", i)
+		}
+	}
+	const fill = maxLeaf * 9 / 10 // leave split slack, like a fillfactor
+	type childRef struct {
+		min  float64
+		page uint32
+	}
+	var level []childRef
+
+	// Leaves.
+	var prevLeaf uint32
+	for i := 0; i < len(entries) || i == 0; {
+		id, pg, err := t.pf.Alloc()
+		if err != nil {
+			return err
+		}
+		initLeaf(pg)
+		n := 0
+		for ; n < fill && i+n < len(entries); n++ {
+			setLeafEntry(pg, n, entries[i+n])
+		}
+		setPageCount(pg, n)
+		minKey := math.Inf(-1)
+		if n > 0 {
+			minKey = entries[i].Key
+		}
+		level = append(level, childRef{min: minKey, page: id})
+		t.pf.MarkDirty(id)
+		t.pf.Unpin(id)
+		if prevLeaf != 0 {
+			ppg, err := t.pf.Get(prevLeaf)
+			if err != nil {
+				return err
+			}
+			setLeafNext(ppg, id)
+			t.pf.MarkDirty(prevLeaf)
+			t.pf.Unpin(prevLeaf)
+		}
+		prevLeaf = id
+		i += n
+		if n == 0 {
+			break
+		}
+	}
+	height := uint32(1)
+	const intFill = maxInt * 9 / 10
+	for len(level) > 1 {
+		var next []childRef
+		for i := 0; i < len(level); {
+			id, pg, err := t.pf.Alloc()
+			if err != nil {
+				return err
+			}
+			initInternal(pg)
+			n := 0
+			for ; n < intFill && i+n < len(level); n++ {
+				setIntPair(pg, n, level[i+n].min, level[i+n].page)
+			}
+			setPageCount(pg, n)
+			next = append(next, childRef{min: level[i].min, page: id})
+			t.pf.MarkDirty(id)
+			t.pf.Unpin(id)
+			i += n
+		}
+		level = next
+		height++
+	}
+	t.root = level[0].page
+	t.height = height
+	t.count = uint64(len(entries))
+	return t.writeMeta()
+}
+
+// Scan visits entries with lo <= key <= hi in ascending key order (tid
+// order within equal keys is unspecified after incremental inserts);
+// returning false stops early.
+func (t *Tree) Scan(lo, hi float64, fn func(Entry) bool) error {
+	id, _, err := t.findLeaf(Entry{Key: lo, TID: 0})
+	if err != nil {
+		return err
+	}
+	for id != 0 {
+		pg, err := t.pf.Get(id)
+		if err != nil {
+			return err
+		}
+		n := pageCount(pg)
+		if pageType(pg) != typeLeaf {
+			t.pf.Unpin(id)
+			return fmt.Errorf("btree: scan reached non-leaf page %d", id)
+		}
+		for i := 0; i < n; i++ {
+			e := leafEntryAt(pg, i)
+			if e.Key < lo {
+				continue
+			}
+			if e.Key > hi {
+				t.pf.Unpin(id)
+				return nil
+			}
+			if !fn(e) {
+				t.pf.Unpin(id)
+				return nil
+			}
+		}
+		next := leafNext(pg)
+		t.pf.Unpin(id)
+		id = next
+	}
+	return nil
+}
+
+// ScanAll collects the matching entries of Scan.
+func (t *Tree) ScanAll(lo, hi float64) ([]Entry, error) {
+	var out []Entry
+	err := t.Scan(lo, hi, func(e Entry) bool {
+		out = append(out, e)
+		return true
+	})
+	return out, err
+}

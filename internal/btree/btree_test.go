@@ -1,0 +1,238 @@
+package btree
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func newTree(t *testing.T) *Tree {
+	t.Helper()
+	tr, err := Create(filepath.Join(t.TempDir(), "ix.bt"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+func TestInsertAndScanSmall(t *testing.T) {
+	tr := newTree(t)
+	vals := []float64{5, 1, 9, 3, 7, 3, 5}
+	for i, v := range vals {
+		if err := tr.Insert(v, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != uint64(len(vals)) {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	got, err := tr.ScanAll(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 { // 5,3,7,3,5
+		t.Fatalf("scan [3,7] = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Key < got[i-1].Key {
+			t.Errorf("scan not key-ordered: %v", got)
+		}
+	}
+	// Empty range.
+	if got, _ := tr.ScanAll(100, 200); len(got) != 0 {
+		t.Errorf("empty range returned %v", got)
+	}
+	// Early stop.
+	n := 0
+	tr.Scan(0, 10, func(Entry) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestSplitsAndPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ix.bt")
+	tr, err := Create(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const N = 20000
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]float64, N)
+	for i := range keys {
+		keys[i] = float64(rng.Intn(5000))
+		if err := tr.Insert(keys[i], uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Height() < 2 {
+		t.Errorf("height = %d after %d inserts", tr.Height(), N)
+	}
+	if tr.Len() != N {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr2, err := Open(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr2.Close()
+	if tr2.Len() != N || tr2.Height() != tr.Height() {
+		t.Errorf("reopened: len=%d height=%d", tr2.Len(), tr2.Height())
+	}
+	// Spot-check a range against brute force.
+	lo, hi := 100.0, 160.0
+	want := 0
+	for _, k := range keys {
+		if k >= lo && k <= hi {
+			want++
+		}
+	}
+	got, err := tr2.ScanAll(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != want {
+		t.Errorf("range [%g,%g]: %d entries, want %d", lo, hi, len(got), want)
+	}
+}
+
+func TestBulkLoad(t *testing.T) {
+	tr := newTree(t)
+	const N = 50000
+	entries := make([]Entry, N)
+	for i := range entries {
+		entries[i] = Entry{Key: float64(i / 3), TID: uint64(i)}
+	}
+	if err := tr.BulkLoad(entries); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != N {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if tr.Height() < 2 {
+		t.Errorf("height = %d", tr.Height())
+	}
+	got, err := tr.ScanAll(100, 102)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 9 {
+		t.Errorf("scan = %d entries, want 9", len(got))
+	}
+	// Full scan is everything in order.
+	var prev Entry
+	n := 0
+	tr.Scan(0, float64(N), func(e Entry) bool {
+		if n > 0 && e.less(prev) {
+			t.Fatalf("out of order at %d: %v after %v", n, e, prev)
+		}
+		prev = e
+		n++
+		return true
+	})
+	if n != N {
+		t.Errorf("full scan = %d", n)
+	}
+	// Unsorted input rejected.
+	if err := tr.BulkLoad([]Entry{{Key: 2}, {Key: 1}}); err == nil {
+		t.Error("unsorted bulk load accepted")
+	}
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr := newTree(t)
+	if err := tr.BulkLoad(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := tr.ScanAll(-1e18, 1e18); len(got) != 0 {
+		t.Errorf("empty tree scan = %v", got)
+	}
+	// Insert after empty bulk load works.
+	if err := tr.Insert(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := tr.ScanAll(0, 2); len(got) != 1 {
+		t.Errorf("scan after insert = %v", got)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(filepath.Join(dir, "missing.bt"), 16); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// Property: after random inserts, every range scan matches a sorted
+// reference slice (the B+-tree ≡ sorted-map invariant).
+func TestScanMatchesReferenceQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dir := t.TempDir()
+		tr, err := Create(filepath.Join(dir, "ix.bt"), 32)
+		if err != nil {
+			return false
+		}
+		defer tr.Close()
+		n := rng.Intn(3000) + 1
+		ref := make([]Entry, 0, n)
+		for i := 0; i < n; i++ {
+			k := float64(rng.Intn(200))
+			if err := tr.Insert(k, uint64(i)); err != nil {
+				return false
+			}
+			ref = append(ref, Entry{Key: k, TID: uint64(i)})
+		}
+		sort.Slice(ref, func(a, b int) bool { return ref[a].less(ref[b]) })
+		for trial := 0; trial < 5; trial++ {
+			lo := float64(rng.Intn(220) - 10)
+			hi := lo + float64(rng.Intn(100))
+			got, err := tr.ScanAll(lo, hi)
+			if err != nil {
+				return false
+			}
+			want := map[uint64]bool{}
+			count := 0
+			for _, e := range ref {
+				if e.Key >= lo && e.Key <= hi {
+					want[e.TID] = true
+					count++
+				}
+			}
+			if len(got) != count {
+				t.Logf("seed %d: range [%g,%g] got %d want %d", seed, lo, hi, len(got), count)
+				return false
+			}
+			for _, e := range got {
+				if !want[e.TID] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	tr := newTree(t)
+	entries := make([]Entry, 10000)
+	for i := range entries {
+		entries[i] = Entry{Key: float64(i), TID: uint64(i)}
+	}
+	if err := tr.BulkLoad(entries); err != nil {
+		t.Fatal(err)
+	}
+	if tr.SizeBytes() < 10000*16 {
+		t.Errorf("SizeBytes = %d, implausibly small", tr.SizeBytes())
+	}
+}

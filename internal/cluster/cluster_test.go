@@ -1,0 +1,325 @@
+package cluster
+
+import (
+	"net"
+	"sort"
+	"strings"
+	"testing"
+
+	"datavirt/internal/core"
+	"datavirt/internal/gen"
+	"datavirt/internal/metadata"
+	"datavirt/internal/storm"
+	"datavirt/internal/table"
+)
+
+// startCluster generates a CLUSTER-layout IPARS dataset and launches
+// one node server per partition, returning a ready coordinator.
+func startCluster(t *testing.T, s gen.IparsSpec) (*Coordinator, gen.IparsSpec) {
+	t.Helper()
+	root := t.TempDir()
+	descPath, err := gen.WriteIpars(root, s, "CLUSTER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := metadata.ParseFile(descPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := map[string]string{}
+	for i := 0; i < s.Partitions; i++ {
+		// Each node gets its own service over the shared root (on a real
+		// cluster each node sees only its local disk; the resolver makes
+		// that irrelevant here).
+		svc, err := core.Open(descPath, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := svc.Nodes()[i]
+		node, err := StartNode(name, svc, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.Logf = t.Logf
+		t.Cleanup(func() { node.Close() })
+		addrs[name] = node.Addr()
+	}
+	coord, err := NewCoordinator(d, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord, s
+}
+
+func defaultSpec() gen.IparsSpec {
+	return gen.IparsSpec{
+		Realizations: 2, TimeSteps: 5, GridPoints: 24, Partitions: 3,
+		Attrs: 4, Seed: 33,
+	}
+}
+
+func TestDistributedFullScan(t *testing.T) {
+	coord, s := startCluster(t, defaultSpec())
+	rows, res, err := coord.CollectQuery("SELECT * FROM IparsData")
+	if err != nil {
+		t.Fatalf("CollectQuery: %v", err)
+	}
+	if int64(len(rows)) != s.IparsTotalRows() {
+		t.Errorf("rows = %d, want %d", len(rows), s.IparsTotalRows())
+	}
+	if res.Rows != s.IparsTotalRows() {
+		t.Errorf("trailer rows = %d", res.Rows)
+	}
+	// Work spread over all three nodes, equally (uniform partitions).
+	if len(res.PerNode) != 3 {
+		t.Fatalf("PerNode = %v", res.PerNode)
+	}
+	for n, c := range res.PerNode {
+		if c != s.IparsTotalRows()/3 {
+			t.Errorf("node %s produced %d rows", n, c)
+		}
+	}
+	if res.Stats.RowsScanned != s.IparsTotalRows() {
+		t.Errorf("scanned = %d", res.Stats.RowsScanned)
+	}
+}
+
+func TestDistributedMatchesLocal(t *testing.T) {
+	s := defaultSpec()
+	root := t.TempDir()
+	descPath, err := gen.WriteIpars(root, s, "CLUSTER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := core.Open(descPath, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, _ := startCluster(t, s)
+
+	for _, sql := range []string{
+		"SELECT * FROM IparsData WHERE TIME >= 2 AND TIME <= 3",
+		"SELECT SOIL, TIME FROM IparsData WHERE SGAS > 0.5 AND REL = 1",
+		"SELECT * FROM IparsData WHERE TIME > 100", // empty
+	} {
+		want, err := local.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := coord.CollectQuery(sql)
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%q: distributed %d rows, local %d", sql, len(got), len(want))
+		}
+		key := func(r table.Row) string {
+			return table.FormatRow(r)
+		}
+		a := make([]string, len(got))
+		b := make([]string, len(want))
+		for i := range got {
+			a[i] = key(got[i])
+			b[i] = key(want[i])
+		}
+		sort.Strings(a)
+		sort.Strings(b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%q: row %d differs:\n%s\n%s", sql, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestServerSidePartitioning(t *testing.T) {
+	coord, s := startCluster(t, defaultSpec())
+	sinks := []storm.Sink{&storm.SliceSink{}, &storm.SliceSink{}}
+	spec := storm.PartitionSpec{Scheme: storm.HashAttr, NumDests: 2, Attr: "TIME"}
+	res, err := coord.QueryPartitioned("SELECT TIME, SOIL FROM IparsData", spec, sinks)
+	if err != nil {
+		t.Fatalf("QueryPartitioned: %v", err)
+	}
+	n0 := len(sinks[0].(*storm.SliceSink).Rows)
+	n1 := len(sinks[1].(*storm.SliceSink).Rows)
+	if int64(n0+n1) != s.IparsTotalRows() || res.Rows != s.IparsTotalRows() {
+		t.Errorf("partitioned rows = %d + %d, want %d", n0, n1, s.IparsTotalRows())
+	}
+	if n0 == 0 || n1 == 0 {
+		t.Errorf("degenerate partitioning: %d/%d", n0, n1)
+	}
+	// Hash partitioning keeps equal TIME values on one destination.
+	seen := map[float64]int{}
+	for d, s := range sinks {
+		for _, r := range s.(*storm.SliceSink).Rows {
+			v := r[0].AsFloat()
+			if prev, ok := seen[v]; ok && prev != d {
+				t.Fatalf("TIME=%g appears on destinations %d and %d", v, prev, d)
+			}
+			seen[v] = d
+		}
+	}
+	// Mismatched sink count is rejected.
+	if _, err := coord.QueryPartitioned("SELECT TIME FROM IparsData", spec, sinks[:1]); err == nil {
+		t.Error("sink count mismatch accepted")
+	}
+}
+
+func TestRangePartitionedQuery(t *testing.T) {
+	coord, s := startCluster(t, defaultSpec())
+	sinks := []storm.Sink{&storm.SliceSink{}, &storm.SliceSink{}, &storm.SliceSink{}}
+	spec := storm.PartitionSpec{
+		Scheme: storm.RangeAttr, NumDests: 3, Attr: "TIME",
+		Bounds: []float64{2.5, 4.5},
+	}
+	if _, err := coord.QueryPartitioned("SELECT TIME FROM IparsData", spec, sinks); err != nil {
+		t.Fatal(err)
+	}
+	perTime := s.IparsTotalRows() / int64(s.TimeSteps)
+	wants := []int64{2 * perTime, 2 * perTime, 1 * perTime} // TIME 1-2 | 3-4 | 5
+	for d, sink := range sinks {
+		rows := sink.(*storm.SliceSink).Rows
+		if int64(len(rows)) != wants[d] {
+			t.Errorf("dest %d got %d rows, want %d", d, len(rows), wants[d])
+		}
+	}
+}
+
+func TestQueryErrorsPropagate(t *testing.T) {
+	coord, _ := startCluster(t, defaultSpec())
+	if _, _, err := coord.CollectQuery("SELECT NOPE FROM IparsData"); err == nil {
+		t.Error("bad column accepted")
+	}
+	if _, _, err := coord.CollectQuery("garbage"); err == nil {
+		t.Error("bad SQL accepted")
+	}
+}
+
+func TestCoordinatorMissingNode(t *testing.T) {
+	s := defaultSpec()
+	root := t.TempDir()
+	descPath, err := gen.WriteIpars(root, s, "CLUSTER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := metadata.ParseFile(descPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCoordinator(d, map[string]string{"node0": "127.0.0.1:1"}); err == nil {
+		t.Error("incomplete address table accepted")
+	}
+}
+
+func TestDeadNodeError(t *testing.T) {
+	s := defaultSpec()
+	root := t.TempDir()
+	descPath, err := gen.WriteIpars(root, s, "CLUSTER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := metadata.ParseFile(descPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point every node at a port nobody listens on.
+	addrs := map[string]string{}
+	for i := 0; i < s.Partitions; i++ {
+		addrs["node"+string(rune('0'+i))] = "127.0.0.1:1"
+	}
+	coord, err := NewCoordinator(d, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := coord.CollectQuery("SELECT TIME FROM IparsData"); err == nil {
+		t.Error("dead nodes accepted")
+	}
+}
+
+func TestNodeRejectsBadFrames(t *testing.T) {
+	s := defaultSpec()
+	root := t.TempDir()
+	descPath, err := gen.WriteIpars(root, s, "CLUSTER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := core.Open(descPath, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := StartNode("node0", svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.Logf = func(string, ...any) {}
+	defer node.Close()
+
+	// Garbage request JSON → 'E' frame.
+	conn, err := net.Dial("tcp", node.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(conn, frameQuery, []byte("{not json")); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readFrame(conn, nil)
+	if err != nil || typ != frameError {
+		t.Fatalf("frame = %q, %v", typ, err)
+	}
+	if !strings.Contains(string(payload), "bad request") {
+		t.Errorf("error = %s", payload)
+	}
+	conn.Close()
+
+	// Wrong protocol version.
+	conn2, err := net.Dial("tcp", node.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeJSONFrame(conn2, frameQuery, Request{Version: 99, SQL: "SELECT TIME FROM IparsData"}); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err = readFrame(conn2, nil)
+	if err != nil || typ != frameError || !strings.Contains(string(payload), "version") {
+		t.Fatalf("version check: %q %s %v", typ, payload, err)
+	}
+	conn2.Close()
+
+	// Wrong frame type first.
+	conn3, err := net.Dial("tcp", node.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeFrame(conn3, frameRows, []byte{})
+	conn3.Close()
+
+	// Node still serves after bad clients.
+	coordAddrs := map[string]string{"node0": node.Addr()}
+	_ = coordAddrs
+	if node.Name() != "node0" {
+		t.Error("Name wrong")
+	}
+}
+
+func TestNodeCloseIdempotent(t *testing.T) {
+	s := defaultSpec()
+	root := t.TempDir()
+	descPath, err := gen.WriteIpars(root, s, "CLUSTER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := core.Open(descPath, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := StartNode("node0", svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if err := node.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}

@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"datavirt/internal/core"
+	"datavirt/internal/extractor"
+	"datavirt/internal/metadata"
+	"datavirt/internal/sqlparser"
+	"datavirt/internal/storm"
+	"datavirt/internal/table"
+)
+
+// Coordinator is the client-side entry point of the distributed system:
+// it holds the descriptor (for planning and row decoding), knows the
+// address of every node server, fans each query out, and merges or
+// routes the returned tuple streams. It performs no file I/O.
+type Coordinator struct {
+	svc   *core.Service
+	addrs map[string]string // node name → host:port
+}
+
+// NewCoordinator plans against the descriptor and dispatches to the
+// given node address table. Every node named by the descriptor's
+// storage section must appear in addrs.
+func NewCoordinator(d *metadata.Descriptor, addrs map[string]string) (*Coordinator, error) {
+	svc, err := core.Compile(d, func(node, file string) (string, error) {
+		return "", fmt.Errorf("cluster: coordinator does not read data files")
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, node := range svc.Nodes() {
+		if _, ok := addrs[node]; !ok {
+			return nil, fmt.Errorf("cluster: no address for node %q", node)
+		}
+	}
+	return &Coordinator{svc: svc, addrs: addrs}, nil
+}
+
+// Schema returns the virtual table schema.
+func (c *Coordinator) Schema() interface{ Names() []string } { return c.svc.Schema() }
+
+// Result carries the merged outcome of a distributed query.
+type Result struct {
+	// Stats aggregates extraction statistics over all nodes.
+	Stats extractor.Stats
+	// Rows is the total tuple count transferred.
+	Rows int64
+	// PerNode maps node name → tuples produced there.
+	PerNode map[string]int64
+}
+
+// Query runs sql on every node and calls emit for each returned row
+// (from a single goroutine; the row is only valid during the call).
+// Columns follow the SELECT list.
+func (c *Coordinator) Query(sql string, emit func(row table.Row) error) (*Result, error) {
+	return c.run(sql, storm.PartitionSpec{}, func(dest int, row table.Row) error {
+		return emit(row)
+	})
+}
+
+// QueryPartitioned runs sql with server-side partition generation: each
+// node tags every tuple with its destination among spec.NumDests client
+// processors, and the coordinator routes tuples to the matching sink —
+// the data mover service.
+func (c *Coordinator) QueryPartitioned(sql string, spec storm.PartitionSpec, sinks []storm.Sink) (*Result, error) {
+	if spec.NumDests != len(sinks) {
+		return nil, fmt.Errorf("cluster: partition spec has %d destinations, got %d sinks",
+			spec.NumDests, len(sinks))
+	}
+	res, err := c.run(sql, spec, func(dest int, row table.Row) error {
+		if dest < 0 || dest >= len(sinks) {
+			return fmt.Errorf("cluster: destination %d out of range", dest)
+		}
+		return sinks[dest].Send(row)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range sinks {
+		if cerr := s.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return res, err
+}
+
+// CollectQuery runs sql and returns all rows (copied), in a
+// deterministic order only within each node's stream.
+func (c *Coordinator) CollectQuery(sql string) ([]table.Row, *Result, error) {
+	var rows []table.Row
+	res, err := c.Query(sql, func(r table.Row) error {
+		rows = append(rows, append(table.Row(nil), r...))
+		return nil
+	})
+	return rows, res, err
+}
+
+func (c *Coordinator) run(sql string, spec storm.PartitionSpec, deliver func(dest int, row table.Row) error) (*Result, error) {
+	// Validate and resolve the output schema locally before contacting
+	// any node; errors surface immediately and cheaply.
+	q, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	prep, err := c.svc.PrepareParsed(q)
+	if err != nil {
+		return nil, err
+	}
+	codec := table.NewCodec(prep.OutSchema)
+
+	nodes := c.svc.Nodes()
+	type nodeBatch struct {
+		node string
+		dest int
+		rows []table.Row
+	}
+	type nodeDone struct {
+		node    string
+		trailer Trailer
+		err     error
+	}
+	batchc := make(chan nodeBatch, len(nodes)*2)
+	donec := make(chan nodeDone, len(nodes))
+	var wg sync.WaitGroup
+
+	for _, node := range nodes {
+		wg.Add(1)
+		go func(node string) {
+			defer wg.Done()
+			tr, err := c.queryNode(node, sql, spec, codec, func(dest int, rows []table.Row) {
+				batchc <- nodeBatch{node: node, dest: dest, rows: rows}
+			})
+			donec <- nodeDone{node: node, trailer: tr, err: err}
+		}(node)
+	}
+	go func() {
+		wg.Wait()
+		close(batchc)
+	}()
+
+	res := &Result{PerNode: map[string]int64{}}
+	var firstErr error
+	for b := range batchc {
+		if firstErr != nil {
+			continue // drain
+		}
+		for _, r := range b.rows {
+			if err := deliver(b.dest, r); err != nil {
+				firstErr = err
+				break
+			}
+		}
+	}
+	for range nodes {
+		d := <-donec
+		if d.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: node %s: %w", d.node, d.err)
+		}
+		res.Stats.Add(d.trailer.Stats)
+		res.Rows += d.trailer.Rows
+		res.PerNode[d.node] = d.trailer.Rows
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// queryNode runs one node's leg of the query over a fresh connection.
+func (c *Coordinator) queryNode(node, sql string, spec storm.PartitionSpec,
+	codec *table.Codec, onBatch func(dest int, rows []table.Row)) (Trailer, error) {
+
+	conn, err := net.Dial("tcp", c.addrs[node])
+	if err != nil {
+		return Trailer{}, err
+	}
+	defer conn.Close()
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	if err := writeJSONFrame(bw, frameQuery, Request{
+		Version:   protocolVersion,
+		SQL:       sql,
+		Partition: spec,
+		Parallel:  true,
+	}); err != nil {
+		return Trailer{}, err
+	}
+	if err := bw.Flush(); err != nil {
+		return Trailer{}, err
+	}
+
+	br := bufio.NewReaderSize(conn, 1<<16)
+	var buf []byte
+	for {
+		typ, payload, err := readFrame(br, buf)
+		if err != nil {
+			return Trailer{}, err
+		}
+		buf = payload
+		switch typ {
+		case frameRows:
+			if len(payload) < 8 {
+				return Trailer{}, fmt.Errorf("cluster: short row batch")
+			}
+			dest := int(binary.LittleEndian.Uint32(payload[0:]))
+			count := int(binary.LittleEndian.Uint32(payload[4:]))
+			body := payload[8:]
+			if count < 0 || len(body) != count*codec.RowBytes() {
+				return Trailer{}, fmt.Errorf("cluster: row batch of %d bytes does not hold %d rows",
+					len(body), count)
+			}
+			rows, err := codec.DecodeAll(body)
+			if err != nil {
+				return Trailer{}, err
+			}
+			onBatch(dest, rows)
+		case frameDone:
+			var tr Trailer
+			if err := json.Unmarshal(payload, &tr); err != nil {
+				return Trailer{}, fmt.Errorf("cluster: bad trailer: %w", err)
+			}
+			return tr, nil
+		case frameError:
+			return Trailer{}, fmt.Errorf("%s", payload)
+		default:
+			return Trailer{}, fmt.Errorf("cluster: unexpected frame %q", typ)
+		}
+	}
+}
+
+// Nodes returns the node names the coordinator dispatches to, sorted.
+func (c *Coordinator) Nodes() []string {
+	out := append([]string(nil), c.svc.Nodes()...)
+	sort.Strings(out)
+	return out
+}

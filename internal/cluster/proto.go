@@ -1,0 +1,108 @@
+// Package cluster executes virtual-table queries across the nodes of a
+// (simulated) cluster: one node server per cluster node, each owning the
+// files whose storage directories name it, and a coordinator that fans a
+// query out, merges the tuple streams, and optionally routes tuples to
+// client processors using the partition generated at the server side —
+// the deployment the paper evaluates on 1–16 nodes.
+//
+// The wire protocol is length-prefixed binary frames over TCP:
+//
+//	frame   = len uint32 (LE) | type byte | payload
+//	'Q'     = query request (JSON header)
+//	'R'     = row batch: destID uint32 | rowCount uint32 | rows (codec)
+//	'D'     = done: JSON stats trailer
+//	'E'     = error: UTF-8 message
+//
+// Rows travel in the fixed-width schema codec of internal/table; both
+// ends derive the row layout from the query's SELECT list against the
+// shared descriptor.
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"datavirt/internal/extractor"
+	"datavirt/internal/storm"
+)
+
+const (
+	frameQuery = 'Q'
+	frameRows  = 'R'
+	frameDone  = 'D'
+	frameError = 'E'
+
+	// maxFrame guards against corrupt length prefixes.
+	maxFrame = 64 << 20
+
+	// protocolVersion is checked at handshake.
+	protocolVersion = 1
+
+	// batchRows is the number of rows per 'R' frame.
+	batchRows = 512
+)
+
+// Request is the JSON header of a 'Q' frame.
+type Request struct {
+	Version int
+	// SQL is the query text.
+	SQL string
+	// Partition describes the client program's distribution; the node
+	// computes each tuple's destination (partition generation at the
+	// server). A zero NumDests means a single unpartitioned stream.
+	Partition storm.PartitionSpec
+	// Parallel asks the node to extract with a worker pool.
+	Parallel bool
+}
+
+// Trailer is the JSON payload of a 'D' frame.
+type Trailer struct {
+	Stats extractor.Stats
+	Rows  int64
+}
+
+// writeFrame writes one frame.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	if len(payload) > maxFrame {
+		return fmt.Errorf("cluster: frame of %d bytes exceeds limit", len(payload))
+	}
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, reusing buf when it has capacity.
+func readFrame(r io.Reader, buf []byte) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("cluster: frame length %d exceeds limit", n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, fmt.Errorf("cluster: short frame: %w", err)
+	}
+	return hdr[4], buf, nil
+}
+
+// writeJSONFrame marshals v into a frame.
+func writeJSONFrame(w io.Writer, typ byte, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return writeFrame(w, typ, b)
+}

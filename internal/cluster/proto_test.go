@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello frames")
+	if err := writeFrame(&buf, frameRows, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := readFrame(&buf, nil)
+	if err != nil || typ != frameRows || string(got) != string(payload) {
+		t.Fatalf("round trip: %q %q %v", typ, got, err)
+	}
+}
+
+func TestFrameBufferReuse(t *testing.T) {
+	var buf bytes.Buffer
+	writeFrame(&buf, frameRows, []byte("aaaa")) //nolint:errcheck
+	writeFrame(&buf, frameDone, []byte("bb"))   //nolint:errcheck
+	scratch := make([]byte, 16)
+	_, p1, err := readFrame(&buf, scratch)
+	if err != nil || string(p1) != "aaaa" {
+		t.Fatal(err)
+	}
+	_, p2, err := readFrame(&buf, p1)
+	if err != nil || string(p2) != "bb" {
+		t.Fatalf("second frame: %q %v", p2, err)
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, frameRows, make([]byte, maxFrame+1)); err == nil {
+		t.Error("oversized write accepted")
+	}
+	// A corrupt length prefix is rejected before allocation.
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], maxFrame+1)
+	hdr[4] = frameRows
+	if _, _, err := readFrame(bytes.NewReader(hdr[:]), nil); err == nil ||
+		!strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("corrupt length: %v", err)
+	}
+	// Truncated payload.
+	var short bytes.Buffer
+	binary.LittleEndian.PutUint32(hdr[:4], 100)
+	short.Write(hdr[:])
+	short.WriteString("only a little")
+	if _, _, err := readFrame(&short, nil); err == nil {
+		t.Error("short frame accepted")
+	}
+}

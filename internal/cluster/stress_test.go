@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+
+	"datavirt/internal/core"
+	"datavirt/internal/gen"
+	"datavirt/internal/metadata"
+	"datavirt/internal/table"
+)
+
+// TestConcurrentQueries hammers one cluster with parallel clients; each
+// must see a complete, private result stream.
+func TestConcurrentQueries(t *testing.T) {
+	coord, s := startCluster(t, defaultSpec())
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	counts := make([]int64, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rows, _, err := coord.CollectQuery("SELECT TIME, SOIL FROM IparsData WHERE REL = 0")
+			errs[c] = err
+			counts[c] = int64(len(rows))
+		}(c)
+	}
+	wg.Wait()
+	want := s.IparsTotalRows() / int64(s.Realizations)
+	for c := 0; c < clients; c++ {
+		if errs[c] != nil {
+			t.Fatalf("client %d: %v", c, errs[c])
+		}
+		if counts[c] != want {
+			t.Errorf("client %d: %d rows, want %d", c, counts[c], want)
+		}
+	}
+}
+
+// TestPreparedPlanCache confirms repeated remote queries reuse the
+// node-side plan and that the cache stays bounded.
+func TestPreparedPlanCache(t *testing.T) {
+	spec := gen.IparsSpec{
+		Realizations: 1, TimeSteps: 4, GridPoints: 8, Partitions: 1,
+		Attrs: 2, Seed: 8,
+	}
+	root := t.TempDir()
+	descPath, err := gen.WriteIpars(root, spec, "CLUSTER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := metadata.ParseFile(descPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := core.Open(descPath, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := StartNode("node0", svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	coord, err := NewCoordinator(d, map[string]string{"node0": node.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, _, err := coord.CollectQuery("SELECT TIME FROM IparsData WHERE TIME = 2"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := node.PreparedCacheLen(); got != 1 {
+		t.Errorf("cache holds %d plans after 5 identical queries, want 1", got)
+	}
+	// Distinct queries beyond the cap evict FIFO-style without error.
+	for i := 0; i < prepCacheCap+10; i++ {
+		sql := "SELECT TIME FROM IparsData WHERE TIME = " + string(rune('0'+i%4))
+		if _, _, err := coord.CollectQuery(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := node.PreparedCacheLen(); got > prepCacheCap {
+		t.Errorf("cache grew to %d, cap %d", got, prepCacheCap)
+	}
+}
+
+// TestLargeStreamCrossesBatches uses a dataset big enough that every
+// node sends many row batches; counts must be exact.
+func TestLargeStreamCrossesBatches(t *testing.T) {
+	spec := gen.IparsSpec{
+		Realizations: 1, TimeSteps: 20, GridPoints: 600, Partitions: 2,
+		Attrs: 2, Seed: 5,
+	}
+	coord, _ := startCluster(t, spec)
+	// 12000 rows per query >> batchRows (512) per node.
+	rows, res, err := coord.CollectQuery("SELECT * FROM IparsData")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(rows)) != spec.IparsTotalRows() || res.Rows != spec.IparsTotalRows() {
+		t.Errorf("rows = %d / trailer %d, want %d", len(rows), res.Rows, spec.IparsTotalRows())
+	}
+}
+
+// TestNodeDiesMidStream kills one node server while a large query is
+// streaming; the coordinator must report an error, not silently return
+// a truncated result.
+func TestNodeDiesMidStream(t *testing.T) {
+	// Big enough that no node's response fits in TCP socket buffers, so
+	// killing the servers mid-stream cannot race with completion.
+	spec := gen.IparsSpec{
+		Realizations: 2, TimeSteps: 40, GridPoints: 3000, Partitions: 3,
+		Attrs: 17, Seed: 6,
+	}
+	root := t.TempDir()
+	descPath, err := gen.WriteIpars(root, spec, "CLUSTER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := metadata.ParseFile(descPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := map[string]string{}
+	var victims []*Node
+	for i := 0; i < spec.Partitions; i++ {
+		svc, err := core.Open(descPath, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := svc.Nodes()[i]
+		node, err := StartNode(name, svc, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.Logf = func(string, ...any) {}
+		t.Cleanup(func() { node.Close() })
+		addrs[name] = node.Addr()
+		victims = append(victims, node)
+	}
+	coord, err := NewCoordinator(d, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill every node server once the first rows arrive.
+	killed := false
+	var mu sync.Mutex
+	_, err = coord.Query("SELECT * FROM IparsData", func(r table.Row) error {
+		mu.Lock()
+		if !killed {
+			killed = true
+			for _, v := range victims {
+				v.Close()
+			}
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err == nil {
+		t.Error("coordinator returned success despite dead nodes")
+	}
+}

@@ -1,0 +1,343 @@
+package codegen
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"datavirt/internal/afc"
+	"datavirt/internal/codegen/genipars"
+	"datavirt/internal/codegen/genpinned"
+	"datavirt/internal/codegen/gentitan"
+	"datavirt/internal/gen"
+	"datavirt/internal/index"
+	"datavirt/internal/metadata"
+	"datavirt/internal/query"
+	"datavirt/internal/sqlparser"
+)
+
+func loadPlan(t *testing.T, descFile string) *afc.Plan {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", descFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := metadata.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := afc.Compile(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestEmitIsGolden regenerates the checked-in fixture sources and
+// requires byte identity — any change to the generator or the planner's
+// analysis shows up as a diff here.
+func TestEmitIsGolden(t *testing.T) {
+	cases := []struct {
+		desc, pkg, fixture string
+	}{
+		{"ipars_fixture.dvd", "genipars", "genipars/ipars_gen.go"},
+		{"titan_fixture.dvd", "gentitan", "gentitan/titan_gen.go"},
+		{"pinned_fixture.dvd", "genpinned", "genpinned/pinned_gen.go"},
+	}
+	for _, c := range cases {
+		p := loadPlan(t, c.desc)
+		got, err := Emit(p, c.pkg)
+		if err != nil {
+			t.Fatalf("%s: Emit: %v", c.desc, err)
+		}
+		want, err := os.ReadFile(c.fixture)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: emitted source differs from checked-in fixture %s;\n"+
+				"regenerate with: go run ./cmd/dvcodegen -desc internal/codegen/testdata/%s -pkg %s -o internal/codegen/%s",
+				c.desc, c.fixture, c.desc, c.pkg, c.fixture)
+		}
+	}
+}
+
+// TestGeneratedIparsMatchesPlanner runs the compiled-in generated index
+// function against the generic planner for the full query space of the
+// fixture: both must produce identical AFC lists.
+func TestGeneratedIparsMatchesPlanner(t *testing.T) {
+	p := loadPlan(t, "ipars_fixture.dvd")
+	allAttrs := p.Schema.Names()
+	queries := []string{
+		"SELECT * FROM IparsData",
+		"SELECT * FROM IparsData WHERE REL = 1",
+		"SELECT * FROM IparsData WHERE TIME >= 2 AND TIME <= 3",
+		"SELECT * FROM IparsData WHERE REL IN (0) AND TIME = 5",
+		"SELECT * FROM IparsData WHERE TIME > 99",
+		"SELECT * FROM IparsData WHERE SOIL > 0.5",
+		"SELECT * FROM IparsData WHERE TIME > 3 AND TIME < 2",
+	}
+	for _, sql := range queries {
+		q := sqlparser.MustParse(sql)
+		ranges := query.ExtractRanges(q.Where)
+		want, err := p.Generate(ranges, allAttrs, nil)
+		if err != nil {
+			t.Fatalf("%s: Generate: %v", sql, err)
+		}
+		got := genipars.Index(ranges)
+		if len(got) != len(want) {
+			t.Fatalf("%s: generated %d AFCs, planner %d", sql, len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("%s: AFC %d differs:\ngen:  %s\nplan: %s", sql, i, got[i].String(), want[i].String())
+			}
+		}
+	}
+}
+
+func TestGeneratedTitanMatchesPlanner(t *testing.T) {
+	// Materialize the fixture's dataset so real index files exist.
+	spec := gen.TitanSpec{Points: 100, XMax: 100, YMax: 100, ZMax: 10,
+		TilesX: 2, TilesY: 2, TilesZ: 1, Nodes: 1, Seed: 1}
+	root := t.TempDir()
+	if _, err := gen.WriteTitan(root, spec); err != nil {
+		t.Fatal(err)
+	}
+	p := loadPlan(t, "titan_fixture.dvd")
+	load := func(node, path string) (*index.ChunkIndex, error) {
+		return index.ReadFile(filepath.Join(root, node, filepath.FromSlash(path)))
+	}
+	planLoader := func(fi metadata.FileInstance) (*index.ChunkIndex, error) {
+		return load(fi.Node(), fi.Path())
+	}
+	allAttrs := p.Schema.Names()
+	for _, sql := range []string{
+		"SELECT * FROM TitanData",
+		"SELECT * FROM TitanData WHERE X <= 40 AND Y <= 40",
+		"SELECT * FROM TitanData WHERE X > 1000",
+		"SELECT * FROM TitanData WHERE X > 5 AND X < 2",
+	} {
+		q := sqlparser.MustParse(sql)
+		ranges := query.ExtractRanges(q.Where)
+		want, err := p.Generate(ranges, allAttrs, planLoader)
+		if err != nil {
+			t.Fatalf("%s: Generate: %v", sql, err)
+		}
+		got, err := gentitan.Index(ranges, load)
+		if err != nil {
+			t.Fatalf("%s: generated Index: %v", sql, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: generated %d AFCs, planner %d", sql, len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("%s: AFC %d differs:\ngen:  %s\nplan: %s", sql, i, got[i].String(), want[i].String())
+			}
+		}
+	}
+	// The generated schema matches the plan's.
+	if gentitan.Schema().String() != p.Schema.String() {
+		t.Error("generated Schema() differs")
+	}
+	if genipars.Schema().NumAttrs() != 8 {
+		t.Error("genipars schema wrong")
+	}
+}
+
+// TestGeneratedPinnedMatchesPlanner exercises the pinned-dimension
+// case: one leaf loops over I while the other stores one file per I
+// value, so every group joins at a single pinned I. The generated code
+// must agree with the planner on every query.
+func TestGeneratedPinnedMatchesPlanner(t *testing.T) {
+	p := loadPlan(t, "pinned_fixture.dvd")
+	allAttrs := p.Schema.Names()
+	for _, sql := range []string{
+		"SELECT * FROM PinData",
+		"SELECT * FROM PinData WHERE I = 3",
+		"SELECT * FROM PinData WHERE I >= 2 AND I <= 4 AND J = 1",
+		"SELECT * FROM PinData WHERE J > 1",
+		"SELECT * FROM PinData WHERE I > 99",
+	} {
+		q := sqlparser.MustParse(sql)
+		ranges := query.ExtractRanges(q.Where)
+		want, err := p.Generate(ranges, allAttrs, nil)
+		if err != nil {
+			t.Fatalf("%s: Generate: %v", sql, err)
+		}
+		got := genpinned.Index(ranges)
+		if len(got) != len(want) {
+			t.Fatalf("%s: generated %d AFCs, planner %d", sql, len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("%s: AFC %d differs:\ngen:  %s\nplan: %s", sql, i, got[i].String(), want[i].String())
+			}
+		}
+	}
+	// Sanity: the full scan joins 6 pinned groups × 1 axis run.
+	full := genpinned.Index(query.Ranges{})
+	if len(full) != 6 {
+		t.Errorf("full scan AFCs = %d, want 6", len(full))
+	}
+	var rows int64
+	for _, a := range full {
+		rows += a.NumRows
+	}
+	if rows != 6*4 {
+		t.Errorf("full scan rows = %d, want 24", rows)
+	}
+}
+
+// TestEmitPinnedAxis emits code for a layout whose row axis itself is
+// pinned by a file binding; the generated chunk must be a single row
+// with constant RowDims.
+func TestEmitPinnedAxis(t *testing.T) {
+	src := `
+[S]
+J = int
+A = float
+B = double
+[AxData]
+DatasetDescription = S
+DIR[0] = node0/rand
+Dataset "AxData" {
+  DATATYPE { S }
+  DATAINDEX { J }
+  Dataset "leaf0" {
+    DATASPACE { LOOP J 0:3:1 { A } }
+    DATA { DIR[0]/f0 }
+  }
+  Dataset "leaf1" {
+    DATASPACE { B }
+    DATA { DIR[0]/f1.$J J = 0:3:1 }
+  }
+}
+`
+	d, err := metadata.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := afc.Compile(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := Emit(p, "genax")
+	if err != nil {
+		t.Fatalf("Emit: %v", err)
+	}
+	for _, want := range []string{
+		"NumRows: int64(1)",                  // pinned axis: one row per group
+		`RowDims: []afc.RowDim{{Name: "J"`,   // constant row-dim
+		`ranges.Get("J").Contains(3)`,        // binding guard per group
+		`File: "rand/f0", Offset: int64(12)`, // folded pinned offset (J=3)
+	} {
+		if !strings.Contains(code, want) {
+			t.Errorf("emitted code missing %q:\n%s", want, code)
+		}
+	}
+}
+
+// TestEmitByteOrder verifies BYTEORDER { BIG } reaches the emitted
+// segment literals.
+func TestEmitByteOrder(t *testing.T) {
+	src := `
+[S]
+T = int
+A = float
+[D]
+DatasetDescription = S
+DIR[0] = n0/d
+Dataset "d" {
+  DATATYPE { S }
+  BYTEORDER { BIG }
+  DATASPACE { LOOP T 0:3:1 { A } }
+  DATA { DIR[0]/f }
+}
+`
+	d, err := metadata.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := afc.Compile(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := Emit(p, "genbig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(code, "BigEndian: true") {
+		t.Errorf("emitted code lost byte order:\n%s", code)
+	}
+}
+
+// TestEmitAllIparsLayouts ensures the emitter handles every layout the
+// generator can produce (compiling the output via go/format already
+// happened inside Emit).
+func TestEmitAllIparsLayouts(t *testing.T) {
+	spec := gen.IparsSpec{Realizations: 2, TimeSteps: 3, GridPoints: 8, Partitions: 2, Attrs: 4, Seed: 2}
+	for _, l := range gen.IparsLayouts() {
+		src, err := gen.IparsDescriptor(spec, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := metadata.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := afc.Compile(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, err := Emit(p, "gen"+strings.ToLower(l))
+		if err != nil {
+			t.Fatalf("%s: Emit: %v", l, err)
+		}
+		if !strings.Contains(code, "func Index(ranges query.Ranges)") {
+			t.Errorf("%s: no Index function emitted", l)
+		}
+		if !strings.Contains(code, "DO NOT EDIT") {
+			t.Errorf("%s: missing generated-code marker", l)
+		}
+	}
+}
+
+// TestGeneratedRowDims exercises a layout whose row axis is a schema
+// attribute, so the generated code must synthesize RowDims.
+func TestGeneratedRowDims(t *testing.T) {
+	src := `
+[S]
+T = int
+A = float
+[D]
+DatasetDescription = S
+DIR[0] = n0/d
+Dataset "d" {
+  DATATYPE { S }
+  DATASPACE { LOOP T 1:10:1 { A } }
+  DATA { DIR[0]/f }
+}
+`
+	d, err := metadata.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := afc.Compile(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := Emit(p, "genrd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(code, "RowDims:") || !strings.Contains(code, `afc.RowDim{{Name: "T"`) {
+		t.Errorf("no RowDims in emitted code:\n%s", code)
+	}
+	if !strings.Contains(code, "axisRun.Count()") {
+		t.Errorf("axis clipping missing:\n%s", code)
+	}
+}

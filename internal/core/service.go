@@ -1,0 +1,334 @@
+// Package core is the public engine of datavirt: the automatic data
+// virtualization tool of Weng et al. (HPDC 2004). It ties the pieces
+// together in the paper's two-phase design:
+//
+//  1. Open/Compile — performed once per descriptor: parse the meta-data,
+//     enumerate and instantiate every file layout, and build the
+//     specialized index and extraction machinery (the run-time analogue
+//     of the paper's generated code; internal/codegen emits equivalent
+//     Go source).
+//  2. Query — performed per query with no code generation or meta-data
+//     reprocessing: parse SQL, extract per-attribute ranges, compute
+//     aligned file chunks via the index functions, extract, filter,
+//     and project rows of the virtual table.
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"datavirt/internal/afc"
+	"datavirt/internal/extractor"
+	"datavirt/internal/filter"
+	"datavirt/internal/gen"
+	"datavirt/internal/index"
+	"datavirt/internal/metadata"
+	"datavirt/internal/query"
+	"datavirt/internal/schema"
+	"datavirt/internal/sqlparser"
+	"datavirt/internal/table"
+)
+
+// Service is a compiled data service for one virtualized dataset.
+// It is safe for concurrent queries.
+type Service struct {
+	desc     *metadata.Descriptor
+	plan     *afc.Plan
+	registry *filter.Registry
+	resolver extractor.Resolver
+
+	mu       sync.Mutex
+	idxCache map[string]*index.ChunkIndex
+}
+
+// Open loads the descriptor at descPath and compiles a service whose
+// data files live under dataRoot in the canonical layout
+// dataRoot/<node>/<dir-path>/<file>.
+func Open(descPath, dataRoot string) (*Service, error) {
+	d, err := metadata.ParseFile(descPath)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(d, NodeResolver(dataRoot))
+}
+
+// NodeResolver resolves segment files under root/<node>/<file>.
+func NodeResolver(root string) extractor.Resolver {
+	return func(node, file string) (string, error) {
+		return filepath.Join(gen.NodePath(root, node), filepath.FromSlash(file)), nil
+	}
+}
+
+// Compile builds a service from a parsed descriptor and a file
+// resolver. All meta-data analysis happens here, before any query.
+func Compile(d *metadata.Descriptor, resolver extractor.Resolver) (*Service, error) {
+	plan, err := afc.Compile(d)
+	if err != nil {
+		return nil, err
+	}
+	return &Service{
+		desc:     d,
+		plan:     plan,
+		registry: filter.NewRegistry(),
+		resolver: resolver,
+		idxCache: make(map[string]*index.ChunkIndex),
+	}, nil
+}
+
+// Descriptor returns the parsed descriptor.
+func (s *Service) Descriptor() *metadata.Descriptor { return s.desc }
+
+// Plan returns the compiled AFC plan.
+func (s *Service) Plan() *afc.Plan { return s.plan }
+
+// Schema returns the virtual table's schema.
+func (s *Service) Schema() *schema.Schema { return s.plan.Schema }
+
+// TableName returns the virtual table's name (the storage section name).
+func (s *Service) TableName() string { return s.desc.Storage.DatasetName }
+
+// Filters returns the service's filter registry; callers may register
+// additional user-defined filters before querying.
+func (s *Service) Filters() *filter.Registry { return s.registry }
+
+// loadIndex memoizes chunk-index files across queries.
+func (s *Service) loadIndex(fi metadata.FileInstance) (*index.ChunkIndex, error) {
+	key := fi.Node() + "\x00" + fi.Path()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ix, ok := s.idxCache[key]; ok {
+		return ix, nil
+	}
+	path, err := s.resolver(fi.Node(), fi.Path())
+	if err != nil {
+		return nil, err
+	}
+	ix, err := index.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s.idxCache[key] = ix
+	return ix, nil
+}
+
+// Prepared is a planned query: SQL resolved against the schema, ranges
+// extracted, predicate compiled, and aligned file chunks computed.
+type Prepared struct {
+	svc *Service
+	// Query is the parsed statement.
+	Query *sqlparser.Query
+	// Cols are the output column names (SELECT list, * expanded).
+	Cols []string
+	// OutSchema is the schema of emitted rows.
+	OutSchema *schema.Schema
+	// Ranges are the per-attribute constraint sets driving the index.
+	Ranges query.Ranges
+	// AFCs are the aligned file chunks the query must read.
+	AFCs []afc.AFC
+
+	work    []schema.Attribute
+	workIdx map[string]int
+	pred    query.Predicate
+	project []int // work index per output column
+}
+
+// Prepare parses, validates and plans a SQL query.
+func (s *Service) Prepare(sql string) (*Prepared, error) {
+	q, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.PrepareParsed(q)
+}
+
+// PrepareParsed plans an already-parsed query.
+func (s *Service) PrepareParsed(q *sqlparser.Query) (*Prepared, error) {
+	sch := s.Schema()
+	if q.From != s.TableName() && q.From != sch.Name() {
+		return nil, fmt.Errorf("core: unknown table %q (service provides %q)", q.From, s.TableName())
+	}
+	cols, err := query.Validate(q, sch, s.registry)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{svc: s, Query: q, Cols: cols}
+
+	// Working row layout: every attribute the predicate or projection
+	// touches, in schema order.
+	neededSet := map[string]bool{}
+	for _, c := range cols {
+		neededSet[c] = true
+	}
+	for _, c := range sqlparser.ExprColumns(q.Where) {
+		neededSet[c] = true
+	}
+	p.workIdx = map[string]int{}
+	var neededNames []string
+	for _, a := range sch.Attrs() {
+		if neededSet[a.Name] {
+			p.workIdx[a.Name] = len(p.work)
+			p.work = append(p.work, a)
+			neededNames = append(neededNames, a.Name)
+		}
+	}
+	p.OutSchema, err = sch.Project(cols)
+	if err != nil {
+		return nil, err
+	}
+	p.project = make([]int, len(cols))
+	for i, c := range cols {
+		p.project[i] = p.workIdx[c]
+	}
+
+	p.Ranges = query.ExtractRanges(q.Where)
+	p.pred, err = query.CompilePredicate(q.Where, func(name string) (int, bool) {
+		i, ok := p.workIdx[name]
+		return i, ok
+	}, s.registry)
+	if err != nil {
+		return nil, err
+	}
+	p.AFCs, err = s.plan.Generate(p.Ranges, neededNames, s.loadIndex)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Options tune query execution.
+type Options struct {
+	// Parallel extracts AFCs with a worker pool.
+	Parallel bool
+	// Workers bounds the pool (0 = default).
+	Workers int
+	// NodeFilter restricts execution to AFCs whose segments all live on
+	// the given node (used by cluster node servers). Empty = all.
+	NodeFilter string
+	// BlockBytes bounds per-segment read buffers.
+	BlockBytes int
+	// Coalesce merges contiguous aligned file chunks before extraction
+	// (see afc.Coalesce), trading chunk count for larger reads.
+	Coalesce bool
+}
+
+// Run executes the prepared query, emitting projected rows. The emitted
+// slice is reused; copy to retain.
+func (p *Prepared) Run(opt Options, emit func(row table.Row) error) (extractor.Stats, error) {
+	afcs := p.AFCs
+	if opt.NodeFilter != "" {
+		afcs = FilterByNode(afcs, opt.NodeFilter)
+	}
+	if opt.Coalesce {
+		afcs = afc.Coalesce(afcs)
+	}
+	inner := emit
+	if !p.identityProjection() {
+		out := make(table.Row, len(p.Cols))
+		inner = func(row table.Row) error {
+			for i, wi := range p.project {
+				out[i] = row[wi]
+			}
+			return emit(out)
+		}
+	}
+	xopt := extractor.Options{
+		Cols: p.work, Pred: p.pred,
+		BlockBytes: opt.BlockBytes, Workers: opt.Workers,
+	}
+	if opt.Parallel {
+		return extractor.RunParallel(afcs, p.svc.resolver, xopt, inner)
+	}
+	return extractor.Run(afcs, p.svc.resolver, xopt, inner)
+}
+
+// identityProjection reports whether the working row already is the
+// output row (SELECT * or a projection matching the working order), in
+// which case the per-row copy is skipped.
+func (p *Prepared) identityProjection() bool {
+	if len(p.project) != len(p.work) {
+		return false
+	}
+	for i, wi := range p.project {
+		if wi != i {
+			return false
+		}
+	}
+	return true
+}
+
+// Collect runs the query and returns all rows (copied).
+func (p *Prepared) Collect(opt Options) ([]table.Row, extractor.Stats, error) {
+	var rows []table.Row
+	stats, err := p.Run(opt, func(r table.Row) error {
+		rows = append(rows, append(table.Row(nil), r...))
+		return nil
+	})
+	return rows, stats, err
+}
+
+// Query is the one-call convenience: prepare, run sequentially, collect.
+func (s *Service) Query(sql string) ([]table.Row, error) {
+	p, err := s.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	rows, _, err := p.Collect(Options{})
+	return rows, err
+}
+
+// FilterByNode keeps the AFCs homed on node: every segment must live
+// there, and AFCs without segments (projections of purely implicit
+// attributes) belong to their recorded home node, so each chunk is
+// served by exactly one node across the cluster.
+func FilterByNode(afcs []afc.AFC, node string) []afc.AFC {
+	var out []afc.AFC
+	for _, a := range afcs {
+		if a.Node != node {
+			continue
+		}
+		all := true
+		for _, seg := range a.Segments {
+			if seg.Node != node {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// SplitByNode partitions AFCs by the node holding them, failing on any
+// AFC whose segments span nodes (such chunks cannot be dispatched to a
+// single node server; co-locate aligned files when distributing data).
+func SplitByNode(afcs []afc.AFC) (map[string][]afc.AFC, error) {
+	out := map[string][]afc.AFC{}
+	for _, a := range afcs {
+		node := a.Node
+		for _, seg := range a.Segments {
+			if seg.Node != node {
+				return nil, fmt.Errorf("core: aligned file chunk spans nodes %s and %s: %s",
+					node, seg.Node, a.String())
+			}
+		}
+		out[node] = append(out[node], a)
+	}
+	return out, nil
+}
+
+// Nodes returns the distinct node names of the service's storage
+// directories, in DIR order.
+func (s *Service) Nodes() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, d := range s.desc.Storage.Dirs {
+		if !seen[d.Node] {
+			seen[d.Node] = true
+			out = append(out, d.Node)
+		}
+	}
+	return out
+}

@@ -1,0 +1,514 @@
+// Package extractor implements the runtime half of the generated
+// extraction functions: given the aligned file chunks computed by
+// internal/afc, it reads the named byte regions, assembles rows of the
+// virtual table (payload attributes decoded from file bytes, implicit
+// attributes supplied from the AFC, row-axis attributes synthesized),
+// applies the residual WHERE predicate, and emits the surviving rows.
+//
+// "By reading the m files simultaneously, with Num_Bytes_i bytes from
+// the file File_i, we create one row of the table." (paper §4)
+package extractor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"sync"
+
+	"datavirt/internal/afc"
+	"datavirt/internal/query"
+	"datavirt/internal/schema"
+	"datavirt/internal/table"
+)
+
+// Resolver maps a (node, file) pair from an AFC segment to a local
+// filesystem path. Single-node deployments ignore node; the cluster
+// node server restricts it to its own name.
+type Resolver func(node, file string) (string, error)
+
+// DirResolver resolves every file under a single root directory,
+// ignoring the node name.
+func DirResolver(root string) Resolver {
+	return func(node, file string) (string, error) {
+		return root + "/" + file, nil
+	}
+}
+
+// Stats accumulates extraction counters.
+type Stats struct {
+	AFCs        int
+	RowsScanned int64
+	RowsEmitted int64
+	BytesRead   int64
+}
+
+// Add merges other run's counters into s.
+func (s *Stats) Add(o Stats) {
+	s.AFCs += o.AFCs
+	s.RowsScanned += o.RowsScanned
+	s.RowsEmitted += o.RowsEmitted
+	s.BytesRead += o.BytesRead
+}
+
+// EmitFunc receives each surviving row. The slice is reused between
+// calls; implementations must copy values they retain.
+type EmitFunc func(row table.Row) error
+
+// Options configure an extraction run.
+type Options struct {
+	// Cols is the working row layout: every attribute the predicate or
+	// the final projection needs, in output order.
+	Cols []schema.Attribute
+	// Pred filters rows; nil accepts everything.
+	Pred query.Predicate
+	// BlockBytes bounds the I/O buffer per segment (default 1 MiB).
+	BlockBytes int
+	// Workers sets the parallelism of RunParallel (default GOMAXPROCS
+	// capped at 8).
+	Workers int
+}
+
+const defaultBlockBytes = 1 << 20
+
+// fileCache shares open read-only file handles across AFCs of one run.
+type fileCache struct {
+	mu       sync.Mutex
+	resolver Resolver
+	files    map[string]*os.File
+}
+
+func newFileCache(r Resolver) *fileCache {
+	return &fileCache{resolver: r, files: make(map[string]*os.File)}
+}
+
+func (c *fileCache) get(node, file string) (*os.File, error) {
+	key := node + "\x00" + file
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.files[key]; ok {
+		return f, nil
+	}
+	path, err := c.resolver(node, file)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("extractor: %w", err)
+	}
+	c.files[key] = f
+	return f, nil
+}
+
+func (c *fileCache) closeAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, f := range c.files {
+		f.Close()
+	}
+	c.files = make(map[string]*os.File)
+}
+
+// Run extracts the AFCs sequentially, calling emit for each surviving
+// row, and returns run statistics.
+func Run(afcs []afc.AFC, resolver Resolver, opt Options, emit EmitFunc) (Stats, error) {
+	cache := newFileCache(resolver)
+	defer cache.closeAll()
+	var stats Stats
+	bb := &blockBuf{}
+	for i := range afcs {
+		if err := extractOne(&afcs[i], cache, opt, bb, &stats, emit); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// RunParallel extracts AFCs with a bounded worker pool. Rows are
+// delivered to emit from a single collector goroutine, so emit needs no
+// locking; row order across AFCs is unspecified (as in the paper's
+// middleware, which partitions and ships tuples as they are produced).
+func RunParallel(afcs []afc.AFC, resolver Resolver, opt Options, emit EmitFunc) (Stats, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	if workers > len(afcs) {
+		workers = len(afcs)
+	}
+	if workers <= 1 {
+		return Run(afcs, resolver, opt, emit)
+	}
+
+	cache := newFileCache(resolver)
+	defer cache.closeAll()
+
+	type batch struct {
+		rows  []table.Row
+		stats Stats
+	}
+	work := make(chan *afc.AFC)
+	results := make(chan batch, workers)
+	done := make(chan struct{})
+	var once sync.Once
+	var workerErr error
+	fail := func(err error) {
+		once.Do(func() {
+			workerErr = err
+			close(done)
+		})
+	}
+	var wg sync.WaitGroup
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bb := &blockBuf{}
+			for a := range work {
+				var b batch
+				collect := func(r table.Row) error {
+					b.rows = append(b.rows, append(table.Row(nil), r...))
+					return nil
+				}
+				if err := extractOne(a, cache, opt, bb, &b.stats, collect); err != nil {
+					fail(err)
+					return
+				}
+				select {
+				case results <- b:
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+
+	// Feeder: stops early when any worker fails.
+	go func() {
+		defer close(work)
+		for i := range afcs {
+			select {
+			case work <- &afcs[i]:
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	// Close results when all workers exit.
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	var stats Stats
+	var emitErr error
+	for b := range results {
+		stats.Add(b.stats)
+		if emitErr != nil {
+			continue // drain
+		}
+		for _, r := range b.rows {
+			if err := emit(r); err != nil {
+				emitErr = err
+				fail(err)
+				break
+			}
+		}
+	}
+	if workerErr != nil {
+		return stats, workerErr
+	}
+	return stats, emitErr
+}
+
+func defaultWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// colSource binds one output column to its value source within an AFC.
+type colSource struct {
+	// seg >= 0: decode from segment seg at attrOff within the row run.
+	seg     int
+	attrOff int64
+	kind    schema.Kind
+	// implicit: constant value (seg < 0, rowDim == nil).
+	implicit schema.Value
+	// rowDim: synthesized from the row index (seg < 0).
+	rowDim *afc.RowDim
+}
+
+// bind resolves each working column to a source in the AFC.
+func bind(a *afc.AFC, cols []schema.Attribute) ([]colSource, error) {
+	out := make([]colSource, len(cols))
+Cols:
+	for i, c := range cols {
+		for si := range a.Segments {
+			for _, at := range a.Segments[si].Attrs {
+				if at.Name == c.Name {
+					out[i] = colSource{seg: si, attrOff: at.Off, kind: at.Kind}
+					continue Cols
+				}
+			}
+		}
+		for _, im := range a.Implicits {
+			if im.Name == c.Name {
+				out[i] = colSource{seg: -1, implicit: im.Value}
+				continue Cols
+			}
+		}
+		for ri := range a.RowDims {
+			if a.RowDims[ri].Name == c.Name {
+				out[i] = colSource{seg: -1, rowDim: &a.RowDims[ri]}
+				continue Cols
+			}
+		}
+		return nil, fmt.Errorf("extractor: AFC provides no source for attribute %q", c.Name)
+	}
+	return out, nil
+}
+
+// maxBlockRows caps the block materialization buffer.
+const maxBlockRows = 512
+
+// blockBuf holds the reusable block-materialization state of one
+// extraction goroutine: a column-major-filled matrix of rows plus the
+// per-segment byte buffers.
+type blockBuf struct {
+	flat []schema.Value
+	rows []table.Row
+	segs [][]byte
+}
+
+func (bb *blockBuf) shape(rows, cols, segs int) {
+	if cap(bb.flat) < rows*cols || (cols > 0 && len(bb.rows) > 0 && len(bb.rows[0]) != cols) {
+		bb.flat = make([]schema.Value, rows*cols)
+		bb.rows = make([]table.Row, rows)
+		for i := range bb.rows {
+			bb.rows[i] = bb.flat[i*cols : (i+1)*cols]
+		}
+	}
+	if len(bb.segs) < segs {
+		bb.segs = make([][]byte, segs)
+	}
+}
+
+// extractOne streams one AFC: it reads the block's byte spans, fills
+// the row matrix column by column with kind-specialized tight loops
+// (the run-time counterpart of the generated extraction code's
+// straight-line decoding), then filters and emits row-wise.
+func extractOne(a *afc.AFC, cache *fileCache, opt Options, bb *blockBuf, stats *Stats, emit EmitFunc) error {
+	stats.AFCs++
+	if a.NumRows == 0 {
+		return nil
+	}
+	sources, err := bind(a, opt.Cols)
+	if err != nil {
+		return err
+	}
+	files := make([]*os.File, len(a.Segments))
+	for i, s := range a.Segments {
+		f, err := cache.get(s.Node, s.File)
+		if err != nil {
+			return err
+		}
+		files[i] = f
+	}
+
+	blockBytes := opt.BlockBytes
+	if blockBytes <= 0 {
+		blockBytes = defaultBlockBytes
+	}
+	// Rows per block: bounded by the widest segment stride.
+	maxStride := int64(1)
+	for _, s := range a.Segments {
+		st := s.RowStride
+		if st == 0 {
+			st = s.RowBytes
+		}
+		if st > maxStride {
+			maxStride = st
+		}
+	}
+	rowsPerBlock := int64(blockBytes) / maxStride
+	if rowsPerBlock < 1 {
+		rowsPerBlock = 1
+	}
+	if rowsPerBlock > maxBlockRows {
+		rowsPerBlock = maxBlockRows
+	}
+	bb.shape(int(rowsPerBlock), len(opt.Cols), len(a.Segments))
+	bufs := bb.segs
+	pred := opt.Pred
+	constRead := false
+	for base := int64(0); base < a.NumRows; base += rowsPerBlock {
+		n := rowsPerBlock
+		if base+n > a.NumRows {
+			n = a.NumRows - base
+		}
+		// Read each segment's span for this block.
+		for si := range a.Segments {
+			s := &a.Segments[si]
+			var span, off int64
+			if s.RowStride == 0 {
+				if constRead {
+					continue // constant segment already read for this AFC
+				}
+				span = s.RowBytes
+				off = s.Offset
+			} else {
+				span = (n-1)*s.RowStride + s.RowBytes
+				off = s.Offset + base*s.RowStride
+			}
+			if cap(bufs[si]) < int(span) {
+				bufs[si] = make([]byte, span)
+			}
+			buf := bufs[si][:span]
+			if _, err := files[si].ReadAt(buf, off); err != nil {
+				if err == io.EOF || err == io.ErrUnexpectedEOF {
+					return fmt.Errorf("extractor: %s:%s: file shorter than layout requires (need %d bytes at offset %d)",
+						s.Node, s.File, span, off)
+				}
+				return fmt.Errorf("extractor: reading %s:%s: %w", s.Node, s.File, err)
+			}
+			bufs[si] = buf
+		}
+		constRead = true
+
+		// Fill the block column-major with kind-specialized loops.
+		rows := bb.rows[:n]
+		for ci := range sources {
+			src := &sources[ci]
+			switch {
+			case src.seg >= 0:
+				seg := &a.Segments[src.seg]
+				if seg.BigEndian {
+					fillColumnBE(rows, ci, src.kind, bufs[src.seg], src.attrOff, seg.RowStride)
+				} else {
+					fillColumn(rows, ci, src.kind, bufs[src.seg], src.attrOff, seg.RowStride)
+				}
+			case src.rowDim != nil:
+				rd := src.rowDim
+				if rd.Kind.Integral() {
+					for r := range rows {
+						rows[r][ci] = schema.Value{Kind: rd.Kind, Int: rd.ValueAt(base + int64(r))}
+					}
+				} else {
+					for r := range rows {
+						rows[r][ci] = schema.Value{Kind: rd.Kind, Float: float64(rd.ValueAt(base + int64(r)))}
+					}
+				}
+			default:
+				for r := range rows {
+					rows[r][ci] = src.implicit
+				}
+			}
+		}
+
+		// Filter and emit row-wise.
+		stats.RowsScanned += n
+		for r := int64(0); r < n; r++ {
+			if pred != nil && !pred(rows[r]) {
+				continue
+			}
+			stats.RowsEmitted++
+			if err := emit(rows[r]); err != nil {
+				return err
+			}
+		}
+	}
+	for _, s := range a.Segments {
+		if s.RowStride == 0 {
+			stats.BytesRead += s.RowBytes
+		} else {
+			stats.BytesRead += s.RowBytes * a.NumRows
+		}
+	}
+	return nil
+}
+
+// fillColumn decodes one attribute for every row of the block with a
+// kind-specialized tight loop.
+func fillColumn(rows []table.Row, ci int, kind schema.Kind, buf []byte, off, stride int64) {
+	p := off
+	switch kind {
+	case schema.Char:
+		for r := range rows {
+			rows[r][ci] = schema.Value{Kind: kind, Int: int64(int8(buf[p]))}
+			p += stride
+		}
+	case schema.Short:
+		for r := range rows {
+			rows[r][ci] = schema.Value{Kind: kind, Int: int64(int16(binary.LittleEndian.Uint16(buf[p : p+2])))}
+			p += stride
+		}
+	case schema.Int:
+		for r := range rows {
+			rows[r][ci] = schema.Value{Kind: kind, Int: int64(int32(binary.LittleEndian.Uint32(buf[p : p+4])))}
+			p += stride
+		}
+	case schema.Long:
+		for r := range rows {
+			rows[r][ci] = schema.Value{Kind: kind, Int: int64(binary.LittleEndian.Uint64(buf[p : p+8]))}
+			p += stride
+		}
+	case schema.Float:
+		for r := range rows {
+			rows[r][ci] = schema.Value{Kind: kind, Float: float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[p : p+4])))}
+			p += stride
+		}
+	case schema.Double:
+		for r := range rows {
+			rows[r][ci] = schema.Value{Kind: kind, Float: math.Float64frombits(binary.LittleEndian.Uint64(buf[p : p+8]))}
+			p += stride
+		}
+	}
+}
+
+// fillColumnBE is fillColumn for big-endian segments (BYTEORDER { BIG }).
+func fillColumnBE(rows []table.Row, ci int, kind schema.Kind, buf []byte, off, stride int64) {
+	p := off
+	switch kind {
+	case schema.Char:
+		for r := range rows {
+			rows[r][ci] = schema.Value{Kind: kind, Int: int64(int8(buf[p]))}
+			p += stride
+		}
+	case schema.Short:
+		for r := range rows {
+			rows[r][ci] = schema.Value{Kind: kind, Int: int64(int16(binary.BigEndian.Uint16(buf[p : p+2])))}
+			p += stride
+		}
+	case schema.Int:
+		for r := range rows {
+			rows[r][ci] = schema.Value{Kind: kind, Int: int64(int32(binary.BigEndian.Uint32(buf[p : p+4])))}
+			p += stride
+		}
+	case schema.Long:
+		for r := range rows {
+			rows[r][ci] = schema.Value{Kind: kind, Int: int64(binary.BigEndian.Uint64(buf[p : p+8]))}
+			p += stride
+		}
+	case schema.Float:
+		for r := range rows {
+			rows[r][ci] = schema.Value{Kind: kind, Float: float64(math.Float32frombits(binary.BigEndian.Uint32(buf[p : p+4])))}
+			p += stride
+		}
+	case schema.Double:
+		for r := range rows {
+			rows[r][ci] = schema.Value{Kind: kind, Float: math.Float64frombits(binary.BigEndian.Uint64(buf[p : p+8]))}
+			p += stride
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package filter implements STORM's filtering service primitives: the
+// registry of user-defined filter functions that the query language's
+// Filter(<Data Element>) clause invokes, e.g. the paper's
+// SPEED(OILVX, OILVY, OILVZ) <= 30.0. Filters are pure numeric functions
+// over attribute values of a single row; they exist because some
+// application-specific selections "are difficult to express with simple
+// comparison operations" (paper §2.1).
+package filter
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Func is a registered filter function.
+type Func struct {
+	// Name is the case-insensitive invocation name.
+	Name string
+	// MinArgs and MaxArgs bound the accepted argument count; MaxArgs < 0
+	// means unbounded.
+	MinArgs, MaxArgs int
+	// Fn computes the filter value.
+	Fn func(args []float64) float64
+	// Doc is a one-line description.
+	Doc string
+}
+
+// Registry maps filter names to functions. The zero value is empty and
+// ready to use; NewRegistry returns one preloaded with the built-ins.
+type Registry struct {
+	mu    sync.RWMutex
+	funcs map[string]Func
+}
+
+// NewRegistry returns a registry preloaded with the built-in filters
+// (SPEED, DISTANCE, MAGNITUDE, MINOF, MAXOF).
+func NewRegistry() *Registry {
+	r := &Registry{}
+	for _, f := range builtins {
+		if err := r.Register(f); err != nil {
+			panic(err) // built-ins are statically correct
+		}
+	}
+	return r
+}
+
+// Register adds a filter. Re-registering an existing name fails.
+func (r *Registry) Register(f Func) error {
+	if f.Name == "" || f.Fn == nil {
+		return fmt.Errorf("filter: function must have a name and a body")
+	}
+	if f.MinArgs < 0 || (f.MaxArgs >= 0 && f.MaxArgs < f.MinArgs) {
+		return fmt.Errorf("filter: %s: invalid arg bounds [%d, %d]", f.Name, f.MinArgs, f.MaxArgs)
+	}
+	key := strings.ToUpper(f.Name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.funcs == nil {
+		r.funcs = make(map[string]Func)
+	}
+	if _, dup := r.funcs[key]; dup {
+		return fmt.Errorf("filter: %s already registered", f.Name)
+	}
+	r.funcs[key] = f
+	return nil
+}
+
+// Lookup resolves a filter by name (case-insensitive) and validates the
+// argument count.
+func (r *Registry) Lookup(name string, nargs int) (Func, error) {
+	r.mu.RLock()
+	f, ok := r.funcs[strings.ToUpper(name)]
+	r.mu.RUnlock()
+	if !ok {
+		return Func{}, fmt.Errorf("filter: unknown function %s", name)
+	}
+	if nargs < f.MinArgs || (f.MaxArgs >= 0 && nargs > f.MaxArgs) {
+		return Func{}, fmt.Errorf("filter: %s: got %d args, want %d..%s",
+			f.Name, nargs, f.MinArgs, maxStr(f.MaxArgs))
+	}
+	return f, nil
+}
+
+// Names returns the registered filter names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.funcs))
+	for _, f := range r.funcs {
+		out = append(out, f.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func maxStr(m int) string {
+	if m < 0 {
+		return "∞"
+	}
+	return fmt.Sprintf("%d", m)
+}
+
+func euclidean(args []float64) float64 {
+	s := 0.0
+	for _, a := range args {
+		s += a * a
+	}
+	return math.Sqrt(s)
+}
+
+var builtins = []Func{
+	{
+		Name: "SPEED", MinArgs: 1, MaxArgs: -1, Fn: euclidean,
+		Doc: "Euclidean norm of the velocity components (paper's SPEED(OILVX,OILVY,OILVZ))",
+	},
+	{
+		Name: "DISTANCE", MinArgs: 1, MaxArgs: -1, Fn: euclidean,
+		Doc: "Euclidean distance from the origin (paper's DISTANCE(X,Y,Z))",
+	},
+	{
+		Name: "MAGNITUDE", MinArgs: 1, MaxArgs: 1,
+		Fn:  func(args []float64) float64 { return math.Abs(args[0]) },
+		Doc: "absolute value",
+	},
+	{
+		Name: "MINOF", MinArgs: 1, MaxArgs: -1,
+		Fn: func(args []float64) float64 {
+			m := args[0]
+			for _, a := range args[1:] {
+				m = math.Min(m, a)
+			}
+			return m
+		},
+		Doc: "minimum of the arguments",
+	},
+	{
+		Name: "MAXOF", MinArgs: 1, MaxArgs: -1,
+		Fn: func(args []float64) float64 {
+			m := args[0]
+			for _, a := range args[1:] {
+				m = math.Max(m, a)
+			}
+			return m
+		},
+		Doc: "maximum of the arguments",
+	},
+}

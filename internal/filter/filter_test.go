@@ -1,0 +1,105 @@
+package filter
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBuiltins(t *testing.T) {
+	r := NewRegistry()
+	speed, err := r.Lookup("speed", 3)
+	if err != nil {
+		t.Fatalf("Lookup(speed): %v", err)
+	}
+	if got := speed.Fn([]float64{3, 4, 0}); got != 5 {
+		t.Errorf("SPEED(3,4,0) = %g", got)
+	}
+	dist, err := r.Lookup("DISTANCE", 2)
+	if err != nil {
+		t.Fatalf("Lookup(DISTANCE): %v", err)
+	}
+	if got := dist.Fn([]float64{6, 8}); got != 10 {
+		t.Errorf("DISTANCE(6,8) = %g", got)
+	}
+	mag, _ := r.Lookup("MAGNITUDE", 1)
+	if got := mag.Fn([]float64{-2.5}); got != 2.5 {
+		t.Errorf("MAGNITUDE(-2.5) = %g", got)
+	}
+	mn, _ := r.Lookup("MINOF", 3)
+	if got := mn.Fn([]float64{3, -1, 2}); got != -1 {
+		t.Errorf("MINOF = %g", got)
+	}
+	mx, _ := r.Lookup("MAXOF", 3)
+	if got := mx.Fn([]float64{3, -1, 2}); got != 3 {
+		t.Errorf("MAXOF = %g", got)
+	}
+}
+
+func TestArityChecks(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Lookup("MAGNITUDE", 2); err == nil {
+		t.Error("MAGNITUDE with 2 args accepted")
+	}
+	if _, err := r.Lookup("SPEED", 0); err == nil {
+		t.Error("SPEED with 0 args accepted")
+	}
+	if _, err := r.Lookup("NOPE", 1); err == nil {
+		t.Error("unknown filter accepted")
+	}
+}
+
+func TestRegister(t *testing.T) {
+	r := NewRegistry()
+	err := r.Register(Func{
+		Name: "HALF", MinArgs: 1, MaxArgs: 1,
+		Fn: func(a []float64) float64 { return a[0] / 2 },
+	})
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	f, err := r.Lookup("half", 1)
+	if err != nil || f.Fn([]float64{8}) != 4 {
+		t.Errorf("HALF lookup/eval failed: %v", err)
+	}
+	// Duplicate (case-insensitive).
+	if err := r.Register(Func{Name: "speed", MinArgs: 1, MaxArgs: 1, Fn: func(a []float64) float64 { return 0 }}); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	// Invalid registrations.
+	if err := r.Register(Func{Name: "", Fn: func(a []float64) float64 { return 0 }}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := r.Register(Func{Name: "X", Fn: nil}); err == nil {
+		t.Error("nil body accepted")
+	}
+	if err := r.Register(Func{Name: "Y", MinArgs: 3, MaxArgs: 1, Fn: func(a []float64) float64 { return 0 }}); err == nil {
+		t.Error("inverted arg bounds accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	r := NewRegistry()
+	names := r.Names()
+	if len(names) < 5 {
+		t.Fatalf("Names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names not sorted: %v", names)
+		}
+	}
+}
+
+func TestEuclideanSingle(t *testing.T) {
+	r := NewRegistry()
+	f, err := r.Lookup("SPEED", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Fn([]float64{-7}); got != 7 {
+		t.Errorf("SPEED(-7) = %g", got)
+	}
+	if got := f.Fn([]float64{0}); got != 0 || math.Signbit(got) {
+		t.Errorf("SPEED(0) = %g", got)
+	}
+}

@@ -1,0 +1,274 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"datavirt/internal/metadata"
+)
+
+// IparsSpec sizes a synthetic IPARS oil-reservoir study. The paper's
+// datasets store, per realization, time step and grid cell, seventeen
+// variables plus the cell's 3-D coordinates (stored once, since the
+// grid does not change over time or realizations).
+type IparsSpec struct {
+	// Realizations is the number of geostatistical realizations (REL).
+	Realizations int
+	// TimeSteps is the number of simulation time steps (TIME = 1..T).
+	TimeSteps int
+	// GridPoints is the total number of grid cells across partitions.
+	GridPoints int
+	// Partitions is the number of grid partitions (cluster directories)
+	// used by the CLUSTER layout; GridPoints must be divisible by it.
+	// Single-file layouts ignore it.
+	Partitions int
+	// Attrs is the number of non-coordinate variables (17 in the paper;
+	// tests may use fewer).
+	Attrs int
+	// Seed makes every value a pure function of its coordinates.
+	Seed int64
+}
+
+// canonicalAttrs are the paper-inspired names of the 17 per-cell
+// variables; SPEED(OILVX, OILVY, OILVZ) from the example query works on
+// them. Specs with more than 17 attributes get ATTRn names.
+var canonicalAttrs = []string{
+	"SOIL", "SGAS", "SWAT", "POIL", "PGAS", "PWAT", "COIL", "CGAS",
+	"OILVX", "OILVY", "OILVZ", "GASVX", "GASVY", "GASVZ",
+	"WATVX", "WATVY", "WATVZ",
+}
+
+// IparsAttrNames returns the n variable names of a spec.
+func IparsAttrNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		if i < len(canonicalAttrs) {
+			out[i] = canonicalAttrs[i]
+		} else {
+			out[i] = fmt.Sprintf("ATTR%d", i)
+		}
+	}
+	return out
+}
+
+// Validate checks the spec's shape.
+func (s IparsSpec) Validate() error {
+	if s.Realizations < 1 || s.TimeSteps < 1 || s.GridPoints < 1 || s.Attrs < 1 {
+		return fmt.Errorf("gen: ipars spec must have positive sizes: %+v", s)
+	}
+	if s.Partitions < 1 {
+		return fmt.Errorf("gen: ipars spec needs at least one partition")
+	}
+	if s.GridPoints%s.Partitions != 0 {
+		return fmt.Errorf("gen: grid points (%d) must divide evenly into partitions (%d)",
+			s.GridPoints, s.Partitions)
+	}
+	return nil
+}
+
+// Coord returns the 3-D coordinates of grid cell g: cells fill an
+// nx×ny×nz box with nx = ny = ceil(cbrt(G)).
+func (s IparsSpec) Coord(g int64) (x, y, z float64) {
+	n := int64(math.Ceil(math.Cbrt(float64(s.GridPoints))))
+	if n < 1 {
+		n = 1
+	}
+	return float64(g % n), float64((g / n) % n), float64(g / (n * n))
+}
+
+// Value returns the deterministic value of variable index ai at
+// (rel, time, grid). Velocity components (names ending VX/VY/VZ) spread
+// over [-30, 30); everything else over [0, 1).
+func (s IparsSpec) Value(ai int, rel, time, grid int64) float64 {
+	u := u01(hashAt(s.Seed, rel, time, grid, int64(ai)))
+	name := IparsAttrNames(s.Attrs)[ai]
+	if strings.HasSuffix(name, "VX") || strings.HasSuffix(name, "VY") || strings.HasSuffix(name, "VZ") {
+		return (u*2 - 1) * 30
+	}
+	return u
+}
+
+// ValueFunc adapts the spec to the materializer: coordinates come from
+// Coord (GRID only), variables from Value (REL, TIME, GRID).
+func (s IparsSpec) ValueFunc() ValueFunc {
+	names := IparsAttrNames(s.Attrs)
+	idx := make(map[string]int, len(names))
+	for i, n := range names {
+		idx[n] = i
+	}
+	return func(attr string, at map[string]int64) float64 {
+		switch attr {
+		case "X":
+			x, _, _ := s.Coord(at["GRID"])
+			return x
+		case "Y":
+			_, y, _ := s.Coord(at["GRID"])
+			return y
+		case "Z":
+			_, _, z := s.Coord(at["GRID"])
+			return z
+		}
+		return s.Value(idx[attr], at["REL"], at["TIME"], at["GRID"])
+	}
+}
+
+// IparsLayouts lists the supported layout identifiers: the original L0
+// (every attribute in its own file), the paper's layouts I–VI, and the
+// Figure 4 CLUSTER layout (grid partitioned across directories).
+func IparsLayouts() []string {
+	return []string{"L0", "I", "II", "III", "IV", "V", "VI", "CLUSTER"}
+}
+
+// IparsDescriptor renders the full three-component descriptor for the
+// spec in the given layout. Single-file layouts place everything in
+// DIR[0]; CLUSTER uses one directory per partition.
+func IparsDescriptor(s IparsSpec, layoutID string) (string, error) {
+	if err := s.Validate(); err != nil {
+		return "", err
+	}
+	names := IparsAttrNames(s.Attrs)
+	var b strings.Builder
+
+	// Component I.
+	b.WriteString("[IPARS]\nREL = short int\nTIME = int\nX = float\nY = float\nZ = float\n")
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s = float\n", n)
+	}
+	b.WriteString("\n[IparsData]\nDatasetDescription = IPARS\n")
+
+	dirs := 1
+	if layoutID == "CLUSTER" {
+		dirs = s.Partitions
+	}
+	for i := 0; i < dirs; i++ {
+		fmt.Fprintf(&b, "DIR[%d] = node%d/ipars\n", i, i)
+	}
+	b.WriteString("\n")
+
+	R, T, G := s.Realizations, s.TimeSteps, s.GridPoints
+	all := strings.Join(names, " ")
+	arrays := func(indent string, attrs []string, gridLo, gridHi string) string {
+		var sb strings.Builder
+		for _, a := range attrs {
+			fmt.Fprintf(&sb, "%sLOOP GRID %s:%s:1 { %s }\n", indent, gridLo, gridHi, a)
+		}
+		return sb.String()
+	}
+
+	fmt.Fprintf(&b, "Dataset \"IparsData\" {\n  DATATYPE { IPARS }\n  DATAINDEX { REL TIME }\n")
+	switch layoutID {
+	case "L0":
+		// COORDS plus one file per variable per realization.
+		fmt.Fprintf(&b, `  Dataset "coords" {
+    DATASPACE { LOOP GRID 0:%d:1 { X Y Z } }
+    DATA { DIR[0]/COORDS }
+  }
+`, G-1)
+		for _, a := range names {
+			fmt.Fprintf(&b, `  Dataset "attr_%s" {
+    DATASPACE { LOOP TIME 1:%d:1 { LOOP GRID 0:%d:1 { %s } } }
+    DATA { DIR[0]/%s.R$REL REL = 0:%d:1 }
+  }
+`, a, T, G-1, a, a, R-1)
+		}
+	case "I":
+		fmt.Fprintf(&b, `  DATASPACE {
+    LOOP REL 0:%d:1 { LOOP TIME 1:%d:1 { LOOP GRID 0:%d:1 { X Y Z %s } } }
+  }
+  DATA { DIR[0]/alldata }
+`, R-1, T, G-1, all)
+	case "II":
+		fmt.Fprintf(&b, "  DATASPACE {\n    LOOP REL 0:%d:1 { LOOP TIME 1:%d:1 {\n%s    } }\n  }\n  DATA { DIR[0]/alldata }\n",
+			R-1, T, arrays("      ", append([]string{"X", "Y", "Z"}, names...), "0", fmt.Sprint(G-1)))
+	case "III":
+		fmt.Fprintf(&b, `  DATASPACE { LOOP GRID 0:%d:1 { X Y Z %s } }
+  DATA { DIR[0]/R$REL.T$TIME REL = 0:%d:1 TIME = 1:%d:1 }
+`, G-1, all, R-1, T)
+	case "IV":
+		fmt.Fprintf(&b, "  DATASPACE {\n%s  }\n  DATA { DIR[0]/R$REL.T$TIME REL = 0:%d:1 TIME = 1:%d:1 }\n",
+			arrays("    ", append([]string{"X", "Y", "Z"}, names...), "0", fmt.Sprint(G-1)), R-1, T)
+	case "V", "VI":
+		fmt.Fprintf(&b, `  Dataset "coords" {
+    DATASPACE { LOOP GRID 0:%d:1 { X Y Z } }
+    DATA { DIR[0]/COORDS }
+  }
+`, G-1)
+		groups := splitAttrs(names, 6)
+		for gi, grp := range groups {
+			if layoutID == "V" {
+				fmt.Fprintf(&b, `  Dataset "group%d" {
+    DATASPACE { LOOP REL 0:%d:1 { LOOP TIME 1:%d:1 { LOOP GRID 0:%d:1 { %s } } } }
+    DATA { DIR[0]/group%d }
+  }
+`, gi, R-1, T, G-1, strings.Join(grp, " "), gi)
+			} else {
+				fmt.Fprintf(&b, "  Dataset \"group%d\" {\n    DATASPACE { LOOP REL 0:%d:1 { LOOP TIME 1:%d:1 {\n%s    } } }\n    DATA { DIR[0]/group%d }\n  }\n",
+					gi, R-1, T, arrays("      ", grp, "0", fmt.Sprint(G-1)), gi)
+			}
+		}
+	case "CLUSTER":
+		gp := G / s.Partitions
+		lo := fmt.Sprintf("($DIRID*%d)", gp)
+		hi := fmt.Sprintf("($DIRID*%d+%d)", gp, gp-1)
+		fmt.Fprintf(&b, `  Dataset "coords" {
+    DATASPACE { LOOP GRID %s:%s:1 { X Y Z } }
+    DATA { DIR[$DIRID]/COORDS DIRID = 0:%d:1 }
+  }
+  Dataset "data" {
+    DATASPACE { LOOP TIME 1:%d:1 { LOOP GRID %s:%s:1 { %s } } }
+    DATA { DIR[$DIRID]/DATA$REL REL = 0:%d:1 DIRID = 0:%d:1 }
+  }
+`, lo, hi, s.Partitions-1, T, lo, hi, all, R-1, s.Partitions-1)
+	default:
+		return "", fmt.Errorf("gen: unknown ipars layout %q (want one of %v)", layoutID, IparsLayouts())
+	}
+	b.WriteString("}\n")
+	return b.String(), nil
+}
+
+// splitAttrs divides names into at most k nearly equal groups.
+func splitAttrs(names []string, k int) [][]string {
+	if k > len(names) {
+		k = len(names)
+	}
+	out := make([][]string, 0, k)
+	per := (len(names) + k - 1) / k
+	for i := 0; i < len(names); i += per {
+		j := i + per
+		if j > len(names) {
+			j = len(names)
+		}
+		out = append(out, names[i:j])
+	}
+	return out
+}
+
+// WriteIpars renders the descriptor for the layout, materializes every
+// data file under root, and writes the descriptor itself to
+// root/ipars_<layout>.dvd. It returns the descriptor path.
+func WriteIpars(root string, s IparsSpec, layoutID string) (string, error) {
+	src, err := IparsDescriptor(s, layoutID)
+	if err != nil {
+		return "", err
+	}
+	d, err := metadata.Parse(src)
+	if err != nil {
+		return "", fmt.Errorf("gen: generated descriptor is invalid: %w", err)
+	}
+	if err := Materialize(d, root, s.ValueFunc()); err != nil {
+		return "", err
+	}
+	descPath := filepath.Join(root, "ipars_"+strings.ToLower(layoutID)+".dvd")
+	if err := os.WriteFile(descPath, []byte(src), 0o644); err != nil {
+		return "", err
+	}
+	return descPath, nil
+}
+
+// IparsTotalRows returns the virtual table's row count.
+func (s IparsSpec) IparsTotalRows() int64 {
+	return int64(s.Realizations) * int64(s.TimeSteps) * int64(s.GridPoints)
+}

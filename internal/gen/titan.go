@@ -1,0 +1,237 @@
+package gen
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"datavirt/internal/index"
+	"datavirt/internal/metadata"
+	"datavirt/internal/schema"
+)
+
+// TitanSpec sizes a synthetic Titan satellite dataset: Points sensor
+// readings, each with spatial coordinates X, Y, a time coordinate Z,
+// and five sensor values S1..S5 — "two spatial, one time dimension, and
+// five sensors" (paper §2.2). The processed data is partitioned into
+// space-time chunks with a spatial index over chunk bounds.
+type TitanSpec struct {
+	Points int
+	// XMax, YMax, ZMax bound the coordinate space (exclusive).
+	XMax, YMax, ZMax int
+	// TilesX/Y/Z tile the space-time box; each non-empty tile becomes
+	// one chunk.
+	TilesX, TilesY, TilesZ int
+	// Nodes spreads chunks round-robin across this many cluster nodes
+	// (the paper stores Titan on a single node; default 1).
+	Nodes int
+	Seed  int64
+}
+
+// Validate checks the spec's shape.
+func (s TitanSpec) Validate() error {
+	if s.Points < 1 || s.XMax < 1 || s.YMax < 1 || s.ZMax < 1 {
+		return fmt.Errorf("gen: titan spec must have positive sizes: %+v", s)
+	}
+	if s.TilesX < 1 || s.TilesY < 1 || s.TilesZ < 1 {
+		return fmt.Errorf("gen: titan spec needs at least one tile per dimension")
+	}
+	if s.Nodes < 1 {
+		return fmt.Errorf("gen: titan spec needs at least one node")
+	}
+	return nil
+}
+
+// TitanRecordBytes is the fixed record size: 3 int32 coordinates + 5
+// float32 sensors.
+const TitanRecordBytes = 3*4 + 5*4
+
+// TitanAttrs is the record attribute order.
+var TitanAttrs = []string{"X", "Y", "Z", "S1", "S2", "S3", "S4", "S5"}
+
+// Point returns reading j. The satellite sweeps the X range as time (Z)
+// advances — adjacent readings are spatially correlated, as on a real
+// orbit — with deterministic jitter; sensors are uniform in [0, 1).
+func (s TitanSpec) Point(j int64) (x, y, z int32, sens [5]float32) {
+	n := int64(s.Points)
+	z = int32(j * int64(s.ZMax) / n)
+	// Sweep position plus jitter.
+	sweep := float64(j%4096) / 4096
+	x = int32(math.Mod(sweep*float64(s.XMax)+u01(hashAt(s.Seed, j, 1, 0, 0))*float64(s.XMax)/8, float64(s.XMax)))
+	y = int32(u01(hashAt(s.Seed, j, 2, 0, 0)) * float64(s.YMax))
+	for k := 0; k < 5; k++ {
+		sens[k] = float32(u01(hashAt(s.Seed, j, 3, int64(k), 0)))
+	}
+	return
+}
+
+// TitanDescriptor renders the chunked descriptor for the spec.
+func TitanDescriptor(s TitanSpec) (string, error) {
+	if err := s.Validate(); err != nil {
+		return "", err
+	}
+	var b []byte
+	b = append(b, "[TITAN]\nX = int\nY = int\nZ = int\nS1 = float\nS2 = float\nS3 = float\nS4 = float\nS5 = float\n\n"...)
+	b = append(b, "[TitanData]\nDatasetDescription = TITAN\n"...)
+	for i := 0; i < s.Nodes; i++ {
+		b = append(b, fmt.Sprintf("DIR[%d] = node%d/titan\n", i, i)...)
+	}
+	b = append(b, fmt.Sprintf(`
+Dataset "TitanData" {
+  DATATYPE { TITAN }
+  DATAINDEX { X Y Z }
+  Dataset "chunks" {
+    CHUNKED { X Y Z S1 S2 S3 S4 S5 }
+    DATA { DIR[$DIRID]/chunks.dat DIRID = 0:%d:1 }
+    INDEXFILE { DIR[$DIRID]/chunks.idx DIRID = 0:%d:1 }
+  }
+}
+`, s.Nodes-1, s.Nodes-1)...)
+	return string(b), nil
+}
+
+// WriteTitan generates the dataset: per node, a chunks.dat of
+// tile-grouped fixed-width records and a chunks.idx R-tree directory.
+// The descriptor is written to root/titan.dvd; its path is returned.
+func WriteTitan(root string, s TitanSpec) (string, error) {
+	src, err := TitanDescriptor(s)
+	if err != nil {
+		return "", err
+	}
+	if _, err := metadata.Parse(src); err != nil {
+		return "", fmt.Errorf("gen: generated titan descriptor is invalid: %w", err)
+	}
+
+	// Assign each point to a tile.
+	type pt struct {
+		tile    int
+		j       int64
+		x, y, z int32
+		s       [5]float32
+	}
+	pts := make([]pt, s.Points)
+	for j := range pts {
+		x, y, z, sens := s.Point(int64(j))
+		tx := int(int64(x) * int64(s.TilesX) / int64(s.XMax))
+		ty := int(int64(y) * int64(s.TilesY) / int64(s.YMax))
+		tz := int(int64(z) * int64(s.TilesZ) / int64(s.ZMax))
+		tx, ty, tz = clampTile(tx, s.TilesX), clampTile(ty, s.TilesY), clampTile(tz, s.TilesZ)
+		tile := (tz*s.TilesY+ty)*s.TilesX + tx
+		pts[j] = pt{tile: tile, j: int64(j), x: x, y: y, z: z, s: sens}
+	}
+	sort.SliceStable(pts, func(a, b int) bool {
+		if pts[a].tile != pts[b].tile {
+			return pts[a].tile < pts[b].tile
+		}
+		return pts[a].j < pts[b].j
+	})
+
+	// Split tiles round-robin over nodes and write each node's files.
+	type nodeState struct {
+		w      *bufio.Writer
+		f      *os.File
+		off    int64
+		chunks []index.ChunkMeta
+	}
+	states := make([]*nodeState, s.Nodes)
+	for n := 0; n < s.Nodes; n++ {
+		dir := filepath.Join(NodePath(root, fmt.Sprintf("node%d", n)), "titan")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return "", err
+		}
+		f, err := os.Create(filepath.Join(dir, "chunks.dat"))
+		if err != nil {
+			return "", err
+		}
+		states[n] = &nodeState{f: f, w: bufio.NewWriterSize(f, 1<<20)}
+	}
+	closeAll := func() {
+		for _, st := range states {
+			if st.f != nil {
+				st.f.Close()
+			}
+		}
+	}
+
+	var rec [TitanRecordBytes]byte
+	i := 0
+	tileSeq := 0
+	for i < len(pts) {
+		j := i
+		for j < len(pts) && pts[j].tile == pts[i].tile {
+			j++
+		}
+		st := states[tileSeq%s.Nodes]
+		tileSeq++
+		meta := index.ChunkMeta{
+			Offset:  st.off,
+			NumRows: int64(j - i),
+			Min:     []float64{math.Inf(1), math.Inf(1), math.Inf(1)},
+			Max:     []float64{math.Inf(-1), math.Inf(-1), math.Inf(-1)},
+		}
+		for _, p := range pts[i:j] {
+			binary.LittleEndian.PutUint32(rec[0:], uint32(p.x))
+			binary.LittleEndian.PutUint32(rec[4:], uint32(p.y))
+			binary.LittleEndian.PutUint32(rec[8:], uint32(p.z))
+			for k := 0; k < 5; k++ {
+				binary.LittleEndian.PutUint32(rec[12+4*k:], math.Float32bits(p.s[k]))
+			}
+			if _, err := st.w.Write(rec[:]); err != nil {
+				closeAll()
+				return "", err
+			}
+			for d, v := range []float64{float64(p.x), float64(p.y), float64(p.z)} {
+				meta.Min[d] = math.Min(meta.Min[d], v)
+				meta.Max[d] = math.Max(meta.Max[d], v)
+			}
+		}
+		st.off += meta.NumRows * TitanRecordBytes
+		st.chunks = append(st.chunks, meta)
+		i = j
+	}
+	for n, st := range states {
+		if err := st.w.Flush(); err != nil {
+			closeAll()
+			return "", err
+		}
+		if err := st.f.Close(); err != nil {
+			return "", err
+		}
+		st.f = nil
+		idxPath := filepath.Join(NodePath(root, fmt.Sprintf("node%d", n)), "titan", "chunks.idx")
+		if err := index.WriteFile(idxPath, []string{"X", "Y", "Z"}, st.chunks); err != nil {
+			return "", err
+		}
+	}
+
+	descPath := filepath.Join(root, "titan.dvd")
+	if err := os.WriteFile(descPath, []byte(src), 0o644); err != nil {
+		return "", err
+	}
+	return descPath, nil
+}
+
+func clampTile(t, n int) int {
+	if t < 0 {
+		return 0
+	}
+	if t >= n {
+		return n - 1
+	}
+	return t
+}
+
+// TitanSchema returns the TITAN schema.
+func TitanSchema() *schema.Schema {
+	return schema.MustNew("TITAN", []schema.Attribute{
+		{Name: "X", Kind: schema.Int}, {Name: "Y", Kind: schema.Int},
+		{Name: "Z", Kind: schema.Int},
+		{Name: "S1", Kind: schema.Float}, {Name: "S2", Kind: schema.Float},
+		{Name: "S3", Kind: schema.Float}, {Name: "S4", Kind: schema.Float},
+		{Name: "S5", Kind: schema.Float},
+	})
+}

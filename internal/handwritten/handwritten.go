@@ -1,0 +1,297 @@
+// Package handwritten contains hand-coded, layout-specific index and
+// extractor functions — the baselines the paper compares its generated
+// code against ("whose performance was reported in earlier publications
+// on STORM", §5). Each implementation hard-codes one physical layout:
+// file naming, offsets, strides and chunk structure are written out
+// by hand exactly as an application programmer would, with no use of
+// the meta-data descriptor, the layout compiler, or the AFC machinery.
+//
+// SQL parsing, range extraction and predicate evaluation are shared
+// with the generated path (in STORM those live in the middleware, not
+// in the user-supplied functions), so measured differences isolate the
+// index/extractor code itself.
+package handwritten
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"datavirt/internal/filter"
+	"datavirt/internal/gen"
+	"datavirt/internal/query"
+	"datavirt/internal/schema"
+	"datavirt/internal/sqlparser"
+	"datavirt/internal/table"
+)
+
+// IparsCluster hand-codes the paper's Figure 4 layout: per partition
+// directory, a COORDS file of x/y/z triples and one DATA<rel> file
+// holding, per time step, all variables for the partition's grid
+// points.
+type IparsCluster struct {
+	Root string
+	Spec gen.IparsSpec
+	// Dirs restricts extraction to the given partition directories
+	// (nil = all). Cluster deployments give each node server its own
+	// partitions, mirroring the generated path's node filter.
+	Dirs []int
+}
+
+// Schema returns the virtual table schema the extractor produces.
+func (h *IparsCluster) Schema() *schema.Schema {
+	attrs := []schema.Attribute{
+		{Name: "REL", Kind: schema.Short}, {Name: "TIME", Kind: schema.Int},
+		{Name: "X", Kind: schema.Float}, {Name: "Y", Kind: schema.Float},
+		{Name: "Z", Kind: schema.Float},
+	}
+	for _, n := range gen.IparsAttrNames(h.Spec.Attrs) {
+		attrs = append(attrs, schema.Attribute{Name: n, Kind: schema.Float})
+	}
+	return schema.MustNew("IPARS", attrs)
+}
+
+// Query executes sql with the hand-written index and extractor and
+// returns the number of emitted rows. The emitted row is reused.
+func (h *IparsCluster) Query(sql string, emit func(table.Row) error) (int64, error) {
+	s := h.Spec
+	sch := h.Schema()
+	q, err := sqlparser.Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	reg := filter.NewRegistry()
+	cols, err := query.Validate(q, sch, reg)
+	if err != nil {
+		return 0, err
+	}
+	pred, err := query.CompilePredicate(q.Where, func(name string) (int, bool) {
+		i := sch.Index(name)
+		return i, i >= 0
+	}, reg)
+	if err != nil {
+		return 0, err
+	}
+	ranges := query.ExtractRanges(q.Where)
+	project := make([]int, len(cols))
+	for i, c := range cols {
+		project[i] = sch.Index(c)
+	}
+
+	// Hand-written index function: REL from the file name, TIME from
+	// position within each DATA file.
+	relSet := ranges.Get("REL")
+	timeRuns := ranges.Get("TIME").ClipInt(1, int64(s.TimeSteps), 1)
+	if len(timeRuns) == 0 {
+		return 0, nil
+	}
+
+	A := s.Attrs
+	gp := s.GridPoints / s.Partitions
+	stepBytes := gp * A * 4
+
+	row := make(table.Row, sch.NumAttrs())
+	out := make(table.Row, len(cols))
+	var emitted int64
+
+	coords := make([]byte, gp*12)
+	buf := make([]byte, stepBytes)
+
+	dirs := h.Dirs
+	if dirs == nil {
+		dirs = make([]int, s.Partitions)
+		for i := range dirs {
+			dirs[i] = i
+		}
+	}
+	for _, dir := range dirs {
+		dpath := filepath.Join(h.Root, fmt.Sprintf("node%d", dir), "ipars")
+		cf, err := os.Open(filepath.Join(dpath, "COORDS"))
+		if err != nil {
+			return emitted, err
+		}
+		if _, err := cf.ReadAt(coords, 0); err != nil {
+			cf.Close()
+			return emitted, fmt.Errorf("handwritten: COORDS: %w", err)
+		}
+		cf.Close()
+		for rel := 0; rel < s.Realizations; rel++ {
+			if !relSet.Contains(float64(rel)) {
+				continue // index: skip the whole realization file
+			}
+			df, err := os.Open(filepath.Join(dpath, fmt.Sprintf("DATA%d", rel)))
+			if err != nil {
+				return emitted, err
+			}
+			for _, run := range timeRuns {
+				for tm := run.Lo; tm <= run.Hi; tm += run.Step {
+					off := (tm - 1) * int64(stepBytes)
+					if _, err := df.ReadAt(buf, off); err != nil {
+						df.Close()
+						return emitted, fmt.Errorf("handwritten: DATA%d: %w", rel, err)
+					}
+					for g := 0; g < gp; g++ {
+						row[0] = schema.Value{Kind: schema.Short, Int: int64(rel)}
+						row[1] = schema.IntValue(tm)
+						c := g * 12
+						row[2] = schema.FloatValue(float64(math.Float32frombits(binary.LittleEndian.Uint32(coords[c:]))))
+						row[3] = schema.FloatValue(float64(math.Float32frombits(binary.LittleEndian.Uint32(coords[c+4:]))))
+						row[4] = schema.FloatValue(float64(math.Float32frombits(binary.LittleEndian.Uint32(coords[c+8:]))))
+						b := g * A * 4
+						for a := 0; a < A; a++ {
+							row[5+a] = schema.FloatValue(float64(math.Float32frombits(
+								binary.LittleEndian.Uint32(buf[b+a*4:]))))
+						}
+						if !pred(row) {
+							continue
+						}
+						for i, p := range project {
+							out[i] = row[p]
+						}
+						if err := emit(out); err != nil {
+							df.Close()
+							return emitted, err
+						}
+						emitted++
+					}
+				}
+			}
+			df.Close()
+		}
+	}
+	return emitted, nil
+}
+
+// IparsL0 hand-codes the original application layout L0: one COORDS
+// file plus one file per variable per realization (<ATTR>.R<rel>), each
+// ordered by time step then grid point. Answering a query opens
+// 3-coordinates + Attrs files together, exactly the "18 different
+// files ... for one set of aligned file chunks" the paper describes.
+type IparsL0 struct {
+	Root string
+	Spec gen.IparsSpec
+}
+
+// Schema returns the virtual table schema.
+func (h *IparsL0) Schema() *schema.Schema {
+	return (&IparsCluster{Spec: h.Spec}).Schema()
+}
+
+// Query executes sql against the L0 layout.
+func (h *IparsL0) Query(sql string, emit func(table.Row) error) (int64, error) {
+	s := h.Spec
+	sch := h.Schema()
+	q, err := sqlparser.Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	reg := filter.NewRegistry()
+	cols, err := query.Validate(q, sch, reg)
+	if err != nil {
+		return 0, err
+	}
+	pred, err := query.CompilePredicate(q.Where, func(name string) (int, bool) {
+		i := sch.Index(name)
+		return i, i >= 0
+	}, reg)
+	if err != nil {
+		return 0, err
+	}
+	ranges := query.ExtractRanges(q.Where)
+	project := make([]int, len(cols))
+	for i, c := range cols {
+		project[i] = sch.Index(c)
+	}
+
+	relSet := ranges.Get("REL")
+	timeRuns := ranges.Get("TIME").ClipInt(1, int64(s.TimeSteps), 1)
+	if len(timeRuns) == 0 {
+		return 0, nil
+	}
+
+	G := s.GridPoints
+	A := s.Attrs
+	names := gen.IparsAttrNames(A)
+	dpath := filepath.Join(h.Root, "node0", "ipars")
+
+	coords := make([]byte, G*12)
+	cf, err := os.Open(filepath.Join(dpath, "COORDS"))
+	if err != nil {
+		return 0, err
+	}
+	if _, err := cf.ReadAt(coords, 0); err != nil {
+		cf.Close()
+		return 0, fmt.Errorf("handwritten: COORDS: %w", err)
+	}
+	cf.Close()
+
+	row := make(table.Row, sch.NumAttrs())
+	out := make(table.Row, len(cols))
+	var emitted int64
+	stepBytes := int64(G * 4)
+	bufs := make([][]byte, A)
+	for a := range bufs {
+		bufs[a] = make([]byte, stepBytes)
+	}
+
+	for rel := 0; rel < s.Realizations; rel++ {
+		if !relSet.Contains(float64(rel)) {
+			continue
+		}
+		// Open all attribute files of this realization together.
+		files := make([]*os.File, A)
+		for a, n := range names {
+			f, err := os.Open(filepath.Join(dpath, fmt.Sprintf("%s.R%d", n, rel)))
+			if err != nil {
+				for _, g := range files[:a] {
+					g.Close()
+				}
+				return emitted, err
+			}
+			files[a] = f
+		}
+		closeAll := func() {
+			for _, f := range files {
+				f.Close()
+			}
+		}
+		for _, run := range timeRuns {
+			for tm := run.Lo; tm <= run.Hi; tm += run.Step {
+				off := (tm - 1) * stepBytes
+				for a := range files {
+					if _, err := files[a].ReadAt(bufs[a], off); err != nil {
+						closeAll()
+						return emitted, fmt.Errorf("handwritten: %s.R%d: %w", names[a], rel, err)
+					}
+				}
+				for g := 0; g < G; g++ {
+					row[0] = schema.Value{Kind: schema.Short, Int: int64(rel)}
+					row[1] = schema.IntValue(tm)
+					c := g * 12
+					row[2] = schema.FloatValue(float64(math.Float32frombits(binary.LittleEndian.Uint32(coords[c:]))))
+					row[3] = schema.FloatValue(float64(math.Float32frombits(binary.LittleEndian.Uint32(coords[c+4:]))))
+					row[4] = schema.FloatValue(float64(math.Float32frombits(binary.LittleEndian.Uint32(coords[c+8:]))))
+					for a := 0; a < A; a++ {
+						row[5+a] = schema.FloatValue(float64(math.Float32frombits(
+							binary.LittleEndian.Uint32(bufs[a][g*4:]))))
+					}
+					if !pred(row) {
+						continue
+					}
+					for i, p := range project {
+						out[i] = row[p]
+					}
+					if err := emit(out); err != nil {
+						closeAll()
+						return emitted, err
+					}
+					emitted++
+				}
+			}
+		}
+		closeAll()
+	}
+	return emitted, nil
+}

@@ -1,0 +1,156 @@
+package handwritten
+
+import (
+	"sort"
+	"testing"
+
+	"datavirt/internal/core"
+	"datavirt/internal/gen"
+	"datavirt/internal/table"
+)
+
+// collect gathers rows from a hand-written Query into sorted strings.
+func collect(t *testing.T, run func(emit func(table.Row) error) (int64, error)) []string {
+	t.Helper()
+	var out []string
+	n, err := run(func(r table.Row) error {
+		out = append(out, table.FormatRow(r))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(n) != len(out) {
+		t.Fatalf("reported %d rows, emitted %d", n, len(out))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// generatedRows runs the same SQL through the compiled engine.
+func generatedRows(t *testing.T, descPath, root, sql string) []string {
+	t.Helper()
+	svc, err := core.Open(descPath, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := svc.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = table.FormatRow(r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func assertEqual(t *testing.T, label string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows vs %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: row %d:\nhand: %s\ngen:  %s", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestHandwrittenMatchesGenerated is the correctness side of the
+// paper's hand-written vs compiler-generated comparison: both codes
+// must produce identical virtual tables on every query class of
+// Figure 8.
+func TestIparsClusterMatchesGenerated(t *testing.T) {
+	spec := gen.IparsSpec{
+		Realizations: 2, TimeSteps: 6, GridPoints: 16, Partitions: 2,
+		Attrs: 17, Seed: 77,
+	}
+	root := t.TempDir()
+	descPath, err := gen.WriteIpars(root, spec, "CLUSTER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &IparsCluster{Root: root, Spec: spec}
+	for _, sql := range []string{
+		"SELECT * FROM IparsData",
+		"SELECT * FROM IparsData WHERE TIME > 2 AND TIME < 5",
+		"SELECT * FROM IparsData WHERE TIME > 2 AND TIME < 5 AND SOIL > 0.7",
+		"SELECT * FROM IparsData WHERE TIME <= 3 AND SPEED(OILVX, OILVY, OILVZ) < 20",
+		"SELECT SOIL, SGAS FROM IparsData WHERE REL = 1",
+		"SELECT * FROM IparsData WHERE TIME > 50",
+	} {
+		hand := collect(t, func(emit func(table.Row) error) (int64, error) {
+			return h.Query(sql, emit)
+		})
+		want := generatedRows(t, descPath, root, sql)
+		assertEqual(t, sql, hand, want)
+	}
+}
+
+func TestIparsL0MatchesGenerated(t *testing.T) {
+	spec := gen.IparsSpec{
+		Realizations: 2, TimeSteps: 4, GridPoints: 12, Partitions: 1,
+		Attrs: 17, Seed: 78,
+	}
+	root := t.TempDir()
+	descPath, err := gen.WriteIpars(root, spec, "L0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &IparsL0{Root: root, Spec: spec}
+	for _, sql := range []string{
+		"SELECT * FROM IparsData",
+		"SELECT * FROM IparsData WHERE TIME = 2 AND SGAS > 0.4",
+		"SELECT POIL FROM IparsData WHERE REL = 0 AND TIME >= 3",
+	} {
+		hand := collect(t, func(emit func(table.Row) error) (int64, error) {
+			return h.Query(sql, emit)
+		})
+		want := generatedRows(t, descPath, root, sql)
+		assertEqual(t, sql, hand, want)
+	}
+}
+
+func TestTitanMatchesGenerated(t *testing.T) {
+	spec := gen.TitanSpec{
+		Points: 5000, XMax: 1000, YMax: 1000, ZMax: 100,
+		TilesX: 4, TilesY: 4, TilesZ: 2, Nodes: 1, Seed: 79,
+	}
+	root := t.TempDir()
+	descPath, err := gen.WriteTitan(root, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &Titan{Root: root, Spec: spec}
+	defer h.Close()
+	for _, sql := range []string{
+		"SELECT * FROM TitanData",
+		"SELECT * FROM TitanData WHERE X >= 0 AND X <= 300 AND Y >= 0 AND Y <= 300 AND Z >= 0 AND Z <= 30",
+		"SELECT * FROM TitanData WHERE DISTANCE(X, Y, Z) < 400",
+		"SELECT * FROM TitanData WHERE S1 < 0.01",
+		"SELECT S1, S2 FROM TitanData WHERE S1 < 0.5",
+	} {
+		hand := collect(t, func(emit func(table.Row) error) (int64, error) {
+			return h.Query(sql, emit)
+		})
+		want := generatedRows(t, descPath, root, sql)
+		assertEqual(t, sql, hand, want)
+	}
+}
+
+func TestHandwrittenErrors(t *testing.T) {
+	spec := gen.IparsSpec{Realizations: 1, TimeSteps: 2, GridPoints: 4, Partitions: 1, Attrs: 2, Seed: 1}
+	h := &IparsCluster{Root: t.TempDir(), Spec: spec} // no data generated
+	if _, err := h.Query("SELECT * FROM IparsData", func(table.Row) error { return nil }); err == nil {
+		t.Error("missing files accepted")
+	}
+	if _, err := h.Query("bad sql", func(table.Row) error { return nil }); err == nil {
+		t.Error("bad sql accepted")
+	}
+	ht := &Titan{Root: t.TempDir(), Spec: gen.TitanSpec{Points: 1, XMax: 1, YMax: 1, ZMax: 1, TilesX: 1, TilesY: 1, TilesZ: 1, Nodes: 1}}
+	if _, err := ht.Query("SELECT * FROM TitanData", func(table.Row) error { return nil }); err == nil {
+		t.Error("missing titan files accepted")
+	}
+}

@@ -1,0 +1,133 @@
+package handwritten
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"datavirt/internal/filter"
+	"datavirt/internal/gen"
+	"datavirt/internal/index"
+	"datavirt/internal/query"
+	"datavirt/internal/schema"
+	"datavirt/internal/sqlparser"
+	"datavirt/internal/table"
+)
+
+// Titan hand-codes the chunked satellite layout: chunks.dat holds
+// 32-byte records (three int32 coordinates, five float32 sensors)
+// grouped into space-time chunks; chunks.idx is the R-tree directory
+// over chunk bounds. The index function probes the R-tree; the
+// extractor decodes records directly.
+type Titan struct {
+	Root string
+	Spec gen.TitanSpec
+
+	idx  []*index.ChunkIndex // per node, lazily loaded
+	data []*os.File
+}
+
+// Schema returns the TITAN schema.
+func (h *Titan) Schema() *schema.Schema { return gen.TitanSchema() }
+
+// open loads the per-node index files and data handles.
+func (h *Titan) open() error {
+	if h.idx != nil {
+		return nil
+	}
+	for n := 0; n < h.Spec.Nodes; n++ {
+		dir := filepath.Join(h.Root, fmt.Sprintf("node%d", n), "titan")
+		ix, err := index.ReadFile(filepath.Join(dir, "chunks.idx"))
+		if err != nil {
+			return err
+		}
+		f, err := os.Open(filepath.Join(dir, "chunks.dat"))
+		if err != nil {
+			return err
+		}
+		h.idx = append(h.idx, ix)
+		h.data = append(h.data, f)
+	}
+	return nil
+}
+
+// Close releases data file handles.
+func (h *Titan) Close() error {
+	var first error
+	for _, f := range h.data {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	h.data, h.idx = nil, nil
+	return first
+}
+
+// Query executes sql with the hand-written chunk reader.
+func (h *Titan) Query(sql string, emit func(table.Row) error) (int64, error) {
+	if err := h.open(); err != nil {
+		return 0, err
+	}
+	sch := h.Schema()
+	q, err := sqlparser.Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	reg := filter.NewRegistry()
+	cols, err := query.Validate(q, sch, reg)
+	if err != nil {
+		return 0, err
+	}
+	pred, err := query.CompilePredicate(q.Where, func(name string) (int, bool) {
+		i := sch.Index(name)
+		return i, i >= 0
+	}, reg)
+	if err != nil {
+		return 0, err
+	}
+	ranges := query.ExtractRanges(q.Where)
+	project := make([]int, len(cols))
+	for i, c := range cols {
+		project[i] = sch.Index(c)
+	}
+
+	row := make(table.Row, 8)
+	out := make(table.Row, len(cols))
+	var emitted int64
+	var buf []byte
+	for n := range h.idx {
+		for _, chunk := range h.idx[n].Search(ranges) {
+			span := chunk.NumRows * gen.TitanRecordBytes
+			if int64(cap(buf)) < span {
+				buf = make([]byte, span)
+			}
+			b := buf[:span]
+			if _, err := h.data[n].ReadAt(b, chunk.Offset); err != nil {
+				return emitted, fmt.Errorf("handwritten: chunks.dat: %w", err)
+			}
+			for r := int64(0); r < chunk.NumRows; r++ {
+				rec := b[r*gen.TitanRecordBytes:]
+				row[0] = schema.IntValue(int64(int32(binary.LittleEndian.Uint32(rec[0:]))))
+				row[1] = schema.IntValue(int64(int32(binary.LittleEndian.Uint32(rec[4:]))))
+				row[2] = schema.IntValue(int64(int32(binary.LittleEndian.Uint32(rec[8:]))))
+				for k := 0; k < 5; k++ {
+					row[3+k] = schema.FloatValue(float64(math.Float32frombits(
+						binary.LittleEndian.Uint32(rec[12+4*k:]))))
+				}
+				if !pred(row) {
+					continue
+				}
+				for i, p := range project {
+					out[i] = row[p]
+				}
+				if err := emit(out); err != nil {
+					return emitted, err
+				}
+				emitted++
+			}
+		}
+	}
+	return emitted, nil
+}

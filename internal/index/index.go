@@ -1,0 +1,276 @@
+// Package index implements the persisted spatial chunk index used for
+// CHUNKED leaf datasets — the descriptor's INDEXFILE. The paper's
+// satellite application stores processed data "as a set of chunks ...
+// [with] a spatial index built so that chunks that intersect the query
+// are searched for quickly" (§2.2). An index file records, for each
+// variable-length chunk of a data file, its byte offset, row count, and
+// minimum bounding rectangle over the DATAINDEX attributes; queries are
+// answered with an STR-bulk-loaded R-tree rebuilt at load time.
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"datavirt/internal/query"
+	"datavirt/internal/rtree"
+)
+
+// ChunkMeta describes one chunk of a chunked data file.
+type ChunkMeta struct {
+	// Offset is the chunk's byte offset in the data file.
+	Offset int64
+	// NumRows is the number of fixed-width records in the chunk.
+	NumRows int64
+	// Min and Max bound the chunk's values of the index attributes, in
+	// index-attribute order.
+	Min, Max []float64
+}
+
+// ChunkIndex is a loaded index: the DATAINDEX attribute names, the chunk
+// directory, and the R-tree over chunk MBRs.
+type ChunkIndex struct {
+	attrs  []string
+	chunks []ChunkMeta
+	rects  []rtree.Rect
+	tree   *rtree.Tree
+}
+
+// Build constructs an in-memory index over the given chunks. Every
+// chunk's MBR must have one dimension per index attribute.
+func Build(attrs []string, chunks []ChunkMeta) (*ChunkIndex, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("index: no index attributes")
+	}
+	rects := make([]rtree.Rect, len(chunks))
+	for i, c := range chunks {
+		if len(c.Min) != len(attrs) || len(c.Max) != len(attrs) {
+			return nil, fmt.Errorf("index: chunk %d MBR has %d/%d dims, want %d",
+				i, len(c.Min), len(c.Max), len(attrs))
+		}
+		r, err := rtree.NewRect(c.Min, c.Max)
+		if err != nil {
+			return nil, fmt.Errorf("index: chunk %d: %w", i, err)
+		}
+		if c.Offset < 0 || c.NumRows < 0 {
+			return nil, fmt.Errorf("index: chunk %d has negative offset or row count", i)
+		}
+		rects[i] = r
+	}
+	tree, err := rtree.Build(rects)
+	if err != nil {
+		return nil, err
+	}
+	return &ChunkIndex{attrs: attrs, chunks: chunks, rects: rects, tree: tree}, nil
+}
+
+// Attrs returns the index attribute names.
+func (ix *ChunkIndex) Attrs() []string { return append([]string(nil), ix.attrs...) }
+
+// NumChunks returns the number of indexed chunks.
+func (ix *ChunkIndex) NumChunks() int { return len(ix.chunks) }
+
+// Chunks returns all chunk metadata (do not mutate).
+func (ix *ChunkIndex) Chunks() []ChunkMeta { return ix.chunks }
+
+// Search returns the chunks whose MBR may contain rows satisfying the
+// per-attribute constraint sets. It is the generated "index function"
+// for chunked layouts: a bounding-box R-tree probe refined by exact
+// interval-set overlap per attribute.
+func (ix *ChunkIndex) Search(ranges query.Ranges) []ChunkMeta {
+	qmin := make([]float64, len(ix.attrs))
+	qmax := make([]float64, len(ix.attrs))
+	sets := make([]query.Set, len(ix.attrs))
+	for d, a := range ix.attrs {
+		s := ranges.Get(a)
+		sets[d] = s
+		if s.Empty() {
+			return nil
+		}
+		ivs := s.Intervals()
+		lo, hi := ivs[0].Lo, ivs[len(ivs)-1].Hi
+		if math.IsInf(lo, -1) {
+			lo = -math.MaxFloat64
+		}
+		if math.IsInf(hi, 1) {
+			hi = math.MaxFloat64
+		}
+		qmin[d], qmax[d] = lo, hi
+	}
+	q := rtree.Rect{Min: qmin, Max: qmax}
+	var out []ChunkMeta
+	ix.tree.Search(q, ix.rects, func(i int) bool {
+		c := ix.chunks[i]
+		for d, s := range sets {
+			if !s.Overlaps(query.Interval{Lo: c.Min[d], Hi: c.Max[d]}) {
+				return true // refine away; continue search
+			}
+		}
+		out = append(out, c)
+		return true
+	})
+	return out
+}
+
+// File format:
+//
+//	magic "DVIX" | version u16 | nattrs u16
+//	nattrs × { nameLen u16 | name bytes }
+//	nchunks u64
+//	nchunks × { offset i64 | numRows i64 | nattrs × (min f64, max f64) }
+//
+// All integers little-endian.
+var magic = [4]byte{'D', 'V', 'I', 'X'}
+
+const version = 1
+
+// Write serializes the index's chunk directory.
+func Write(w io.Writer, attrs []string, chunks []ChunkMeta) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(version)); err != nil {
+		return err
+	}
+	if len(attrs) == 0 || len(attrs) > 0xFFFF {
+		return fmt.Errorf("index: bad attribute count %d", len(attrs))
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(len(attrs))); err != nil {
+		return err
+	}
+	for _, a := range attrs {
+		if len(a) == 0 || len(a) > 0xFFFF {
+			return fmt.Errorf("index: bad attribute name %q", a)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint16(len(a))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(a); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(chunks))); err != nil {
+		return err
+	}
+	for i, c := range chunks {
+		if len(c.Min) != len(attrs) || len(c.Max) != len(attrs) {
+			return fmt.Errorf("index: chunk %d MBR dims mismatch", i)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, c.Offset); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, c.NumRows); err != nil {
+			return err
+		}
+		for d := range attrs {
+			if err := binary.Write(bw, binary.LittleEndian, c.Min[d]); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, c.Max[d]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the index to path, creating or truncating it.
+func WriteFile(path string, attrs []string, chunks []ChunkMeta) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, attrs, chunks); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read parses an index file and builds the in-memory R-tree.
+func Read(r io.Reader) (*ChunkIndex, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("index: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("index: bad magic %q", m[:])
+	}
+	var ver, nattrs uint16
+	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("index: unsupported version %d", ver)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &nattrs); err != nil {
+		return nil, err
+	}
+	if nattrs == 0 {
+		return nil, fmt.Errorf("index: zero attributes")
+	}
+	attrs := make([]string, nattrs)
+	for i := range attrs {
+		var n uint16
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("index: reading attribute name: %w", err)
+		}
+		attrs[i] = string(buf)
+	}
+	var nchunks uint64
+	if err := binary.Read(br, binary.LittleEndian, &nchunks); err != nil {
+		return nil, err
+	}
+	const maxChunks = 1 << 28 // sanity cap against corrupt headers
+	if nchunks > maxChunks {
+		return nil, fmt.Errorf("index: implausible chunk count %d", nchunks)
+	}
+	chunks := make([]ChunkMeta, nchunks)
+	for i := range chunks {
+		c := &chunks[i]
+		if err := binary.Read(br, binary.LittleEndian, &c.Offset); err != nil {
+			return nil, fmt.Errorf("index: chunk %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &c.NumRows); err != nil {
+			return nil, fmt.Errorf("index: chunk %d: %w", i, err)
+		}
+		c.Min = make([]float64, nattrs)
+		c.Max = make([]float64, nattrs)
+		for d := 0; d < int(nattrs); d++ {
+			if err := binary.Read(br, binary.LittleEndian, &c.Min[d]); err != nil {
+				return nil, fmt.Errorf("index: chunk %d: %w", i, err)
+			}
+			if err := binary.Read(br, binary.LittleEndian, &c.Max[d]); err != nil {
+				return nil, fmt.Errorf("index: chunk %d: %w", i, err)
+			}
+		}
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("index: trailing bytes after chunk directory")
+	}
+	return Build(attrs, chunks)
+}
+
+// ReadFile loads the index at path.
+func ReadFile(path string) (*ChunkIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ix, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ix, nil
+}

@@ -1,0 +1,235 @@
+package index
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"datavirt/internal/query"
+	"datavirt/internal/sqlparser"
+)
+
+func sampleChunks() []ChunkMeta {
+	// A 4×4 grid of 10×10 tiles over (X, Y), 100 rows each.
+	var out []ChunkMeta
+	off := int64(0)
+	for gx := 0; gx < 4; gx++ {
+		for gy := 0; gy < 4; gy++ {
+			out = append(out, ChunkMeta{
+				Offset:  off,
+				NumRows: 100,
+				Min:     []float64{float64(gx * 10), float64(gy * 10)},
+				Max:     []float64{float64(gx*10 + 9), float64(gy*10 + 9)},
+			})
+			off += 100 * 16
+		}
+	}
+	return out
+}
+
+func TestBuildAndSearch(t *testing.T) {
+	ix, err := Build([]string{"X", "Y"}, sampleChunks())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if ix.NumChunks() != 16 {
+		t.Errorf("NumChunks = %d", ix.NumChunks())
+	}
+	if got := ix.Attrs(); len(got) != 2 || got[0] != "X" {
+		t.Errorf("Attrs = %v", got)
+	}
+	q := sqlparser.MustParse("SELECT * FROM T WHERE X >= 0 AND X <= 9 AND Y >= 0 AND Y <= 9")
+	hits := ix.Search(query.ExtractRanges(q.Where))
+	if len(hits) != 1 || hits[0].Offset != 0 {
+		t.Errorf("corner query hits = %v", hits)
+	}
+	// A query spanning two tiles in X.
+	q2 := sqlparser.MustParse("SELECT * FROM T WHERE X >= 5 AND X <= 15 AND Y >= 0 AND Y <= 5")
+	if hits := ix.Search(query.ExtractRanges(q2.Where)); len(hits) != 2 {
+		t.Errorf("two-tile query hits = %d", len(hits))
+	}
+	// Unconstrained query hits everything.
+	if hits := ix.Search(query.Ranges{}); len(hits) != 16 {
+		t.Errorf("full query hits = %d", len(hits))
+	}
+	// Unsatisfiable ranges hit nothing.
+	q3 := sqlparser.MustParse("SELECT * FROM T WHERE X > 5 AND X < 4")
+	if hits := ix.Search(query.ExtractRanges(q3.Where)); len(hits) != 0 {
+		t.Errorf("empty query hits = %d", len(hits))
+	}
+	// Multi-interval refinement: X IN (5, 25) must skip the tile 10-19.
+	q4 := sqlparser.MustParse("SELECT * FROM T WHERE X IN (5, 25) AND Y <= 9")
+	hits4 := ix.Search(query.ExtractRanges(q4.Where))
+	if len(hits4) != 2 {
+		t.Errorf("IN query hits = %d", len(hits4))
+	}
+	for _, h := range hits4 {
+		if h.Min[0] == 10 || h.Min[0] == 30 {
+			t.Errorf("IN query hit wrong tile at X=%g", h.Min[0])
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, nil); err == nil {
+		t.Error("no attrs accepted")
+	}
+	if _, err := Build([]string{"X"}, []ChunkMeta{{Min: []float64{0, 0}, Max: []float64{1, 1}}}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := Build([]string{"X"}, []ChunkMeta{{Min: []float64{2}, Max: []float64{1}}}); err == nil {
+		t.Error("inverted MBR accepted")
+	}
+	if _, err := Build([]string{"X"}, []ChunkMeta{{Offset: -1, Min: []float64{0}, Max: []float64{1}}}); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	chunks := sampleChunks()
+	var buf bytes.Buffer
+	if err := Write(&buf, []string{"X", "Y"}, chunks); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	ix, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if ix.NumChunks() != len(chunks) {
+		t.Fatalf("NumChunks = %d", ix.NumChunks())
+	}
+	got := ix.Chunks()
+	for i := range chunks {
+		if got[i].Offset != chunks[i].Offset || got[i].NumRows != chunks[i].NumRows ||
+			got[i].Min[0] != chunks[i].Min[0] || got[i].Max[1] != chunks[i].Max[1] {
+			t.Errorf("chunk %d mismatch: %+v vs %+v", i, got[i], chunks[i])
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "chunks.idx")
+	if err := WriteFile(path, []string{"X"}, []ChunkMeta{
+		{Offset: 0, NumRows: 10, Min: []float64{0}, Max: []float64{5}},
+	}); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	ix, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if ix.NumChunks() != 1 {
+		t.Errorf("NumChunks = %d", ix.NumChunks())
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.idx")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReadCorrupt(t *testing.T) {
+	var good bytes.Buffer
+	if err := Write(&good, []string{"X"}, sample1D()); err != nil {
+		t.Fatal(err)
+	}
+	full := good.Bytes()
+
+	// Truncations at every prefix length must error, not panic.
+	for n := 0; n < len(full); n += 7 {
+		if _, err := Read(bytes.NewReader(full[:n])); err == nil {
+			t.Errorf("truncated to %d bytes accepted", n)
+		}
+	}
+	// Bad magic.
+	bad := append([]byte("NOPE"), full[4:]...)
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Bad version.
+	bad2 := append([]byte{}, full...)
+	bad2[4] = 99
+	if _, err := Read(bytes.NewReader(bad2)); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Trailing garbage.
+	bad3 := append(append([]byte{}, full...), 0xAB)
+	if _, err := Read(bytes.NewReader(bad3)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func sample1D() []ChunkMeta {
+	var out []ChunkMeta
+	for i := 0; i < 5; i++ {
+		out = append(out, ChunkMeta{
+			Offset: int64(i * 1000), NumRows: 50,
+			Min: []float64{float64(i * 10)}, Max: []float64{float64(i*10 + 9)},
+		})
+	}
+	return out
+}
+
+// Property: Search agrees with a linear filter over chunks for random
+// range queries.
+func TestSearchMatchesLinearQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200) + 1
+		chunks := make([]ChunkMeta, n)
+		for i := range chunks {
+			x := rng.Float64() * 100
+			y := rng.Float64() * 100
+			chunks[i] = ChunkMeta{
+				Offset: int64(i) * 64, NumRows: int64(rng.Intn(100)),
+				Min: []float64{x, y},
+				Max: []float64{x + rng.Float64()*10, y + rng.Float64()*10},
+			}
+		}
+		ix, err := Build([]string{"X", "Y"}, chunks)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 5; trial++ {
+			lox, loy := rng.Float64()*100, rng.Float64()*100
+			hix, hiy := lox+rng.Float64()*30, loy+rng.Float64()*30
+			ranges := query.Ranges{
+				"X": query.NewSet(query.Interval{Lo: lox, Hi: hix}),
+				"Y": query.NewSet(query.Interval{Lo: loy, Hi: hiy}),
+			}
+			want := map[int64]bool{}
+			for _, c := range chunks {
+				if c.Min[0] <= hix && c.Max[0] >= lox && c.Min[1] <= hiy && c.Max[1] >= loy {
+					want[c.Offset] = true
+				}
+			}
+			got := ix.Search(ranges)
+			if len(got) != len(want) {
+				return false
+			}
+			for _, c := range got {
+				if !want[c.Offset] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil, nil); err == nil {
+		t.Error("no attrs accepted")
+	}
+	if err := Write(&buf, []string{""}, nil); err == nil {
+		t.Error("empty attr name accepted")
+	}
+	if err := Write(&buf, []string{"X"}, []ChunkMeta{{Min: []float64{0, 0}, Max: []float64{1, 1}}}); err == nil {
+		t.Error("MBR dims mismatch accepted")
+	}
+}

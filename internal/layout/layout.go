@@ -1,0 +1,262 @@
+// Package layout compiles the DATASPACE loop nests of a meta-data
+// descriptor into affine access paths: for every attribute stored in a
+// file, a base offset plus one (stride, extent) term per enclosing loop.
+// All later machinery — aligned-file-chunk computation, extraction, and
+// code generation — reduces to arithmetic over these paths.
+//
+// Compilation is two-phase, mirroring the paper's design: CompileLeaf
+// performs the symbolic analysis once per descriptor; Instantiate
+// resolves a concrete file's bound variables (its implicit attributes,
+// e.g. $DIRID) into integer strides and extents. Neither phase runs per
+// query.
+package layout
+
+import (
+	"fmt"
+
+	"datavirt/internal/metadata"
+	"datavirt/internal/schema"
+)
+
+// Leaf is the compiled symbolic layout of one DATASPACE leaf dataset.
+type Leaf struct {
+	Node *metadata.DatasetNode
+	// Kinds maps every attribute visible in the leaf (schema plus
+	// DATATYPE extras) to its kind.
+	Kinds map[string]schema.Kind
+	// payload lists the attributes stored in the dataspace, in document
+	// order.
+	payload []string
+}
+
+// CompileLeaf validates and compiles the dataspace of a leaf node
+// against the attribute table visible at that node.
+func CompileLeaf(node *metadata.DatasetNode, kinds map[string]schema.Kind) (*Leaf, error) {
+	if node.Space == nil {
+		return nil, fmt.Errorf("layout: dataset %q has no DATASPACE", node.Name)
+	}
+	l := &Leaf{Node: node, Kinds: kinds}
+	seen := map[string]bool{}
+	var walk func(items []metadata.SpaceItem) error
+	walk = func(items []metadata.SpaceItem) error {
+		for _, it := range items {
+			switch v := it.(type) {
+			case metadata.AttrRef:
+				if seen[v.Name] {
+					return fmt.Errorf("layout: dataset %q stores attribute %q twice", node.Name, v.Name)
+				}
+				if _, ok := kinds[v.Name]; !ok {
+					return fmt.Errorf("layout: dataset %q stores unknown attribute %q", node.Name, v.Name)
+				}
+				seen[v.Name] = true
+				l.payload = append(l.payload, v.Name)
+			case *metadata.Loop:
+				if err := walk(v.Body); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(node.Space.Items); err != nil {
+		return nil, err
+	}
+	if len(l.payload) == 0 {
+		return nil, fmt.Errorf("layout: dataset %q stores no attributes", node.Name)
+	}
+	return l, nil
+}
+
+// PayloadAttrs returns the attributes stored in the leaf's files, in
+// document order.
+func (l *Leaf) PayloadAttrs() []string {
+	return append([]string(nil), l.payload...)
+}
+
+// Dim is one concrete loop dimension of a file: an inclusive integer
+// range with a step.
+type Dim struct {
+	Var          string
+	Lo, Hi, Step int64
+}
+
+// Count returns the number of iterations of the dimension.
+func (d Dim) Count() int64 {
+	if d.Lo > d.Hi {
+		return 0
+	}
+	return (d.Hi-d.Lo)/d.Step + 1
+}
+
+// AccessStep is one loop term of an affine access path.
+type AccessStep struct {
+	Var         string
+	Lo, Step    int64 // the loop's lower bound and step
+	StrideBytes int64 // bytes between consecutive iterations
+}
+
+// Access is the concrete affine access path of one attribute in a file:
+//
+//	offset(vals) = Base + Σ_i ((vals[Var_i] - Lo_i) / Step_i) * StrideBytes_i
+type Access struct {
+	Attr  string
+	Kind  schema.Kind
+	Size  int64
+	Base  int64
+	Steps []AccessStep
+}
+
+// Offset computes the byte offset of the attribute's element for the
+// given dimension values. Values must include every step variable.
+func (a *Access) Offset(vals map[string]int64) (int64, error) {
+	off := a.Base
+	for _, s := range a.Steps {
+		v, ok := vals[s.Var]
+		if !ok {
+			return 0, fmt.Errorf("layout: access to %s needs dimension %s", a.Attr, s.Var)
+		}
+		if (v-s.Lo)%s.Step != 0 {
+			return 0, fmt.Errorf("layout: dimension %s value %d not on lattice %d:%d", s.Var, v, s.Lo, s.Step)
+		}
+		off += (v - s.Lo) / s.Step * s.StrideBytes
+	}
+	return off, nil
+}
+
+// StrideAlong returns the byte stride of the access along the given
+// dimension, or 0 if the attribute does not vary along it.
+func (a *Access) StrideAlong(dim string) int64 {
+	for _, s := range a.Steps {
+		if s.Var == dim {
+			return s.StrideBytes
+		}
+	}
+	return 0
+}
+
+// FileLayout is the fully concrete layout of one file instance.
+type FileLayout struct {
+	// Env is the binding environment of the file instance.
+	Env metadata.Env
+	// Dims lists the loop dimensions, outermost first (first-occurrence
+	// order). Sibling loops reusing a variable must agree on bounds and
+	// appear once.
+	Dims []Dim
+	// Accesses holds one access path per stored attribute, in document
+	// order.
+	Accesses []Access
+	// TotalBytes is the exact file size implied by the layout.
+	TotalBytes int64
+}
+
+// Dim returns the named dimension and whether it exists.
+func (fl *FileLayout) Dim(name string) (Dim, bool) {
+	for _, d := range fl.Dims {
+		if d.Var == name {
+			return d, true
+		}
+	}
+	return Dim{}, false
+}
+
+// Access returns the access path for attr, or nil.
+func (fl *FileLayout) Access(attr string) *Access {
+	for i := range fl.Accesses {
+		if fl.Accesses[i].Attr == attr {
+			return &fl.Accesses[i]
+		}
+	}
+	return nil
+}
+
+// HasAttr reports whether the file stores attr.
+func (fl *FileLayout) HasAttr(attr string) bool { return fl.Access(attr) != nil }
+
+// Instantiate resolves the leaf's loop bounds under a file instance's
+// binding environment, producing concrete strides, extents, and the
+// exact file size.
+func (l *Leaf) Instantiate(env metadata.Env) (*FileLayout, error) {
+	fl := &FileLayout{Env: env}
+	inst := &instantiator{env: env, fl: fl, leaf: l}
+	size, err := inst.sizeOf(l.Node.Space.Items, nil, 0)
+	if err != nil {
+		return nil, fmt.Errorf("layout: dataset %q: %w", l.Node.Name, err)
+	}
+	fl.TotalBytes = size
+	return fl, nil
+}
+
+type instantiator struct {
+	env  metadata.Env
+	fl   *FileLayout
+	leaf *Leaf
+}
+
+// sizeOf computes the byte size of an item list and, as a side effect,
+// records dimension and access-path information. enclosing carries the
+// (var, lo, step, stride-placeholder index) of enclosing loops via the
+// partial []AccessStep — strides of enclosing loops are filled in after
+// their body size is known, so the recursion returns sizes bottom-up and
+// patches the steps.
+func (in *instantiator) sizeOf(items []metadata.SpaceItem, enclosing []AccessStep, base int64) (int64, error) {
+	off := base
+	for _, it := range items {
+		switch v := it.(type) {
+		case metadata.AttrRef:
+			kind := in.leaf.Kinds[v.Name]
+			acc := Access{
+				Attr:  v.Name,
+				Kind:  kind,
+				Size:  int64(kind.Size()),
+				Base:  off,
+				Steps: append([]AccessStep(nil), enclosing...),
+			}
+			in.fl.Accesses = append(in.fl.Accesses, acc)
+			off += acc.Size
+		case *metadata.Loop:
+			lo, err := v.Lo.Eval(in.env)
+			if err != nil {
+				return 0, err
+			}
+			hi, err := v.Hi.Eval(in.env)
+			if err != nil {
+				return 0, err
+			}
+			step, err := v.Step.Eval(in.env)
+			if err != nil {
+				return 0, err
+			}
+			if step <= 0 {
+				return 0, fmt.Errorf("loop %s: non-positive step %d", v.Var, step)
+			}
+			if lo > hi {
+				return 0, fmt.Errorf("loop %s: empty range %d:%d", v.Var, lo, hi)
+			}
+			dim := Dim{Var: v.Var, Lo: lo, Hi: hi, Step: step}
+			if prev, ok := in.fl.Dim(v.Var); ok {
+				if prev != dim {
+					return 0, fmt.Errorf("loop %s: inconsistent bounds %d:%d:%d vs %d:%d:%d",
+						v.Var, prev.Lo, prev.Hi, prev.Step, lo, hi, step)
+				}
+			} else {
+				in.fl.Dims = append(in.fl.Dims, dim)
+			}
+			// Record accesses of the body with a placeholder stride, then
+			// patch the stride once the body size is known.
+			firstAcc := len(in.fl.Accesses)
+			stepIdx := len(enclosing)
+			bodySteps := append(append([]AccessStep(nil), enclosing...),
+				AccessStep{Var: v.Var, Lo: lo, Step: step})
+			bodySize, err := in.sizeOf(v.Body, bodySteps, off)
+			if err != nil {
+				return 0, err
+			}
+			stride := bodySize - off
+			for i := firstAcc; i < len(in.fl.Accesses); i++ {
+				in.fl.Accesses[i].Steps[stepIdx].StrideBytes = stride
+			}
+			off += stride * dim.Count()
+		}
+	}
+	return off, nil
+}

@@ -1,0 +1,123 @@
+package metadata
+
+import (
+	"strings"
+	"testing"
+)
+
+const binxSample = `
+<binx byteOrder="littleEndian">
+  <dataset src="node0/data/file0.dat" name="Ipars2">
+    <arrayFixed>
+      <dim name="TIME" count="500"/>
+      <dim name="GRID" count="100"/>
+      <struct>
+        <float-32 varName="SOIL"/>
+        <float-32 varName="SGAS"/>
+      </struct>
+    </arrayFixed>
+  </dataset>
+</binx>
+`
+
+func TestFromBinX(t *testing.T) {
+	d, err := FromBinX(binxSample)
+	if err != nil {
+		t.Fatalf("FromBinX: %v", err)
+	}
+	sch := d.TableSchema()
+	if sch == nil {
+		t.Fatal("no table schema")
+	}
+	wantCols := []string{"TIME", "GRID", "SOIL", "SGAS"}
+	if strings.Join(sch.Names(), " ") != strings.Join(wantCols, " ") {
+		t.Errorf("columns = %v", sch.Names())
+	}
+	if k, _ := sch.Kind("TIME"); k.String() != "int" {
+		t.Errorf("TIME kind = %v", k)
+	}
+	if d.Storage.Dirs[0].Node != "node0" || d.Storage.Dirs[0].Path != "data" {
+		t.Errorf("storage = %+v", d.Storage.Dirs[0])
+	}
+	// The loop nest: TIME outer, GRID inner, SOIL+SGAS payload.
+	text := d.String()
+	for _, want := range []string{
+		"LOOP TIME 0:499:1", "LOOP GRID 0:99:1", "SOIL", "SGAS",
+		"DIR[0]/file0.dat", "DATAINDEX { TIME GRID }",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("descriptor missing %q:\n%s", want, text)
+		}
+	}
+	// The text form re-parses (full interop with the native toolchain).
+	if _, err := Parse(text); err != nil {
+		t.Errorf("converted descriptor does not re-parse: %v\n%s", err, text)
+	}
+}
+
+func TestFromBinXBigEndianAndBareStruct(t *testing.T) {
+	src := `
+<binx byteOrder="bigEndian">
+  <dataset src="scalars.bin">
+    <struct>
+      <integer-32 varName="COUNT"/>
+      <double-64 varName="MEAN"/>
+    </struct>
+  </dataset>
+</binx>
+`
+	d, err := FromBinX(src)
+	if err != nil {
+		t.Fatalf("FromBinX: %v", err)
+	}
+	if d.Layout.ByteOrder != "BIG" {
+		t.Errorf("byte order = %q", d.Layout.ByteOrder)
+	}
+	if d.Storage.Dirs[0].Node != "localhost" {
+		t.Errorf("bare file node = %q", d.Storage.Dirs[0].Node)
+	}
+	if d.TableSchema().NumAttrs() != 2 {
+		t.Errorf("attrs = %v", d.TableSchema().Names())
+	}
+}
+
+func TestFromBinXUnnamedFields(t *testing.T) {
+	src := `
+<binx>
+  <dataset src="n/x.bin">
+    <arrayFixed>
+      <dim name="I" count="4"/>
+      <struct>
+        <float-32/>
+        <integer-16 varName="B"/>
+      </struct>
+    </arrayFixed>
+  </dataset>
+</binx>
+`
+	d, err := FromBinX(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := d.TableSchema().Names()
+	if strings.Join(names, " ") != "I FIELD0 B" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestFromBinXErrors(t *testing.T) {
+	bad := map[string]string{
+		"not xml":       "<<<",
+		"no src":        `<binx><dataset><struct><float-32 varName="A"/></struct></dataset></binx>`,
+		"no fields":     `<binx><dataset src="f"><arrayFixed><dim name="I" count="3"/></arrayFixed></dataset></binx>`,
+		"bad primitive": `<binx><dataset src="f"><struct><utf8-string varName="S"/></struct></dataset></binx>`,
+		"bad dim":       `<binx><dataset src="f"><arrayFixed><dim count="3"/><struct><float-32 varName="A"/></struct></arrayFixed></dataset></binx>`,
+		"bad order":     `<binx byteOrder="middleEndian"><dataset src="f"><struct><float-32 varName="A"/></struct></dataset></binx>`,
+		"nothing":       `<binx><dataset src="f"></dataset></binx>`,
+	}
+	for name, src := range bad {
+		if _, err := FromBinX(src); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

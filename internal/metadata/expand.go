@@ -1,0 +1,184 @@
+package metadata
+
+import (
+	"fmt"
+	"path"
+	"strconv"
+	"strings"
+)
+
+// FileInstance is one concrete file produced by expanding a FileClause's
+// bindings: the storage directory it lives in, its expanded name, and the
+// binding-variable assignment that produced it. The assignment is the
+// source of the file's implicit attributes (paper §4): attribute values
+// that are not stored in the file but inferred from the directory or
+// file name plus the meta-data description.
+type FileInstance struct {
+	Clause   *FileClause
+	DirIndex int
+	Dir      DirEntry
+	Name     string
+	Env      Env
+}
+
+// Path returns the file's path relative to the node's data root:
+// dir-path/name.
+func (fi FileInstance) Path() string {
+	if fi.Dir.Path == "" {
+		return fi.Name
+	}
+	return path.Join(fi.Dir.Path, fi.Name)
+}
+
+// Node returns the cluster node holding the file.
+func (fi FileInstance) Node() string { return fi.Dir.Node }
+
+// String renders node:path for diagnostics.
+func (fi FileInstance) String() string { return fi.Dir.Node + ":" + fi.Path() }
+
+// ExpandClause enumerates the concrete files of one clause by iterating
+// its bindings in order (later bindings may reference earlier ones).
+func ExpandClause(st *Storage, fc *FileClause) ([]FileInstance, error) {
+	var out []FileInstance
+	var rec func(i int, env Env) error
+	rec = func(i int, env Env) error {
+		if i == len(fc.Bindings) {
+			inst, err := instantiate(st, fc, env)
+			if err != nil {
+				return err
+			}
+			out = append(out, inst)
+			return nil
+		}
+		b := fc.Bindings[i]
+		lo, hi, step, err := evalRange(b.Lo, b.Hi, b.Step, env)
+		if err != nil {
+			return fmt.Errorf("binding %s: %w", b.Var, err)
+		}
+		for v := lo; v <= hi; v += step {
+			env2 := env.clone()
+			env2[b.Var] = v
+			if err := rec(i+1, env2); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0, Env{}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// evalRange evaluates lo:hi:step under env and checks step > 0, lo <= hi.
+func evalRange(loE, hiE, stepE Expr, env Env) (lo, hi, step int64, err error) {
+	if lo, err = loE.Eval(env); err != nil {
+		return
+	}
+	if hi, err = hiE.Eval(env); err != nil {
+		return
+	}
+	if step, err = stepE.Eval(env); err != nil {
+		return
+	}
+	if step <= 0 {
+		err = fmt.Errorf("metadata: non-positive step %d", step)
+		return
+	}
+	if lo > hi {
+		err = fmt.Errorf("metadata: empty range %d:%d", lo, hi)
+	}
+	return
+}
+
+func instantiate(st *Storage, fc *FileClause, env Env) (FileInstance, error) {
+	dirIdx, err := fc.Dir.Eval(env)
+	if err != nil {
+		return FileInstance{}, err
+	}
+	if dirIdx < 0 || int(dirIdx) >= len(st.Dirs) {
+		return FileInstance{}, fmt.Errorf("metadata: DIR[%d] out of range (have %d directories)", dirIdx, len(st.Dirs))
+	}
+	var b strings.Builder
+	for _, p := range fc.Name {
+		if p.Var == "" {
+			b.WriteString(p.Lit)
+			continue
+		}
+		v, ok := env[p.Var]
+		if !ok {
+			return FileInstance{}, fmt.Errorf("metadata: file name uses unbound variable $%s", p.Var)
+		}
+		b.WriteString(strconv.FormatInt(v, 10))
+	}
+	// Freeze a copy of env for the instance.
+	frozen := env.clone()
+	return FileInstance{
+		Clause:   fc,
+		DirIndex: int(dirIdx),
+		Dir:      st.Dirs[dirIdx],
+		Name:     b.String(),
+		Env:      frozen,
+	}, nil
+}
+
+// ExpandLeaf enumerates all data files of a leaf dataset, across all of
+// its DATA clauses.
+func ExpandLeaf(st *Storage, n *DatasetNode) ([]FileInstance, error) {
+	if !n.IsLeaf() {
+		return nil, fmt.Errorf("metadata: ExpandLeaf on non-leaf dataset %q", n.Name)
+	}
+	var out []FileInstance
+	for i := range n.Files {
+		fis, err := ExpandClause(st, &n.Files[i])
+		if err != nil {
+			return nil, fmt.Errorf("metadata: dataset %q: %w", n.Name, err)
+		}
+		out = append(out, fis...)
+	}
+	return out, nil
+}
+
+// ExpandIndexFiles enumerates the index files of a chunked leaf and
+// pairs each data file with its index file: the index instance whose
+// binding environment agrees with the data file's on every shared
+// variable. It returns a map from data-file position (index into the
+// files slice) to index FileInstance.
+func ExpandIndexFiles(st *Storage, n *DatasetNode, files []FileInstance) (map[int]FileInstance, error) {
+	var idx []FileInstance
+	for i := range n.IndexFiles {
+		fis, err := ExpandClause(st, &n.IndexFiles[i])
+		if err != nil {
+			return nil, fmt.Errorf("metadata: dataset %q: %w", n.Name, err)
+		}
+		idx = append(idx, fis...)
+	}
+	out := make(map[int]FileInstance, len(files))
+	for fi, f := range files {
+		matches := 0
+		for _, ix := range idx {
+			if envAgrees(f.Env, ix.Env) {
+				out[fi] = ix
+				matches++
+			}
+		}
+		if matches == 0 {
+			return nil, fmt.Errorf("metadata: dataset %q: no index file matches data file %s", n.Name, f)
+		}
+		if matches > 1 {
+			return nil, fmt.Errorf("metadata: dataset %q: %d index files match data file %s", n.Name, matches, f)
+		}
+	}
+	return out, nil
+}
+
+// envAgrees reports whether the two environments assign equal values to
+// every variable they share.
+func envAgrees(a, b Env) bool {
+	for k, va := range a {
+		if vb, ok := b[k]; ok && va != vb {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,167 @@
+package metadata
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is an integer bound expression from the description language,
+// e.g. the loop bound ($DIRID*100+1) of the paper's Figure 4. Variables
+// refer to file-clause bindings or enclosing loop variables and are
+// resolved against an Env at evaluation time.
+type Expr interface {
+	// Eval evaluates the expression under env.
+	Eval(env Env) (int64, error)
+	// Vars appends the free variables of the expression to dst.
+	Vars(dst []string) []string
+	// String renders description-language syntax that re-parses to an
+	// equivalent expression.
+	String() string
+}
+
+// Env maps variable names to integer values during expression
+// evaluation.
+type Env map[string]int64
+
+// clone returns a copy of env with extra room.
+func (e Env) clone() Env {
+	out := make(Env, len(e)+2)
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// NumberExpr is an integer literal.
+type NumberExpr struct{ Value int64 }
+
+// Eval implements Expr.
+func (n NumberExpr) Eval(Env) (int64, error) { return n.Value, nil }
+
+// Vars implements Expr.
+func (n NumberExpr) Vars(dst []string) []string { return dst }
+
+func (n NumberExpr) String() string { return fmt.Sprintf("%d", n.Value) }
+
+// VarExpr references a binding or loop variable ($NAME or bare NAME).
+type VarExpr struct{ Name string }
+
+// Eval implements Expr.
+func (v VarExpr) Eval(env Env) (int64, error) {
+	if val, ok := env[v.Name]; ok {
+		return val, nil
+	}
+	return 0, fmt.Errorf("metadata: unbound variable $%s", v.Name)
+}
+
+// Vars implements Expr.
+func (v VarExpr) Vars(dst []string) []string { return append(dst, v.Name) }
+
+func (v VarExpr) String() string { return "$" + v.Name }
+
+// BinExpr is a binary arithmetic operation: + - * / %.
+type BinExpr struct {
+	Op   byte
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (b BinExpr) Eval(env Env) (int64, error) {
+	l, err := b.L.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	r, err := b.R.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch b.Op {
+	case '+':
+		return l + r, nil
+	case '-':
+		return l - r, nil
+	case '*':
+		return l * r, nil
+	case '/':
+		if r == 0 {
+			return 0, fmt.Errorf("metadata: division by zero in bound expression")
+		}
+		return l / r, nil
+	case '%':
+		if r == 0 {
+			return 0, fmt.Errorf("metadata: modulo by zero in bound expression")
+		}
+		return l % r, nil
+	}
+	return 0, fmt.Errorf("metadata: unknown operator %q", string(b.Op))
+}
+
+// Vars implements Expr.
+func (b BinExpr) Vars(dst []string) []string { return b.R.Vars(b.L.Vars(dst)) }
+
+func (b BinExpr) String() string {
+	return fmt.Sprintf("(%s%c%s)", b.L, b.Op, b.R)
+}
+
+// NegExpr is unary minus.
+type NegExpr struct{ X Expr }
+
+// Eval implements Expr.
+func (n NegExpr) Eval(env Env) (int64, error) {
+	v, err := n.X.Eval(env)
+	return -v, err
+}
+
+// Vars implements Expr.
+func (n NegExpr) Vars(dst []string) []string { return n.X.Vars(dst) }
+
+func (n NegExpr) String() string { return fmt.Sprintf("(-%s)", n.X) }
+
+// ConstExpr folds e to a NumberExpr when it has no free variables.
+func ConstExpr(e Expr) Expr {
+	if len(e.Vars(nil)) == 0 {
+		if v, err := e.Eval(nil); err == nil {
+			return NumberExpr{v}
+		}
+	}
+	return e
+}
+
+// ParseExpr parses a stand-alone bound expression (used by tests and by
+// generated-code templates).
+func ParseExpr(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.peek().isPunct("") && p.peek().Kind != tokEOF {
+		return nil, fmt.Errorf("metadata: trailing input after expression: %s", p.peek())
+	}
+	return e, nil
+}
+
+// exprVarsSorted returns the distinct free variables of e, sorted.
+func exprVarsSorted(exprs ...Expr) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range exprs {
+		for _, v := range e.Vars(nil) {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	// insertion sort; lists are tiny
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && strings.Compare(out[j], out[j-1]) < 0; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package metadata
+
+import (
+	"testing"
+)
+
+// FuzzParse guards the descriptor parser against panics on arbitrary
+// input. `go test` runs the seed corpus; `go test -fuzz=FuzzParse`
+// explores further.
+func FuzzParse(f *testing.F) {
+	f.Add(iparsDescriptor)
+	f.Add(titanDescriptor)
+	f.Add("")
+	f.Add("[S]\nA = int\n")
+	f.Add("Dataset \"x\" {")
+	f.Add("[S]\nA = int\n[D]\nDatasetDescription = S\nDIR[0] = n/p\nDataset \"x\" { DATATYPE { S } DATASPACE { LOOP I 0:3:1 { A } } DATA { DIR[0]/f } }")
+	f.Add("{* unterminated")
+	f.Add("Dataset \"a\" { DATA { DIR[0]/f$ } }")
+	f.Add("LOOP LOOP LOOP")
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Successful parses must print and re-parse to a fixpoint.
+		printed := d.String()
+		d2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %v\n%s", err, printed)
+		}
+		if d2.String() != printed {
+			t.Fatalf("print is not a fixpoint:\n%s\nvs\n%s", printed, d2.String())
+		}
+	})
+}
+
+// FuzzParseXML guards the XML embedding.
+func FuzzParseXML(f *testing.F) {
+	if d, err := Parse(iparsDescriptor); err == nil {
+		if x, err := ToXML(d); err == nil {
+			f.Add(x)
+		}
+	}
+	f.Add("<descriptor></descriptor>")
+	f.Add("<binx/>")
+	f.Add("<descriptor><schema name='S'><attribute name='A' type='int'/></schema></descriptor>")
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := ParseXML(src)
+		if err != nil {
+			return
+		}
+		if _, err := ToXML(d); err != nil {
+			t.Fatalf("accepted descriptor does not re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzFromBinX guards the BinX importer.
+func FuzzFromBinX(f *testing.F) {
+	f.Add(binxSample)
+	f.Add("<binx><dataset src='f'><struct><float-32 varName='A'/></struct></dataset></binx>")
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := FromBinX(src)
+		if err != nil {
+			return
+		}
+		// Whatever BinX accepts must be a valid, printable descriptor.
+		if _, err := Parse(d.String()); err != nil {
+			t.Fatalf("BinX-converted descriptor does not re-parse: %v\n%s", err, d.String())
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package metadata
+
+// iparsDescriptor is the paper's Figure 4 descriptor, transcribed in the
+// concrete syntax of this implementation. It is shared by tests across
+// this package and referenced (via Parse) from internal/afc's worked-
+// example test.
+const iparsDescriptor = `
+// Component I: Dataset Schema Description
+[IPARS]               // {* Dataset schema name *}
+REL = short int       // {* Data type definition *}
+TIME = int
+X = float
+Y = float
+Z = float
+SOIL = float
+SGAS = float
+
+// Component II: Dataset Storage Description
+[IparsData]           // {* Dataset name *}
+DatasetDescription = IPARS
+DIR[0] = osu0/ipars
+DIR[1] = osu1/ipars
+DIR[2] = osu2/ipars
+DIR[3] = osu3/ipars
+
+// Component III: Dataset Layout Description
+Dataset "IparsData" {          // {* Name for Dataset *}
+  DATATYPE { IPARS }           // {* Schema for Dataset *}
+  DATAINDEX { REL TIME }
+  DATA { Dataset ipars1 Dataset ipars2 }
+  Dataset "ipars1" {
+    DATASPACE {
+      LOOP GRID ($DIRID*100+1):(($DIRID+1)*100):1 {
+        X Y Z
+      }
+    }
+    DATA { DIR[$DIRID]/COORDS DIRID = 0:3:1 }
+  } // end of DATASET "ipars1"
+  Dataset "ipars2" {
+    DATASPACE {
+      LOOP TIME 1:500:1 {
+        LOOP GRID ($DIRID*100+1):(($DIRID+1)*100):1 {
+          SOIL SGAS
+        }
+      }
+    }
+    DATA { DIR[$DIRID]/DATA$REL REL = 0:3:1 DIRID = 0:3:1 }
+  } // {* end of DATASET "ipars2" *}
+}
+`
+
+// titanDescriptor describes a chunked satellite dataset with an external
+// R-tree index file, exercising the CHUNKED/INDEXFILE leaf form.
+const titanDescriptor = `
+[TITAN]
+X = int
+Y = int
+Z = int
+S1 = float
+S2 = float
+S3 = float
+S4 = float
+S5 = float
+
+[TitanData]
+DatasetDescription = TITAN
+DIR[0] = osu0/titan
+
+Dataset "TitanData" {
+  DATATYPE { TITAN }
+  DATAINDEX { X Y Z }
+  Dataset "chunks" {
+    CHUNKED { X Y Z S1 S2 S3 S4 S5 }
+    DATA { DIR[0]/chunks.dat PART = 0:0:1 }
+    INDEXFILE { DIR[0]/chunks.idx PART = 0:0:1 }
+  }
+}
+`

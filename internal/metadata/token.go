@@ -1,0 +1,126 @@
+// Package metadata implements the meta-data description language of
+// Weng et al. (HPDC 2004). A descriptor has three components:
+//
+//	Component I   — Dataset Schema Description (virtual table schema;
+//	                parsed by internal/schema and referenced here),
+//	Component II  — Dataset Storage Description (the nodes and
+//	                directories where files live),
+//	Component III — Dataset Layout Description (nested DATASET blocks
+//	                built from DATATYPE, DATAINDEX, DATASPACE, DATA,
+//	                LOOP, and — for variable-length chunked data with an
+//	                external spatial index — CHUNKED and INDEXFILE).
+//
+// The package provides the lexer, parser, AST, integer bound-expression
+// evaluator, validation, and a pretty-printer whose output re-parses to
+// the same descriptor.
+package metadata
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString // "quoted"
+	tokPunct  // one of { } ( ) [ ] : = $ , . / * + - %
+)
+
+// token is one lexical token. Adjacent reports that the token directly
+// follows the previous token with no intervening whitespace; the path-
+// template parser uses it to know where a file name ends.
+type token struct {
+	Kind     tokKind
+	Text     string
+	Line     int
+	Adjacent bool
+}
+
+func (t token) String() string {
+	switch t.Kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// isPunct reports whether t is the punctuation c.
+func (t token) isPunct(c string) bool { return t.Kind == tokPunct && t.Text == c }
+
+// isKeyword reports whether t is the given keyword, compared
+// case-insensitively (the paper itself mixes DATASET/Dataset/Data).
+func (t token) isKeyword(kw string) bool {
+	return t.Kind == tokIdent && strings.EqualFold(t.Text, kw)
+}
+
+const punctChars = "{}()[]:=$,./*+-%"
+
+// lex tokenizes src (which must already have comments stripped).
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	sawSpace := true
+	for i := 0; i < len(src); {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			sawSpace = true
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			sawSpace = true
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' && src[j] != '\n' {
+				j++
+			}
+			if j >= len(src) || src[j] != '"' {
+				return nil, fmt.Errorf("metadata: line %d: unterminated string", line)
+			}
+			toks = append(toks, token{tokString, src[i+1 : j], line, !sawSpace})
+			sawSpace = false
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], line, !sawSpace})
+			sawSpace = false
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], line, !sawSpace})
+			sawSpace = false
+			i = j
+		case strings.IndexByte(punctChars, c) >= 0:
+			toks = append(toks, token{tokPunct, string(c), line, !sawSpace})
+			sawSpace = false
+			i++
+		default:
+			return nil, fmt.Errorf("metadata: line %d: unexpected character %q", line, c)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line, false})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,130 @@
+package metadata
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestXMLRoundTrip converts the paper's descriptors text → AST → XML →
+// AST and requires the canonical text forms to match exactly.
+func TestXMLRoundTrip(t *testing.T) {
+	for _, src := range []string{iparsDescriptor, titanDescriptor} {
+		d1, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xmlSrc, err := ToXML(d1)
+		if err != nil {
+			t.Fatalf("ToXML: %v", err)
+		}
+		d2, err := ParseXML(xmlSrc)
+		if err != nil {
+			t.Fatalf("ParseXML: %v\n--- xml ---\n%s", err, xmlSrc)
+		}
+		if d1.String() != d2.String() {
+			t.Errorf("XML round trip changed the descriptor:\n--- original ---\n%s\n--- round-tripped ---\n%s",
+				d1.String(), d2.String())
+		}
+	}
+}
+
+func TestXMLStructure(t *testing.T) {
+	d, err := Parse(iparsDescriptor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmlSrc, err := ToXML(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`<descriptor>`,
+		`<schema name="IPARS">`,
+		`<attribute name="REL" type="short int">`,
+		`<storage dataset="IparsData" schema="IPARS">`,
+		`<dir index="2" node="osu2" path="ipars">`,
+		`<dataindex attrs="REL TIME">`,
+		`<loop var="GRID" lo="(($DIRID*100)+1)" hi="(($DIRID+1)*100)" step="1">`,
+		`<attr name="SOIL">`,
+		`<file dir="$DIRID" name="DATA$REL">`,
+		`<bind var="REL" lo="0" hi="3" step="1">`,
+	} {
+		if !strings.Contains(xmlSrc, want) {
+			t.Errorf("XML missing %q:\n%s", want, xmlSrc)
+		}
+	}
+}
+
+func TestXMLChunkedRoundTrip(t *testing.T) {
+	d, err := Parse(titanDescriptor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmlSrc, err := ToXML(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(xmlSrc, `<chunked attrs="X Y Z S1 S2 S3 S4 S5">`) {
+		t.Errorf("missing chunked element:\n%s", xmlSrc)
+	}
+	if !strings.Contains(xmlSrc, `<indexfile>`) {
+		t.Errorf("missing indexfile element:\n%s", xmlSrc)
+	}
+	if _, err := ParseXML(xmlSrc); err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+}
+
+func TestParseXMLErrors(t *testing.T) {
+	bad := map[string]string{
+		"not xml":        "garbage <<<",
+		"no root":        "<other/>",
+		"empty":          "<descriptor></descriptor>",
+		"bad schema":     `<descriptor><schema name="S"><attribute name="A" type="complex"/></schema></descriptor>`,
+		"bad loop":       `<descriptor><schema name="S"><attribute name="A" type="int"/></schema><storage dataset="D" schema="S"><dir index="0" node="n" path="p"/></storage><dataset name="d"><datatype schema="S"/><dataspace><loop var="I" lo="1"><attr name="A"/></loop></dataspace><data><file dir="0" name="f"/></data></dataset></descriptor>`,
+		"dangling $":     `<descriptor><schema name="S"><attribute name="A" type="int"/></schema><storage dataset="D" schema="S"><dir index="0" node="n" path="p"/></storage><dataset name="d"><datatype schema="S"/><dataspace><attr name="A"/></dataspace><data><file dir="0" name="f$"/></data></dataset></descriptor>`,
+		"dup storage":    `<descriptor><storage dataset="D" schema="S"><dir index="0" node="n"/></storage><storage dataset="D" schema="S"><dir index="0" node="n"/></storage></descriptor>`,
+		"gap in dirs":    `<descriptor><schema name="S"><attribute name="A" type="int"/></schema><storage dataset="D" schema="S"><dir index="1" node="n" path="p"/></storage><dataset name="d"><datatype schema="S"/><dataspace><attr name="A"/></dataspace><data><file dir="0" name="f"/></data></dataset></descriptor>`,
+		"unvalidatable":  `<descriptor><schema name="S"><attribute name="A" type="int"/></schema><storage dataset="D" schema="NOPE"><dir index="0" node="n" path="p"/></storage><dataset name="d"><datatype schema="S"/><dataspace><attr name="A"/></dataspace><data><file dir="0" name="f"/></data></dataset></descriptor>`,
+		"loop sans var":  `<descriptor><schema name="S"><attribute name="A" type="int"/></schema><storage dataset="D" schema="S"><dir index="0" node="n" path="p"/></storage><dataset name="d"><datatype schema="S"/><dataspace><loop lo="0" hi="1"><attr name="A"/></loop></dataspace><data><file dir="0" name="f"/></data></dataset></descriptor>`,
+		"double dataset": `<descriptor><schema name="S"><attribute name="A" type="int"/></schema><storage dataset="D" schema="S"><dir index="0" node="n" path="p"/></storage><dataset name="a"><datatype schema="S"/><dataspace><attr name="A"/></dataspace><data><file dir="0" name="f"/></data></dataset><dataset name="b"><datatype schema="S"/><dataspace><attr name="A"/></dataspace><data><file dir="0" name="g"/></data></dataset></descriptor>`,
+	}
+	for name, src := range bad {
+		if _, err := ParseXML(src); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestXMLCompilesIdentically ensures an XML-loaded descriptor expands
+// to the same files as its text twin.
+func TestXMLCompilesIdentically(t *testing.T) {
+	d1, err := Parse(iparsDescriptor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmlSrc, err := ToXML(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ParseXML(xmlSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := ExpandLeaf(d1.Storage, d1.Layout.Children[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := ExpandLeaf(d2.Storage, d2.Layout.Children[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1) != len(f2) {
+		t.Fatalf("file counts differ: %d vs %d", len(f1), len(f2))
+	}
+	for i := range f1 {
+		if f1[i].String() != f2[i].String() {
+			t.Errorf("file %d: %s vs %s", i, f1[i], f2[i])
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package pagefile provides the paged-file substrate of the rowstore
+// baseline: fixed-size pages backed by a single file, cached by an LRU
+// buffer pool with pin counts and write-back of dirty pages. It plays
+// the role PostgreSQL's buffer manager plays for the paper's relational
+// baseline.
+package pagefile
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// PageSize is the fixed page size (PostgreSQL's default).
+const PageSize = 8192
+
+// Page is one in-memory page image.
+type Page [PageSize]byte
+
+// File is a paged file with an LRU buffer pool. Methods are safe for
+// concurrent use.
+type File struct {
+	mu    sync.Mutex
+	f     *os.File
+	pages uint32
+
+	frames  []frame
+	byID    map[uint32]int // page id → frame index
+	clockAt int
+
+	// Stats
+	hits, misses, evictions, writes int64
+}
+
+type frame struct {
+	id     uint32
+	page   Page
+	pins   int
+	dirty  bool
+	used   bool
+	refbit bool
+}
+
+// Create creates (truncating) a paged file with the given buffer-pool
+// capacity in pages.
+func Create(path string, poolPages int) (*File, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return newFile(f, 0, poolPages)
+}
+
+// Open opens an existing paged file.
+func Open(path string, poolPages int) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("pagefile: %s: size %d is not page-aligned", path, st.Size())
+	}
+	return newFile(f, uint32(st.Size()/PageSize), poolPages)
+}
+
+func newFile(f *os.File, pages uint32, poolPages int) (*File, error) {
+	if poolPages < 4 {
+		poolPages = 4
+	}
+	return &File{
+		f:      f,
+		pages:  pages,
+		frames: make([]frame, poolPages),
+		byID:   make(map[uint32]int, poolPages),
+	}, nil
+}
+
+// NumPages returns the number of allocated pages.
+func (pf *File) NumPages() uint32 {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	return pf.pages
+}
+
+// Stats returns (cache hits, misses, evictions, page writes).
+func (pf *File) Stats() (hits, misses, evictions, writes int64) {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	return pf.hits, pf.misses, pf.evictions, pf.writes
+}
+
+// Alloc appends a zeroed page and returns its id with the page pinned.
+func (pf *File) Alloc() (uint32, *Page, error) {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	id := pf.pages
+	pf.pages++
+	fi, err := pf.frameFor(id, false)
+	if err != nil {
+		pf.pages--
+		return 0, nil, err
+	}
+	fr := &pf.frames[fi]
+	fr.page = Page{}
+	fr.dirty = true
+	return id, &fr.page, nil
+}
+
+// Get pins and returns the page with the given id, reading it from disk
+// on a cache miss. Callers must Unpin exactly once when done; writers
+// must MarkDirty before unpinning.
+func (pf *File) Get(id uint32) (*Page, error) {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if id >= pf.pages {
+		return nil, fmt.Errorf("pagefile: page %d out of range (have %d)", id, pf.pages)
+	}
+	fi, err := pf.frameFor(id, true)
+	if err != nil {
+		return nil, err
+	}
+	return &pf.frames[fi].page, nil
+}
+
+// frameFor returns a pinned frame holding page id, loading from disk
+// when load is set and the page is absent. Caller holds pf.mu.
+func (pf *File) frameFor(id uint32, load bool) (int, error) {
+	if fi, ok := pf.byID[id]; ok {
+		pf.hits++
+		pf.frames[fi].pins++
+		pf.frames[fi].refbit = true
+		return fi, nil
+	}
+	pf.misses++
+	fi, err := pf.evict()
+	if err != nil {
+		return 0, err
+	}
+	fr := &pf.frames[fi]
+	if load {
+		if _, err := pf.f.ReadAt(fr.page[:], int64(id)*PageSize); err != nil {
+			// A page that was allocated but never flushed reads as zeros.
+			fr.page = Page{}
+		}
+	}
+	fr.id = id
+	fr.pins = 1
+	fr.dirty = false
+	fr.used = true
+	fr.refbit = true
+	pf.byID[id] = fi
+	return fi, nil
+}
+
+// evict frees a frame using the clock algorithm, writing it back if
+// dirty. Caller holds pf.mu.
+func (pf *File) evict() (int, error) {
+	// First pass: any unused frame.
+	for i := range pf.frames {
+		if !pf.frames[i].used {
+			return i, nil
+		}
+	}
+	// Clock sweep over unpinned frames.
+	for turn := 0; turn < 2*len(pf.frames); turn++ {
+		fi := pf.clockAt
+		pf.clockAt = (pf.clockAt + 1) % len(pf.frames)
+		fr := &pf.frames[fi]
+		if fr.pins > 0 {
+			continue
+		}
+		if fr.refbit {
+			fr.refbit = false
+			continue
+		}
+		if fr.dirty {
+			if err := pf.writeFrame(fr); err != nil {
+				return 0, err
+			}
+		}
+		delete(pf.byID, fr.id)
+		pf.evictions++
+		fr.used = false
+		return fi, nil
+	}
+	return 0, fmt.Errorf("pagefile: buffer pool exhausted (%d pages all pinned)", len(pf.frames))
+}
+
+func (pf *File) writeFrame(fr *frame) error {
+	if _, err := pf.f.WriteAt(fr.page[:], int64(fr.id)*PageSize); err != nil {
+		return err
+	}
+	pf.writes++
+	fr.dirty = false
+	return nil
+}
+
+// MarkDirty flags a pinned page as modified.
+func (pf *File) MarkDirty(id uint32) {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if fi, ok := pf.byID[id]; ok {
+		pf.frames[fi].dirty = true
+	}
+}
+
+// Unpin releases one pin on the page.
+func (pf *File) Unpin(id uint32) {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if fi, ok := pf.byID[id]; ok && pf.frames[fi].pins > 0 {
+		pf.frames[fi].pins--
+	}
+}
+
+// Flush writes every dirty page back to disk.
+func (pf *File) Flush() error {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	for i := range pf.frames {
+		fr := &pf.frames[i]
+		if fr.used && fr.dirty {
+			if err := pf.writeFrame(fr); err != nil {
+				return err
+			}
+		}
+	}
+	return pf.f.Sync()
+}
+
+// Close flushes and closes the file.
+func (pf *File) Close() error {
+	if err := pf.Flush(); err != nil {
+		pf.f.Close()
+		return err
+	}
+	return pf.f.Close()
+}
+
+// SizeBytes returns the on-disk size implied by the page count.
+func (pf *File) SizeBytes() int64 { return int64(pf.NumPages()) * PageSize }

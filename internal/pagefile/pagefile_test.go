@@ -1,0 +1,165 @@
+package pagefile
+
+import (
+	"encoding/binary"
+	"path/filepath"
+	"testing"
+)
+
+func TestCreateAllocGet(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pf")
+	pf, err := Create(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+
+	id, pg, err := pf.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 0 || pf.NumPages() != 1 {
+		t.Fatalf("id=%d pages=%d", id, pf.NumPages())
+	}
+	binary.LittleEndian.PutUint64(pg[0:], 0xDEADBEEF)
+	pf.MarkDirty(id)
+	pf.Unpin(id)
+
+	got, err := pf.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binary.LittleEndian.Uint64(got[0:]) != 0xDEADBEEF {
+		t.Error("page content lost")
+	}
+	pf.Unpin(id)
+
+	if _, err := pf.Get(99); err == nil {
+		t.Error("out-of-range Get accepted")
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pf")
+	pf, err := Create(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		id, pg, err := pf.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.LittleEndian.PutUint32(pg[0:], uint32(i)*7)
+		pf.MarkDirty(id)
+		pf.Unpin(id)
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pf2, err := Open(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf2.Close()
+	if pf2.NumPages() != 20 {
+		t.Fatalf("pages = %d", pf2.NumPages())
+	}
+	for i := 0; i < 20; i++ {
+		pg, err := pf2.Get(uint32(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if binary.LittleEndian.Uint32(pg[0:]) != uint32(i)*7 {
+			t.Errorf("page %d content = %d", i, binary.LittleEndian.Uint32(pg[0:]))
+		}
+		pf2.Unpin(uint32(i))
+	}
+	if pf2.SizeBytes() != 20*PageSize {
+		t.Errorf("SizeBytes = %d", pf2.SizeBytes())
+	}
+}
+
+func TestEvictionWritesBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pf")
+	pf, err := Create(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	// Write 32 pages through a 4-page pool.
+	for i := 0; i < 32; i++ {
+		id, pg, err := pf.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.LittleEndian.PutUint32(pg[0:], uint32(i)+1000)
+		pf.MarkDirty(id)
+		pf.Unpin(id)
+	}
+	for i := 0; i < 32; i++ {
+		pg, err := pf.Get(uint32(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := binary.LittleEndian.Uint32(pg[0:]); got != uint32(i)+1000 {
+			t.Fatalf("page %d = %d after eviction", i, got)
+		}
+		pf.Unpin(uint32(i))
+	}
+	_, misses, evictions, writes := pf.Stats()
+	if evictions == 0 || writes == 0 || misses == 0 {
+		t.Errorf("expected eviction activity: misses=%d evictions=%d writes=%d",
+			misses, evictions, writes)
+	}
+}
+
+func TestAllPinnedExhaustsPool(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pf")
+	pf, err := Create(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	for i := 0; i < 4; i++ {
+		if _, _, err := pf.Alloc(); err != nil {
+			t.Fatal(err)
+		}
+		// deliberately not unpinned
+	}
+	if _, _, err := pf.Alloc(); err == nil {
+		t.Error("exhausted pool accepted")
+	}
+}
+
+func TestCacheHitStats(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pf")
+	pf, err := Create(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	id, _, err := pf.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf.Unpin(id)
+	for i := 0; i < 5; i++ {
+		if _, err := pf.Get(id); err != nil {
+			t.Fatal(err)
+		}
+		pf.Unpin(id)
+	}
+	hits, _, _, _ := pf.Stats()
+	if hits < 5 {
+		t.Errorf("hits = %d", hits)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(filepath.Join(dir, "missing"), 4); err == nil {
+		t.Error("missing file accepted")
+	}
+}

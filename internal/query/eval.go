@@ -1,0 +1,170 @@
+package query
+
+import (
+	"fmt"
+
+	"datavirt/internal/filter"
+	"datavirt/internal/schema"
+	"datavirt/internal/sqlparser"
+)
+
+// Predicate decides whether a materialized row satisfies the WHERE
+// clause. Rows are slices of schema.Value in virtual-table order.
+type Predicate func(row []schema.Value) bool
+
+// TruePredicate accepts every row (no WHERE clause).
+func TruePredicate(row []schema.Value) bool { return true }
+
+// ColumnLookup resolves an attribute name to its index in the row.
+type ColumnLookup func(name string) (int, bool)
+
+// CompilePredicate compiles the WHERE expression against a row layout
+// and filter registry. Compilation resolves every column index and
+// filter function once, so per-row evaluation does no lookups — the
+// run-time analogue of the paper's generated extraction code. A nil
+// expression compiles to TruePredicate.
+func CompilePredicate(e sqlparser.Expr, lookup ColumnLookup, reg *filter.Registry) (Predicate, error) {
+	if e == nil {
+		return TruePredicate, nil
+	}
+	return compileExpr(e, lookup, reg)
+}
+
+func compileExpr(e sqlparser.Expr, lookup ColumnLookup, reg *filter.Registry) (Predicate, error) {
+	switch v := e.(type) {
+	case *sqlparser.Logic:
+		l, err := compileExpr(v.L, lookup, reg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileExpr(v.R, lookup, reg)
+		if err != nil {
+			return nil, err
+		}
+		if v.Op == sqlparser.OpAnd {
+			return func(row []schema.Value) bool { return l(row) && r(row) }, nil
+		}
+		return func(row []schema.Value) bool { return l(row) || r(row) }, nil
+	case *sqlparser.Not:
+		x, err := compileExpr(v.X, lookup, reg)
+		if err != nil {
+			return nil, err
+		}
+		return func(row []schema.Value) bool { return !x(row) }, nil
+	case *sqlparser.Cmp:
+		l, err := compileOperand(v.Left, lookup, reg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileOperand(v.Right, lookup, reg)
+		if err != nil {
+			return nil, err
+		}
+		switch v.Op {
+		case sqlparser.CmpLT:
+			return func(row []schema.Value) bool { return l(row) < r(row) }, nil
+		case sqlparser.CmpLE:
+			return func(row []schema.Value) bool { return l(row) <= r(row) }, nil
+		case sqlparser.CmpGT:
+			return func(row []schema.Value) bool { return l(row) > r(row) }, nil
+		case sqlparser.CmpGE:
+			return func(row []schema.Value) bool { return l(row) >= r(row) }, nil
+		case sqlparser.CmpEQ:
+			return func(row []schema.Value) bool { return l(row) == r(row) }, nil
+		case sqlparser.CmpNE:
+			return func(row []schema.Value) bool { return l(row) != r(row) }, nil
+		}
+		return nil, fmt.Errorf("query: unknown comparison %v", v.Op)
+	case *sqlparser.In:
+		idx, ok := lookup(v.Col)
+		if !ok {
+			return nil, fmt.Errorf("query: unknown attribute %q", v.Col)
+		}
+		vals := make(map[float64]bool, len(v.Values))
+		for _, x := range v.Values {
+			vals[x] = true
+		}
+		return func(row []schema.Value) bool { return vals[row[idx].AsFloat()] }, nil
+	}
+	return nil, fmt.Errorf("query: unknown expression node %T", e)
+}
+
+type operandFn func(row []schema.Value) float64
+
+func compileOperand(o sqlparser.Operand, lookup ColumnLookup, reg *filter.Registry) (operandFn, error) {
+	switch v := o.(type) {
+	case sqlparser.Literal:
+		val := v.Value
+		return func([]schema.Value) float64 { return val }, nil
+	case sqlparser.Column:
+		idx, ok := lookup(v.Name)
+		if !ok {
+			return nil, fmt.Errorf("query: unknown attribute %q", v.Name)
+		}
+		return func(row []schema.Value) float64 { return row[idx].AsFloat() }, nil
+	case sqlparser.Call:
+		if reg == nil {
+			return nil, fmt.Errorf("query: filter %s used but no filter registry provided", v.Name)
+		}
+		fn, err := reg.Lookup(v.Name, len(v.Args))
+		if err != nil {
+			return nil, err
+		}
+		args := make([]operandFn, len(v.Args))
+		for i, a := range v.Args {
+			af, err := compileOperand(a, lookup, reg)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = af
+		}
+		return func(row []schema.Value) float64 {
+			// Small fixed-size buffer keeps per-row evaluation
+			// allocation-free for the common arities; the compiled
+			// predicate stays safe for concurrent use.
+			var a4 [4]float64
+			var buf []float64
+			if len(args) <= len(a4) {
+				buf = a4[:len(args)]
+			} else {
+				buf = make([]float64, len(args))
+			}
+			for i, af := range args {
+				buf[i] = af(row)
+			}
+			return fn.Fn(buf)
+		}, nil
+	}
+	return nil, fmt.Errorf("query: unknown operand %T", o)
+}
+
+// Validate checks a parsed query against a schema: the select list and
+// every attribute referenced in WHERE must exist, and filter calls must
+// resolve. It returns the resolved output column names (expanding *).
+func Validate(q *sqlparser.Query, sch *schema.Schema, reg *filter.Registry) ([]string, error) {
+	var cols []string
+	if q.Star {
+		cols = sch.Names()
+	} else {
+		for _, c := range q.Columns {
+			if !sch.Has(c) {
+				return nil, fmt.Errorf("query: table %s has no attribute %q", sch.Name(), c)
+			}
+			cols = append(cols, c)
+		}
+	}
+	for _, c := range sqlparser.ExprColumns(q.Where) {
+		if !sch.Has(c) {
+			return nil, fmt.Errorf("query: table %s has no attribute %q", sch.Name(), c)
+		}
+	}
+	// Dry-compile to surface unknown filters and arity errors.
+	lookup := func(name string) (int, bool) {
+		i := sch.Index(name)
+		return i, i >= 0
+	}
+	if _, err := CompilePredicate(q.Where, lookup, reg); err != nil {
+		return nil, err
+	}
+	return cols, nil
+}

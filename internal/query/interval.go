@@ -1,0 +1,296 @@
+// Package query turns parsed SQL into the two artifacts the generated
+// data services consume:
+//
+//   - Ranges: per-attribute interval sets conservatively over-
+//     approximating the WHERE clause, used by index functions to prune
+//     files and aligned file chunks without reading them;
+//   - a compiled row predicate, used by extractors to filter the rows
+//     that survive pruning (comparisons plus user-defined filters).
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Interval is a numeric interval with optionally open endpoints.
+// Unbounded sides are ±Inf (and treated as open).
+type Interval struct {
+	Lo, Hi         float64
+	LoOpen, HiOpen bool
+}
+
+// Full returns the interval covering all reals.
+func Full() Interval {
+	return Interval{Lo: math.Inf(-1), Hi: math.Inf(1), LoOpen: true, HiOpen: true}
+}
+
+// Point returns the degenerate interval [v, v].
+func Point(v float64) Interval { return Interval{Lo: v, Hi: v} }
+
+// Empty reports whether the interval contains no points.
+func (iv Interval) Empty() bool {
+	if iv.Lo > iv.Hi {
+		return true
+	}
+	if iv.Lo == iv.Hi && (iv.LoOpen || iv.HiOpen) {
+		return true
+	}
+	return false
+}
+
+// Contains reports whether v lies in the interval.
+func (iv Interval) Contains(v float64) bool {
+	if v < iv.Lo || (v == iv.Lo && iv.LoOpen) {
+		return false
+	}
+	if v > iv.Hi || (v == iv.Hi && iv.HiOpen) {
+		return false
+	}
+	return true
+}
+
+// Intersect returns the intersection of two intervals.
+func (iv Interval) Intersect(o Interval) Interval {
+	out := iv
+	if o.Lo > out.Lo || (o.Lo == out.Lo && o.LoOpen) {
+		out.Lo, out.LoOpen = o.Lo, o.LoOpen
+	}
+	if o.Hi < out.Hi || (o.Hi == out.Hi && o.HiOpen) {
+		out.Hi, out.HiOpen = o.Hi, o.HiOpen
+	}
+	return out
+}
+
+// Overlaps reports whether the two intervals share at least one point.
+func (iv Interval) Overlaps(o Interval) bool { return !iv.Intersect(o).Empty() }
+
+// String renders mathematical interval notation.
+func (iv Interval) String() string {
+	l, r := "[", "]"
+	if iv.LoOpen {
+		l = "("
+	}
+	if iv.HiOpen {
+		r = ")"
+	}
+	return fmt.Sprintf("%s%g, %g%s", l, iv.Lo, iv.Hi, r)
+}
+
+// Set is a union of intervals — the constraint on one attribute. The
+// canonical form (after normalize) is sorted and non-overlapping. A nil
+// or empty Set means "no constraint" is NOT implied; use FullSet for
+// that. An empty set after intersection means the constraint is
+// unsatisfiable.
+type Set struct {
+	ivs []Interval
+}
+
+// FullSet returns the unconstrained set.
+func FullSet() Set { return Set{ivs: []Interval{Full()}} }
+
+// NewSet builds a set from the given intervals (normalized).
+func NewSet(ivs ...Interval) Set {
+	s := Set{ivs: append([]Interval(nil), ivs...)}
+	s.normalize()
+	return s
+}
+
+// Intervals returns the canonical interval list (do not mutate).
+func (s Set) Intervals() []Interval { return s.ivs }
+
+// Empty reports whether the set contains no points.
+func (s Set) Empty() bool { return len(s.ivs) == 0 }
+
+// IsFull reports whether the set is (-∞, ∞).
+func (s Set) IsFull() bool {
+	return len(s.ivs) == 1 && math.IsInf(s.ivs[0].Lo, -1) && math.IsInf(s.ivs[0].Hi, 1)
+}
+
+// Contains reports whether v lies in the set.
+func (s Set) Contains(v float64) bool {
+	// Binary search over the sorted canonical intervals.
+	i := sort.Search(len(s.ivs), func(i int) bool {
+		iv := s.ivs[i]
+		return v < iv.Hi || (v == iv.Hi && !iv.HiOpen)
+	})
+	return i < len(s.ivs) && s.ivs[i].Contains(v)
+}
+
+// Intersect returns the pointwise intersection of two sets.
+func (s Set) Intersect(o Set) Set {
+	var out []Interval
+	for _, a := range s.ivs {
+		for _, b := range o.ivs {
+			if c := a.Intersect(b); !c.Empty() {
+				out = append(out, c)
+			}
+		}
+	}
+	r := Set{ivs: out}
+	r.normalize()
+	return r
+}
+
+// Union returns the pointwise union of two sets.
+func (s Set) Union(o Set) Set {
+	out := append(append([]Interval(nil), s.ivs...), o.ivs...)
+	r := Set{ivs: out}
+	r.normalize()
+	return r
+}
+
+// Overlaps reports whether the set intersects iv.
+func (s Set) Overlaps(iv Interval) bool {
+	for _, a := range s.ivs {
+		if a.Overlaps(iv) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the union, e.g. "[0, 0] ∪ [1, 5)".
+func (s Set) String() string {
+	if s.Empty() {
+		return "∅"
+	}
+	parts := make([]string, len(s.ivs))
+	for i, iv := range s.ivs {
+		parts[i] = iv.String()
+	}
+	return strings.Join(parts, " ∪ ")
+}
+
+// normalize sorts the intervals, drops empties, and merges overlapping
+// or touching ones.
+func (s *Set) normalize() {
+	kept := s.ivs[:0]
+	for _, iv := range s.ivs {
+		if !iv.Empty() {
+			kept = append(kept, iv)
+		}
+	}
+	s.ivs = kept
+	if len(s.ivs) == 0 {
+		s.ivs = nil
+		return
+	}
+	sort.Slice(s.ivs, func(i, j int) bool {
+		a, b := s.ivs[i], s.ivs[j]
+		if a.Lo != b.Lo {
+			return a.Lo < b.Lo
+		}
+		return !a.LoOpen && b.LoOpen
+	})
+	out := s.ivs[:1]
+	for _, iv := range s.ivs[1:] {
+		last := &out[len(out)-1]
+		if mergeable(*last, iv) {
+			if iv.Hi > last.Hi || (iv.Hi == last.Hi && !iv.HiOpen) {
+				last.Hi, last.HiOpen = iv.Hi, iv.HiOpen
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	s.ivs = out
+}
+
+// mergeable reports whether b can merge into a, given a.Lo <= b.Lo.
+func mergeable(a, b Interval) bool {
+	if b.Lo < a.Hi {
+		return true
+	}
+	if b.Lo == a.Hi {
+		// [1,2] [2,3] merge; [1,2) (2,3] do not (gap at 2).
+		return !a.HiOpen || !b.LoOpen
+	}
+	return false
+}
+
+// IntRange is an inclusive integer subrange with a step, produced by
+// clipping a Set against a loop's iteration range.
+type IntRange struct {
+	Lo, Hi, Step int64
+}
+
+// Count returns the number of iterations in the range.
+func (r IntRange) Count() int64 {
+	if r.Lo > r.Hi {
+		return 0
+	}
+	return (r.Hi-r.Lo)/r.Step + 1
+}
+
+// ClipInt intersects the set with the integer lattice {lo, lo+step, ...,
+// hi} and returns maximal contiguous runs. The index functions use this
+// to turn per-attribute constraint sets into loop subranges.
+func (s Set) ClipInt(lo, hi, step int64) []IntRange {
+	if step <= 0 || lo > hi {
+		return nil
+	}
+	var out []IntRange
+	for _, iv := range s.ivs {
+		l, h := clipIntervalToLattice(iv, lo, hi, step)
+		if l > h {
+			continue
+		}
+		out = append(out, IntRange{Lo: l, Hi: h, Step: step})
+	}
+	// Canonical intervals are disjoint and sorted, but adjacent lattice
+	// runs may touch (e.g. [0,1] ∪ (1,2] over integers): merge them.
+	merged := out[:0]
+	for _, r := range out {
+		if n := len(merged); n > 0 && merged[n-1].Hi+step >= r.Lo {
+			if r.Hi > merged[n-1].Hi {
+				merged[n-1].Hi = r.Hi
+			}
+			continue
+		}
+		merged = append(merged, r)
+	}
+	return merged
+}
+
+// clipIntervalToLattice returns the first and last lattice points of
+// {lo, lo+step, ..., hi} inside iv; l > h when none.
+func clipIntervalToLattice(iv Interval, lo, hi, step int64) (l, h int64) {
+	// Smallest lattice point >= (or >) iv.Lo.
+	l = lo
+	if !math.IsInf(iv.Lo, -1) {
+		bound := int64(math.Ceil(iv.Lo))
+		if float64(bound) == iv.Lo && iv.LoOpen {
+			bound++
+		}
+		if bound > l {
+			// Round up to the lattice.
+			delta := bound - lo
+			steps := delta / step
+			if delta%step != 0 {
+				steps++
+			}
+			l = lo + steps*step
+		}
+	}
+	// Largest lattice point <= (or <) iv.Hi.
+	h = hi
+	if !math.IsInf(iv.Hi, 1) {
+		bound := int64(math.Floor(iv.Hi))
+		if float64(bound) == iv.Hi && iv.HiOpen {
+			bound--
+		}
+		if bound < h {
+			if bound < lo {
+				return 1, 0
+			}
+			h = lo + ((bound-lo)/step)*step
+		}
+	}
+	if l > hi || h < lo || l > h {
+		return 1, 0
+	}
+	return l, h
+}

@@ -1,0 +1,252 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{Lo: 1, Hi: 5, HiOpen: true} // [1, 5)
+	if iv.Empty() {
+		t.Error("non-empty interval reported empty")
+	}
+	for v, want := range map[float64]bool{0.5: false, 1: true, 3: true, 5: false, 6: false} {
+		if got := iv.Contains(v); got != want {
+			t.Errorf("[1,5).Contains(%g) = %v", v, got)
+		}
+	}
+	if !Point(2).Contains(2) || Point(2).Contains(2.1) {
+		t.Error("Point misbehaves")
+	}
+	if (Interval{Lo: 3, Hi: 1}).Empty() != true {
+		t.Error("inverted interval should be empty")
+	}
+	if (Interval{Lo: 1, Hi: 1, LoOpen: true}).Empty() != true {
+		t.Error("half-open point should be empty")
+	}
+	if !Full().Contains(math.MaxFloat64) || !Full().Contains(-math.MaxFloat64) {
+		t.Error("Full should contain everything finite")
+	}
+}
+
+func TestIntervalIntersect(t *testing.T) {
+	a := Interval{Lo: 0, Hi: 10}
+	b := Interval{Lo: 5, Hi: 15, LoOpen: true}
+	c := a.Intersect(b) // (5, 10]
+	if c.Lo != 5 || !c.LoOpen || c.Hi != 10 || c.HiOpen {
+		t.Errorf("intersect = %v", c)
+	}
+	if !a.Overlaps(b) {
+		t.Error("overlap missed")
+	}
+	d := Interval{Lo: 20, Hi: 30}
+	if a.Overlaps(d) {
+		t.Error("false overlap")
+	}
+	// Touching endpoints: [0,5] and [5,10] overlap at 5; [0,5) and [5,10] do not.
+	if !(Interval{Lo: 0, Hi: 5}).Overlaps(Interval{Lo: 5, Hi: 10}) {
+		t.Error("touching closed endpoints should overlap")
+	}
+	if (Interval{Lo: 0, Hi: 5, HiOpen: true}).Overlaps(Interval{Lo: 5, Hi: 10}) {
+		t.Error("open endpoint should not overlap")
+	}
+}
+
+func TestSetNormalization(t *testing.T) {
+	s := NewSet(
+		Interval{Lo: 5, Hi: 10},
+		Interval{Lo: 1, Hi: 6},
+		Interval{Lo: 20, Hi: 25},
+		Interval{Lo: 10, Hi: 12}, // touches [1,10]
+		Interval{Lo: 9, Hi: 3},   // empty — dropped
+	)
+	ivs := s.Intervals()
+	if len(ivs) != 2 {
+		t.Fatalf("normalized = %v", s)
+	}
+	if ivs[0].Lo != 1 || ivs[0].Hi != 12 || ivs[1].Lo != 20 || ivs[1].Hi != 25 {
+		t.Errorf("normalized = %v", s)
+	}
+	// Open gap preserved: [1,2) and (2,3] must not merge.
+	s2 := NewSet(
+		Interval{Lo: 1, Hi: 2, HiOpen: true},
+		Interval{Lo: 2, Hi: 3, LoOpen: true},
+	)
+	if len(s2.Intervals()) != 2 {
+		t.Errorf("open-gap merged: %v", s2)
+	}
+	if s2.Contains(2) {
+		t.Error("gap point contained")
+	}
+	// Closed touch merges: [1,2] and [2,3] → [1,3].
+	s3 := NewSet(Interval{Lo: 1, Hi: 2}, Interval{Lo: 2, Hi: 3})
+	if len(s3.Intervals()) != 1 {
+		t.Errorf("closed touch not merged: %v", s3)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := NewSet(Interval{Lo: 0, Hi: 10}, Interval{Lo: 20, Hi: 30})
+	b := NewSet(Interval{Lo: 5, Hi: 25})
+	inter := a.Intersect(b)
+	ivs := inter.Intervals()
+	if len(ivs) != 2 || ivs[0].Lo != 5 || ivs[0].Hi != 10 || ivs[1].Lo != 20 || ivs[1].Hi != 25 {
+		t.Errorf("intersect = %v", inter)
+	}
+	uni := a.Union(b)
+	if len(uni.Intervals()) != 1 || uni.Intervals()[0].Lo != 0 || uni.Intervals()[0].Hi != 30 {
+		t.Errorf("union = %v", uni)
+	}
+	if !FullSet().IsFull() || a.IsFull() {
+		t.Error("IsFull misbehaves")
+	}
+	empty := a.Intersect(NewSet(Interval{Lo: 100, Hi: 200}))
+	if !empty.Empty() {
+		t.Errorf("expected empty, got %v", empty)
+	}
+	if !a.Overlaps(Interval{Lo: 29, Hi: 40}) || a.Overlaps(Interval{Lo: 11, Hi: 19}) {
+		t.Error("Set.Overlaps misbehaves")
+	}
+}
+
+func TestSetContains(t *testing.T) {
+	s := NewSet(Interval{Lo: 0, Hi: 10, HiOpen: true}, Point(15), Interval{Lo: 20, Hi: 30})
+	for v, want := range map[float64]bool{
+		-1: false, 0: true, 9.99: true, 10: false, 12: false,
+		15: true, 15.5: false, 20: true, 30: true, 31: false,
+	} {
+		if got := s.Contains(v); got != want {
+			t.Errorf("Contains(%g) = %v, want %v", v, got, want)
+		}
+	}
+	if (Set{}).Contains(5) {
+		t.Error("empty set contains something")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	if got := (Set{}).String(); got != "∅" {
+		t.Errorf("empty String = %q", got)
+	}
+	s := NewSet(Interval{Lo: 1, Hi: 2, HiOpen: true}, Point(5))
+	if got := s.String(); got != "[1, 2) ∪ [5, 5]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestClipInt(t *testing.T) {
+	// TIME ∈ (1000, 1100) clipped to loop 1:2000:1 → 1001..1099.
+	s := NewSet(Interval{Lo: 1000, LoOpen: true, Hi: 1100, HiOpen: true})
+	rs := s.ClipInt(1, 2000, 1)
+	if len(rs) != 1 || rs[0].Lo != 1001 || rs[0].Hi != 1099 || rs[0].Count() != 99 {
+		t.Errorf("ClipInt = %+v", rs)
+	}
+	// Point set.
+	rs = NewSet(Point(7)).ClipInt(0, 10, 1)
+	if len(rs) != 1 || rs[0].Lo != 7 || rs[0].Hi != 7 {
+		t.Errorf("point clip = %+v", rs)
+	}
+	// Step alignment: lattice {0, 3, 6, 9}; set [2, 8] → {3, 6}.
+	rs = NewSet(Interval{Lo: 2, Hi: 8}).ClipInt(0, 9, 3)
+	if len(rs) != 1 || rs[0].Lo != 3 || rs[0].Hi != 6 || rs[0].Count() != 2 {
+		t.Errorf("step clip = %+v", rs)
+	}
+	// Disjoint pieces.
+	s2 := NewSet(Interval{Lo: 1, Hi: 3}, Interval{Lo: 7, Hi: 8})
+	rs = s2.ClipInt(0, 10, 1)
+	if len(rs) != 2 || rs[0].Lo != 1 || rs[0].Hi != 3 || rs[1].Lo != 7 || rs[1].Hi != 8 {
+		t.Errorf("disjoint clip = %+v", rs)
+	}
+	// Adjacent integer runs merge: [0,1] ∪ (1,2] → 0..2.
+	s3 := NewSet(Interval{Lo: 0, Hi: 1}, Interval{Lo: 1, LoOpen: true, Hi: 2})
+	rs = s3.ClipInt(0, 10, 1)
+	if len(rs) != 1 || rs[0].Lo != 0 || rs[0].Hi != 2 {
+		t.Errorf("adjacent merge = %+v", rs)
+	}
+	// Empty cases.
+	if rs := NewSet(Interval{Lo: 100, Hi: 200}).ClipInt(0, 10, 1); len(rs) != 0 {
+		t.Errorf("out-of-range clip = %+v", rs)
+	}
+	if rs := FullSet().ClipInt(5, 1, 1); len(rs) != 0 {
+		t.Errorf("inverted loop clip = %+v", rs)
+	}
+	if rs := FullSet().ClipInt(0, 10, 0); len(rs) != 0 {
+		t.Errorf("zero step clip = %+v", rs)
+	}
+	// Full set covers the whole loop.
+	rs = FullSet().ClipInt(3, 9, 2)
+	if len(rs) != 1 || rs[0].Lo != 3 || rs[0].Hi != 9 || rs[0].Count() != 4 {
+		t.Errorf("full clip = %+v", rs)
+	}
+}
+
+// Property: ClipInt agrees with brute-force lattice membership.
+func TestClipIntQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lo := int64(rng.Intn(50) - 25)
+		hi := lo + int64(rng.Intn(60))
+		step := int64(rng.Intn(4) + 1)
+		// Random set of up to 3 intervals.
+		var ivs []Interval
+		for i := 0; i < rng.Intn(4); i++ {
+			a := float64(rng.Intn(80) - 40)
+			b := a + float64(rng.Intn(30))
+			ivs = append(ivs, Interval{Lo: a, Hi: b, LoOpen: rng.Intn(2) == 0, HiOpen: rng.Intn(2) == 0})
+		}
+		s := NewSet(ivs...)
+		got := map[int64]bool{}
+		for _, r := range s.ClipInt(lo, hi, step) {
+			if r.Step != step || (r.Lo-lo)%step != 0 {
+				return false
+			}
+			for v := r.Lo; v <= r.Hi; v += step {
+				got[v] = true
+			}
+		}
+		for v := lo; v <= hi; v += step {
+			if got[v] != s.Contains(float64(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Set.Contains after Intersect/Union equals the logical
+// and/or of memberships.
+func TestSetAlgebraQuick(t *testing.T) {
+	mk := func(rng *rand.Rand) Set {
+		var ivs []Interval
+		for i := 0; i < rng.Intn(4); i++ {
+			a := float64(rng.Intn(40) - 20)
+			b := a + float64(rng.Intn(15))
+			ivs = append(ivs, Interval{Lo: a, Hi: b, LoOpen: rng.Intn(2) == 0, HiOpen: rng.Intn(2) == 0})
+		}
+		return NewSet(ivs...)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := mk(rng), mk(rng)
+		inter, uni := a.Intersect(b), a.Union(b)
+		for i := 0; i < 100; i++ {
+			v := float64(rng.Intn(90)-45) / 2
+			ina, inb := a.Contains(v), b.Contains(v)
+			if inter.Contains(v) != (ina && inb) {
+				return false
+			}
+			if uni.Contains(v) != (ina || inb) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

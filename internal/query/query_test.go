@@ -1,0 +1,313 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"datavirt/internal/filter"
+	"datavirt/internal/schema"
+	"datavirt/internal/sqlparser"
+)
+
+func iparsSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	return schema.MustNew("IPARS", []schema.Attribute{
+		{Name: "REL", Kind: schema.Short}, {Name: "TIME", Kind: schema.Int},
+		{Name: "X", Kind: schema.Float}, {Name: "Y", Kind: schema.Float},
+		{Name: "Z", Kind: schema.Float}, {Name: "SOIL", Kind: schema.Float},
+		{Name: "SGAS", Kind: schema.Float},
+	})
+}
+
+func TestExtractRangesPaperExample(t *testing.T) {
+	// The paper's worked example (§4): REL in {0,1}, TIME from 1 to 100.
+	q := sqlparser.MustParse("SELECT * FROM IparsData WHERE REL IN (0,1) AND TIME >= 1 AND TIME <= 100")
+	r := ExtractRanges(q.Where)
+	rel := r.Get("REL")
+	if !rel.Contains(0) || !rel.Contains(1) || rel.Contains(2) {
+		t.Errorf("REL set = %v", rel)
+	}
+	tm := r.Get("TIME")
+	if !tm.Contains(1) || !tm.Contains(100) || tm.Contains(0.5) || tm.Contains(101) {
+		t.Errorf("TIME set = %v", tm)
+	}
+	if !r.Get("SOIL").IsFull() {
+		t.Errorf("SOIL should be unconstrained: %v", r.Get("SOIL"))
+	}
+	// Clip against the descriptor's loop ranges.
+	times := tm.ClipInt(1, 500, 1)
+	if len(times) != 1 || times[0].Count() != 100 {
+		t.Errorf("TIME clip = %+v", times)
+	}
+}
+
+func TestExtractRangesOperators(t *testing.T) {
+	cases := []struct {
+		where   string
+		attr    string
+		in, out []float64
+	}{
+		{"TIME > 10", "TIME", []float64{11, 100}, []float64{10, 9}},
+		{"TIME >= 10", "TIME", []float64{10}, []float64{9.99}},
+		{"TIME < 10", "TIME", []float64{9.99}, []float64{10}},
+		{"TIME <= 10", "TIME", []float64{10}, []float64{10.01}},
+		{"TIME = 10", "TIME", []float64{10}, []float64{9, 11}},
+		{"TIME != 10", "TIME", []float64{9, 11}, []float64{10}},
+		{"NOT TIME > 10", "TIME", []float64{10, 9}, []float64{11}},
+		{"NOT (TIME > 10 OR TIME < 5)", "TIME", []float64{5, 10}, []float64{4, 11}},
+		{"TIME > 10 AND TIME > 20", "TIME", []float64{21}, []float64{15}},
+		{"TIME < 10 OR TIME > 20", "TIME", []float64{5, 25}, []float64{15}},
+		{"NOT REL IN (1, 3)", "REL", []float64{0, 2}, []float64{1, 3}},
+	}
+	for _, c := range cases {
+		q := sqlparser.MustParse("SELECT * FROM T WHERE " + c.where)
+		s := ExtractRanges(q.Where).Get(c.attr)
+		for _, v := range c.in {
+			if !s.Contains(v) {
+				t.Errorf("%q: %g should be in %v", c.where, v, s)
+			}
+		}
+		for _, v := range c.out {
+			if s.Contains(v) {
+				t.Errorf("%q: %g should not be in %v", c.where, v, s)
+			}
+		}
+	}
+}
+
+func TestExtractRangesConservative(t *testing.T) {
+	// OR with an unconstrained side drops the attribute.
+	q := sqlparser.MustParse("SELECT * FROM T WHERE TIME > 10 OR SOIL > 0.5")
+	r := ExtractRanges(q.Where)
+	if !r.Get("TIME").IsFull() || !r.Get("SOIL").IsFull() {
+		t.Errorf("OR should drop both: %v", r)
+	}
+	// Filter calls contribute nothing but don't break extraction.
+	q2 := sqlparser.MustParse("SELECT * FROM T WHERE SPEED(VX,VY) < 30 AND TIME > 10")
+	r2 := ExtractRanges(q2.Where)
+	if !r2.Get("VX").IsFull() {
+		t.Errorf("VX should be unconstrained")
+	}
+	if r2.Get("TIME").Contains(10) || !r2.Get("TIME").Contains(11) {
+		t.Errorf("TIME = %v", r2.Get("TIME"))
+	}
+	// nil WHERE.
+	if r3 := ExtractRanges(nil); len(r3) != 0 || r3.Unsatisfiable() {
+		t.Errorf("nil where: %v", r3)
+	}
+}
+
+func TestUnsatisfiable(t *testing.T) {
+	q := sqlparser.MustParse("SELECT * FROM T WHERE TIME > 10 AND TIME < 5")
+	r := ExtractRanges(q.Where)
+	if !r.Unsatisfiable() {
+		t.Errorf("contradiction not detected: %v", r)
+	}
+}
+
+func TestRangesString(t *testing.T) {
+	q := sqlparser.MustParse("SELECT * FROM T WHERE B > 1 AND A < 2")
+	s := ExtractRanges(q.Where).String()
+	// Sorted by attribute: A before B.
+	if s != "A ∈ (-Inf, 2), B ∈ (1, +Inf)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestCompilePredicate(t *testing.T) {
+	sch := iparsSchema(t)
+	lookup := func(name string) (int, bool) {
+		i := sch.Index(name)
+		return i, i >= 0
+	}
+	reg := filter.NewRegistry()
+	q := sqlparser.MustParse(
+		"SELECT * FROM T WHERE REL IN (0, 2) AND TIME >= 10 AND SOIL > 0.5 AND SPEED(X, Y, Z) <= 5")
+	pred, err := CompilePredicate(q.Where, lookup, reg)
+	if err != nil {
+		t.Fatalf("CompilePredicate: %v", err)
+	}
+	row := func(rel int64, tm int64, x, y, z, soil float64) []schema.Value {
+		return []schema.Value{
+			{Kind: schema.Short, Int: rel}, schema.IntValue(tm),
+			schema.FloatValue(x), schema.FloatValue(y), schema.FloatValue(z),
+			schema.FloatValue(soil), schema.FloatValue(0),
+		}
+	}
+	if !pred(row(0, 10, 3, 4, 0, 0.6)) {
+		t.Error("matching row rejected")
+	}
+	if pred(row(1, 10, 3, 4, 0, 0.6)) {
+		t.Error("REL=1 accepted")
+	}
+	if pred(row(0, 9, 3, 4, 0, 0.6)) {
+		t.Error("TIME=9 accepted")
+	}
+	if pred(row(0, 10, 3, 4, 0, 0.5)) {
+		t.Error("SOIL=0.5 accepted (> is strict)")
+	}
+	if pred(row(0, 10, 3, 4, 1, 0.6)) {
+		t.Error("SPEED>5 accepted")
+	}
+}
+
+func TestCompilePredicateOperators(t *testing.T) {
+	sch := schema.MustNew("T", []schema.Attribute{{Name: "A", Kind: schema.Double}})
+	lookup := func(name string) (int, bool) { i := sch.Index(name); return i, i >= 0 }
+	cases := map[string]map[float64]bool{
+		"A < 1":          {0: true, 1: false},
+		"A <= 1":         {1: true, 1.1: false},
+		"A > 1":          {2: true, 1: false},
+		"A >= 1":         {1: true, 0.9: false},
+		"A = 1":          {1: true, 2: false},
+		"A != 1":         {2: true, 1: false},
+		"NOT A < 1":      {1: true, 0: false},
+		"A < 0 OR A > 1": {-1: true, 0.5: false, 2: true},
+	}
+	for where, checks := range cases {
+		q := sqlparser.MustParse("SELECT * FROM T WHERE " + where)
+		pred, err := CompilePredicate(q.Where, lookup, nil)
+		if err != nil {
+			t.Fatalf("%q: %v", where, err)
+		}
+		for v, want := range checks {
+			if got := pred([]schema.Value{schema.DoubleValue(v)}); got != want {
+				t.Errorf("%q with A=%g: %v, want %v", where, v, got, want)
+			}
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	sch := schema.MustNew("T", []schema.Attribute{{Name: "A", Kind: schema.Double}})
+	lookup := func(name string) (int, bool) { i := sch.Index(name); return i, i >= 0 }
+	reg := filter.NewRegistry()
+	bad := []string{
+		"B < 1",            // unknown column
+		"B IN (1,2)",       // unknown column in IN
+		"NOPE(A) < 1",      // unknown filter
+		"MAGNITUDE(A,A)<1", // bad arity
+	}
+	for _, where := range bad {
+		q := sqlparser.MustParse("SELECT * FROM T WHERE " + where)
+		if _, err := CompilePredicate(q.Where, lookup, reg); err == nil {
+			t.Errorf("%q compiled", where)
+		}
+	}
+	// Filter without registry.
+	q := sqlparser.MustParse("SELECT * FROM T WHERE SPEED(A) < 1")
+	if _, err := CompilePredicate(q.Where, lookup, nil); err == nil {
+		t.Error("filter without registry compiled")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	sch := iparsSchema(t)
+	reg := filter.NewRegistry()
+	q := sqlparser.MustParse("SELECT SOIL, TIME FROM IPARS WHERE SGAS > 0.1")
+	cols, err := Validate(q, sch, reg)
+	if err != nil || len(cols) != 2 || cols[0] != "SOIL" {
+		t.Errorf("Validate = %v, %v", cols, err)
+	}
+	star := sqlparser.MustParse("SELECT * FROM IPARS")
+	cols, err = Validate(star, sch, reg)
+	if err != nil || len(cols) != 7 {
+		t.Errorf("star Validate = %v, %v", cols, err)
+	}
+	for _, bad := range []string{
+		"SELECT NOPE FROM IPARS",
+		"SELECT * FROM IPARS WHERE NOPE > 1",
+		"SELECT * FROM IPARS WHERE BOGUS(SOIL) > 1",
+	} {
+		if _, err := Validate(sqlparser.MustParse(bad), sch, reg); err == nil {
+			t.Errorf("Validate accepted %q", bad)
+		}
+	}
+}
+
+// Property (soundness of range extraction): for random predicates and
+// random rows, pred(row) ⇒ every attribute value lies in its extracted
+// range set. This is the invariant that makes index pruning safe.
+func TestExtractRangesSoundQuick(t *testing.T) {
+	attrs := []string{"A", "B", "C"}
+	sch := schema.MustNew("T", []schema.Attribute{
+		{Name: "A", Kind: schema.Double}, {Name: "B", Kind: schema.Double},
+		{Name: "C", Kind: schema.Double},
+	})
+	lookup := func(name string) (int, bool) { i := sch.Index(name); return i, i >= 0 }
+
+	var genExpr func(rng *rand.Rand, depth int) sqlparser.Expr
+	genExpr = func(rng *rand.Rand, depth int) sqlparser.Expr {
+		if depth <= 0 || rng.Intn(3) == 0 {
+			attr := attrs[rng.Intn(len(attrs))]
+			if rng.Intn(5) == 0 {
+				n := rng.Intn(3) + 1
+				vals := make([]float64, n)
+				for i := range vals {
+					vals[i] = float64(rng.Intn(11) - 5)
+				}
+				return &sqlparser.In{Col: attr, Values: vals}
+			}
+			ops := []sqlparser.CmpOp{sqlparser.CmpLT, sqlparser.CmpLE, sqlparser.CmpGT,
+				sqlparser.CmpGE, sqlparser.CmpEQ, sqlparser.CmpNE}
+			return &sqlparser.Cmp{
+				Op:    ops[rng.Intn(len(ops))],
+				Left:  sqlparser.Column{Name: attr},
+				Right: sqlparser.Literal{Value: float64(rng.Intn(11) - 5)},
+			}
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return &sqlparser.Logic{Op: sqlparser.OpAnd, L: genExpr(rng, depth-1), R: genExpr(rng, depth-1)}
+		case 1:
+			return &sqlparser.Logic{Op: sqlparser.OpOr, L: genExpr(rng, depth-1), R: genExpr(rng, depth-1)}
+		default:
+			return &sqlparser.Not{X: genExpr(rng, depth-1)}
+		}
+	}
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := genExpr(rng, 3)
+		ranges := ExtractRanges(e)
+		pred, err := CompilePredicate(e, lookup, nil)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 60; trial++ {
+			row := []schema.Value{
+				schema.DoubleValue(float64(rng.Intn(13) - 6)),
+				schema.DoubleValue(float64(rng.Intn(13) - 6)),
+				schema.DoubleValue(float64(rng.Intn(13) - 6)),
+			}
+			if !pred(row) {
+				continue
+			}
+			for i, a := range attrs {
+				if !ranges.Get(a).Contains(row[i].AsFloat()) {
+					t.Logf("unsound: expr=%s row=%v attr=%s set=%v", e, row, a, ranges.Get(a))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmpSetInfinities(t *testing.T) {
+	s, ok := cmpSet(sqlparser.CmpGE, 5)
+	if !ok || s.Contains(math.Inf(1)) == false {
+		// +Inf is hi-open; membership at +Inf must be false.
+		if s.Contains(math.Inf(1)) {
+			t.Error("set contains +Inf")
+		}
+	}
+	if s.Contains(4.999) {
+		t.Error("contains below bound")
+	}
+}

@@ -1,0 +1,191 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"datavirt/internal/sqlparser"
+)
+
+// Ranges maps attribute names to the constraint Set the WHERE clause
+// places on them. An attribute absent from the map is unconstrained.
+// Ranges is a conservative over-approximation: every row satisfying the
+// WHERE clause has each constrained attribute inside its set, so pruning
+// a file or chunk whose attribute range misses the set is always safe.
+type Ranges map[string]Set
+
+// Get returns the constraint for attr, defaulting to the full set.
+func (r Ranges) Get(attr string) Set {
+	if s, ok := r[attr]; ok {
+		return s
+	}
+	return FullSet()
+}
+
+// Unsatisfiable reports whether some attribute's constraint is empty,
+// proving the query selects no rows.
+func (r Ranges) Unsatisfiable() bool {
+	for _, s := range r {
+		if s.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the constraints sorted by attribute, for diagnostics.
+func (r Ranges) String() string {
+	names := make([]string, 0, len(r))
+	for n := range r {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s ∈ %s", n, r[n])
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ExtractRanges computes the per-attribute constraint sets implied by e.
+// A nil expression constrains nothing. The extraction follows the
+// paper's index usage: only direct comparisons between an attribute and
+// a literal (and IN lists) contribute; user-defined filter calls and
+// inequality (!=) contribute nothing.
+func ExtractRanges(e sqlparser.Expr) Ranges {
+	if e == nil {
+		return Ranges{}
+	}
+	return extract(e, false)
+}
+
+func extract(e sqlparser.Expr, negated bool) Ranges {
+	switch v := e.(type) {
+	case *sqlparser.Logic:
+		op := v.Op
+		if negated {
+			// De Morgan: ¬(a AND b) = ¬a OR ¬b.
+			if op == sqlparser.OpAnd {
+				op = sqlparser.OpOr
+			} else {
+				op = sqlparser.OpAnd
+			}
+		}
+		l := extract(v.L, negated)
+		r := extract(v.R, negated)
+		if op == sqlparser.OpAnd {
+			return andRanges(l, r)
+		}
+		return orRanges(l, r)
+	case *sqlparser.Not:
+		return extract(v.X, !negated)
+	case *sqlparser.Cmp:
+		col, ok := v.Left.(sqlparser.Column)
+		if !ok {
+			return Ranges{}
+		}
+		lit, ok := v.Right.(sqlparser.Literal)
+		if !ok {
+			return Ranges{}
+		}
+		op := v.Op
+		if negated {
+			op = negateCmp(op)
+		}
+		s, ok := cmpSet(op, lit.Value)
+		if !ok {
+			return Ranges{}
+		}
+		return Ranges{col.Name: s}
+	case *sqlparser.In:
+		var s Set
+		if negated {
+			// NOT IN: complement of the points.
+			s = FullSet()
+			for _, val := range v.Values {
+				s = s.Intersect(notEqualSet(val))
+			}
+		} else {
+			ivs := make([]Interval, len(v.Values))
+			for i, val := range v.Values {
+				ivs[i] = Point(val)
+			}
+			s = NewSet(ivs...)
+		}
+		return Ranges{v.Col: s}
+	}
+	return Ranges{}
+}
+
+func negateCmp(op sqlparser.CmpOp) sqlparser.CmpOp {
+	switch op {
+	case sqlparser.CmpLT:
+		return sqlparser.CmpGE
+	case sqlparser.CmpLE:
+		return sqlparser.CmpGT
+	case sqlparser.CmpGT:
+		return sqlparser.CmpLE
+	case sqlparser.CmpGE:
+		return sqlparser.CmpLT
+	case sqlparser.CmpEQ:
+		return sqlparser.CmpNE
+	default:
+		return sqlparser.CmpEQ
+	}
+}
+
+func cmpSet(op sqlparser.CmpOp, v float64) (Set, bool) {
+	switch op {
+	case sqlparser.CmpLT:
+		return NewSet(Interval{Lo: math.Inf(-1), LoOpen: true, Hi: v, HiOpen: true}), true
+	case sqlparser.CmpLE:
+		return NewSet(Interval{Lo: math.Inf(-1), LoOpen: true, Hi: v}), true
+	case sqlparser.CmpGT:
+		return NewSet(Interval{Lo: v, LoOpen: true, Hi: math.Inf(1), HiOpen: true}), true
+	case sqlparser.CmpGE:
+		return NewSet(Interval{Lo: v, Hi: math.Inf(1), HiOpen: true}), true
+	case sqlparser.CmpEQ:
+		return NewSet(Point(v)), true
+	case sqlparser.CmpNE:
+		return notEqualSet(v), true
+	}
+	return Set{}, false
+}
+
+func notEqualSet(v float64) Set {
+	return NewSet(
+		Interval{Lo: math.Inf(-1), LoOpen: true, Hi: v, HiOpen: true},
+		Interval{Lo: v, LoOpen: true, Hi: math.Inf(1), HiOpen: true},
+	)
+}
+
+// andRanges intersects constraints attribute-wise; attributes
+// constrained by only one side keep that side's constraint.
+func andRanges(l, r Ranges) Ranges {
+	out := make(Ranges, len(l)+len(r))
+	for a, s := range l {
+		out[a] = s
+	}
+	for a, s := range r {
+		if prev, ok := out[a]; ok {
+			out[a] = prev.Intersect(s)
+		} else {
+			out[a] = s
+		}
+	}
+	return out
+}
+
+// orRanges unions constraints attribute-wise; an attribute missing from
+// either side is unconstrained on that side, so it must be dropped.
+func orRanges(l, r Ranges) Ranges {
+	out := make(Ranges)
+	for a, ls := range l {
+		if rs, ok := r[a]; ok {
+			out[a] = ls.Union(rs)
+		}
+	}
+	return out
+}

@@ -1,0 +1,410 @@
+package rowstore
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"datavirt/internal/schema"
+	"datavirt/internal/table"
+)
+
+func titanSchema() *schema.Schema {
+	return schema.MustNew("TITAN", []schema.Attribute{
+		{Name: "X", Kind: schema.Int}, {Name: "Y", Kind: schema.Int},
+		{Name: "Z", Kind: schema.Int}, {Name: "S1", Kind: schema.Float},
+	})
+}
+
+func loadRows(t *testing.T, tbl *Table, n int, seed int64) []table.Row {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]table.Row, n)
+	i := 0
+	_, err := tbl.CopyFrom(func() (table.Row, bool, error) {
+		if i >= n {
+			return nil, false, nil
+		}
+		r := table.Row{
+			schema.IntValue(int64(rng.Intn(1000))),
+			schema.IntValue(int64(rng.Intn(1000))),
+			schema.IntValue(int64(i)),
+			schema.FloatValue(float64(float32(rng.Float64()))),
+		}
+		rows[i] = r
+		i++
+		return r, true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func openDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestCreateCopyAndSeqScan(t *testing.T) {
+	db := openDB(t)
+	tbl, err := db.Create(titanSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := loadRows(t, tbl, 5000, 1)
+	if tbl.Rows() != 5000 {
+		t.Fatalf("Rows = %d", tbl.Rows())
+	}
+	got, stats, err := db.Query("SELECT * FROM TITAN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Plan != "seqscan" {
+		t.Errorf("plan = %s", stats.Plan)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("rows = %d", len(got))
+	}
+	// Heap preserves insertion order for a pure seq scan.
+	for i := range want {
+		if !table.RowsEqual(got[i], want[i]) {
+			t.Fatalf("row %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if stats.TuplesScanned != 5000 || stats.TuplesReturned != 5000 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestStorageOverhead(t *testing.T) {
+	db := openDB(t)
+	tbl, err := db.Create(titanSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadRows(t, tbl, 20000, 2)
+	raw := int64(20000) * int64(tbl.Schema().RowBytes())
+	loaded := tbl.SizeBytes()
+	// The paper reports 6 GB raw → 18 GB loaded. Our tuple headers and
+	// slot directory should cost at least 1.8× before indexes.
+	if loaded < raw*18/10 {
+		t.Errorf("loaded %d bytes for %d raw: blow-up only %.2fx",
+			loaded, raw, float64(loaded)/float64(raw))
+	}
+	if err := tbl.CreateIndex("S1"); err != nil {
+		t.Fatal(err)
+	}
+	withIdx := tbl.SizeBytes()
+	if withIdx <= loaded {
+		t.Errorf("index added no bytes: %d vs %d", withIdx, loaded)
+	}
+	t.Logf("raw=%d heap=%d heap+index=%d (%.2fx)", raw, loaded, withIdx, float64(withIdx)/float64(raw))
+}
+
+func TestIndexScanMatchesSeqScan(t *testing.T) {
+	db := openDB(t)
+	tbl, err := db.Create(titanSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadRows(t, tbl, 30000, 3)
+	if err := tbl.CreateIndex("S1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Indexes(); len(got) != 1 || got[0] != "S1" {
+		t.Fatalf("Indexes = %v", got)
+	}
+
+	// Selective query → index scan.
+	sql := "SELECT * FROM TITAN WHERE S1 < 0.01"
+	got, stats, err := db.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Plan != "indexscan(S1)" {
+		t.Errorf("plan = %s", stats.Plan)
+	}
+	if stats.TuplesScanned >= 30000/2 {
+		t.Errorf("index scan visited %d tuples", stats.TuplesScanned)
+	}
+	// Reference: disable the index by querying a fresh DB handle via
+	// seq-scan-only predicate (use the unindexed attr alongside).
+	want := 0
+	for _, r := range seqAll(t, db) {
+		if r[3].AsFloat() < 0.01 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Errorf("index scan rows = %d, want %d", len(got), want)
+	}
+
+	// Unselective query → seq scan (the planner's crossover).
+	_, stats2, err := db.Query("SELECT * FROM TITAN WHERE S1 < 0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Plan != "seqscan" {
+		t.Errorf("unselective plan = %s", stats2.Plan)
+	}
+}
+
+func seqAll(t *testing.T, db *DB) []table.Row {
+	t.Helper()
+	rows, _, err := db.Query("SELECT * FROM TITAN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.Create(titanSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadRows(t, tbl, 3000, 4)
+	if err := tbl.CreateIndex("Z"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tbl2 := db2.Table("TITAN")
+	if tbl2 == nil || tbl2.Rows() != 3000 {
+		t.Fatalf("reopened table = %+v", tbl2)
+	}
+	rows, stats, err := db2.Query("SELECT Z FROM TITAN WHERE Z >= 10 AND Z <= 19")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Plan != "indexscan(Z)" {
+		t.Errorf("plan after reopen = %s", stats.Plan)
+	}
+	if len(rows) != 10 {
+		t.Errorf("rows = %d, want 10", len(rows))
+	}
+	st, ok := tbl2.Stats("Z")
+	if !ok || st.Min != 0 || st.Max != 2999 {
+		t.Errorf("stats = %+v, %v", st, ok)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	db := openDB(t)
+	tbl, err := db.Create(titanSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadRows(t, tbl, 10, 5)
+	bad := []string{
+		"garbage",
+		"SELECT * FROM NOPE",
+		"SELECT MISSING FROM TITAN",
+		"SELECT * FROM TITAN WHERE BOGUS(X) > 1",
+	}
+	for _, sql := range bad {
+		if _, _, err := db.Query(sql); err == nil {
+			t.Errorf("Query(%q) accepted", sql)
+		}
+	}
+	if _, err := db.Create(titanSchema()); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if err := tbl.CreateIndex("NOPE"); err == nil {
+		t.Error("index on missing attr accepted")
+	}
+	if err := tbl.CreateIndex("X"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateIndex("X"); err == nil {
+		t.Error("duplicate index accepted")
+	}
+}
+
+func TestProjectionAndFilters(t *testing.T) {
+	db := openDB(t)
+	tbl, err := db.Create(titanSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadRows(t, tbl, 1000, 6)
+	rows, _, err := db.Query("SELECT S1, X FROM TITAN WHERE DISTANCE(X, Y) < 300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if len(r) != 2 {
+			t.Fatalf("row width = %d", len(r))
+		}
+	}
+	if len(rows) == 0 {
+		t.Error("DISTANCE filter selected nothing")
+	}
+}
+
+// Property: for random data and random range predicates on an indexed
+// attribute, index scan plans and seq scan plans return identical row
+// multisets.
+func TestPlansAgreeQuick(t *testing.T) {
+	db := openDB(t)
+	tbl, err := db.Create(schema.MustNew("R", []schema.Attribute{
+		{Name: "K", Kind: schema.Int}, {Name: "V", Kind: schema.Double},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	const N = 20000
+	i := 0
+	if _, err := tbl.CopyFrom(func() (table.Row, bool, error) {
+		if i >= N {
+			return nil, false, nil
+		}
+		i++
+		return table.Row{
+			schema.IntValue(int64(rng.Intn(10000))),
+			schema.DoubleValue(rng.Float64()),
+		}, true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateIndex("K"); err != nil {
+		t.Fatal(err)
+	}
+	f := func(loRaw uint16) bool {
+		lo := int(loRaw) % 10000
+		hi := lo + 99 // ~1% selectivity → index plan
+		sqlIdx := "SELECT K, V FROM R WHERE K >= " + itoa(lo) + " AND K <= " + itoa(hi)
+		idxRows, st1, err := db.Query(sqlIdx)
+		if err != nil || !strings.HasPrefix(st1.Plan, "indexscan") {
+			t.Logf("plan1 = %v %v", st1.Plan, err)
+			return false
+		}
+		// Force a seq scan by including a filter call, which contributes
+		// no ranges... it still leaves K bounded. Instead compare with a
+		// manual scan.
+		seqRows, _, err := db.Query("SELECT K, V FROM R")
+		if err != nil {
+			return false
+		}
+		want := map[string]int{}
+		for _, r := range seqRows {
+			k := r[0].AsInt()
+			if k >= int64(lo) && k <= int64(hi) {
+				want[table.FormatRow(r)]++
+			}
+		}
+		got := map[string]int{}
+		for _, r := range idxRows {
+			got[table.FormatRow(r)]++
+		}
+		if len(gotDiff(want, got)) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBiggerThanBufferPool loads a heap larger than the 8 MiB buffer
+// pool, forcing evictions on both the COPY and the scan path, and
+// checks full-table counts plus index-scan correctness afterwards.
+func TestBiggerThanBufferPool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large load")
+	}
+	db := openDB(t)
+	tbl, err := db.Create(titanSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~60 bytes/tuple loaded → 200k tuples ≈ 12 MB heap > 8 MB pool.
+	const N = 200_000
+	i := 0
+	if _, err := tbl.CopyFrom(func() (table.Row, bool, error) {
+		if i >= N {
+			return nil, false, nil
+		}
+		r := table.Row{
+			schema.IntValue(int64(i % 977)), schema.IntValue(int64(i % 331)),
+			schema.IntValue(int64(i)), schema.FloatValue(float64(i%1000) / 1000),
+		}
+		i++
+		return r, true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateIndex("Z"); err != nil {
+		t.Fatal(err)
+	}
+	rows, stats, err := db.Query("SELECT Z FROM TITAN WHERE Z >= 150000 AND Z < 150100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Plan != "indexscan(Z)" || len(rows) != 100 {
+		t.Errorf("plan=%s rows=%d", stats.Plan, len(rows))
+	}
+	var count int64
+	if _, err := db.QueryStream("SELECT X FROM TITAN", func(table.Row) error {
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != N {
+		t.Errorf("full scan = %d rows", count)
+	}
+	if tbl.SizeBytes() < 10<<20 {
+		t.Errorf("heap+index only %d bytes; pool eviction untested", tbl.SizeBytes())
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func gotDiff(want, got map[string]int) []string {
+	var diff []string
+	for k, n := range want {
+		if got[k] != n {
+			diff = append(diff, k)
+		}
+	}
+	for k, n := range got {
+		if want[k] != n {
+			diff = append(diff, k)
+		}
+	}
+	sort.Strings(diff)
+	return diff
+}

@@ -1,0 +1,249 @@
+// Package rtree implements an in-memory R-tree over axis-aligned
+// bounding boxes, bulk-loaded with the Sort-Tile-Recursive (STR)
+// algorithm. It is the spatial-index substrate behind the indexing
+// service for chunked datasets (the paper's satellite-data case: "a
+// spatial index is built so that chunks that intersect the query are
+// searched for quickly").
+//
+// The tree stores integer item references; payloads stay with the
+// caller. Trees are immutable after Build, so concurrent Search calls
+// need no locking.
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Rect is an axis-aligned box: Min[d] <= Max[d] for every dimension d.
+type Rect struct {
+	Min, Max []float64
+}
+
+// NewRect builds a rect and validates its shape.
+func NewRect(min, max []float64) (Rect, error) {
+	if len(min) != len(max) || len(min) == 0 {
+		return Rect{}, fmt.Errorf("rtree: min/max dimension mismatch (%d vs %d)", len(min), len(max))
+	}
+	for d := range min {
+		if min[d] > max[d] {
+			return Rect{}, fmt.Errorf("rtree: inverted rect in dimension %d: %g > %g", d, min[d], max[d])
+		}
+	}
+	return Rect{Min: min, Max: max}, nil
+}
+
+// Dims returns the dimensionality.
+func (r Rect) Dims() int { return len(r.Min) }
+
+// Intersects reports whether the two boxes share any point (closed
+// boxes: touching faces intersect).
+func (r Rect) Intersects(o Rect) bool {
+	for d := range r.Min {
+		if r.Max[d] < o.Min[d] || o.Max[d] < r.Min[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether the point lies in the closed box.
+func (r Rect) Contains(pt []float64) bool {
+	for d := range r.Min {
+		if pt[d] < r.Min[d] || pt[d] > r.Max[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// center returns the box center along dimension d.
+func (r Rect) center(d int) float64 { return (r.Min[d] + r.Max[d]) / 2 }
+
+// extend grows r to cover o.
+func (r *Rect) extend(o Rect) {
+	for d := range r.Min {
+		r.Min[d] = math.Min(r.Min[d], o.Min[d])
+		r.Max[d] = math.Max(r.Max[d], o.Max[d])
+	}
+}
+
+// cloneRect deep-copies a rect (nodes own their boxes).
+func cloneRect(r Rect) Rect {
+	min := append([]float64(nil), r.Min...)
+	max := append([]float64(nil), r.Max...)
+	return Rect{Min: min, Max: max}
+}
+
+// MaxEntries is the node fan-out used by Build.
+const MaxEntries = 16
+
+// Tree is an immutable R-tree. Item i of Search results indexes the
+// rects slice passed to Build.
+type Tree struct {
+	dims  int
+	root  *node
+	count int
+}
+
+type node struct {
+	rect     Rect
+	children []*node // nil for leaves
+	items    []int   // item references, leaves only
+}
+
+// Build bulk-loads a tree from the given boxes using STR. The returned
+// tree references items by their index in rects. An empty input yields
+// an empty tree.
+func Build(rects []Rect) (*Tree, error) {
+	if len(rects) == 0 {
+		return &Tree{}, nil
+	}
+	dims := rects[0].Dims()
+	if dims == 0 {
+		return nil, fmt.Errorf("rtree: zero-dimensional rects")
+	}
+	for i, r := range rects {
+		if r.Dims() != dims {
+			return nil, fmt.Errorf("rtree: rect %d has %d dims, want %d", i, r.Dims(), dims)
+		}
+		for d := 0; d < dims; d++ {
+			if r.Min[d] > r.Max[d] {
+				return nil, fmt.Errorf("rtree: rect %d inverted in dimension %d", i, d)
+			}
+		}
+	}
+	// Leaf level: STR-tile the items.
+	idx := make([]int, len(rects))
+	for i := range idx {
+		idx[i] = i
+	}
+	leafGroups := strTile(idx, dims, 0, func(i int, d int) float64 { return rects[i].center(d) })
+	level := make([]*node, 0, len(leafGroups))
+	for _, g := range leafGroups {
+		n := &node{items: g, rect: cloneRect(rects[g[0]])}
+		for _, it := range g[1:] {
+			n.rect.extend(rects[it])
+		}
+		level = append(level, n)
+	}
+	// Upper levels.
+	for len(level) > 1 {
+		idx := make([]int, len(level))
+		for i := range idx {
+			idx[i] = i
+		}
+		groups := strTile(idx, dims, 0, func(i int, d int) float64 { return level[i].rect.center(d) })
+		next := make([]*node, 0, len(groups))
+		for _, g := range groups {
+			n := &node{rect: cloneRect(level[g[0]].rect)}
+			for _, ci := range g {
+				n.children = append(n.children, level[ci])
+				n.rect.extend(level[ci].rect)
+			}
+			next = append(next, n)
+		}
+		level = next
+	}
+	return &Tree{dims: dims, root: level[0], count: len(rects)}, nil
+}
+
+// strTile recursively partitions idx into groups of at most MaxEntries
+// using sort-tile-recursive: sort by the current dimension's center,
+// split into vertical slabs, recurse on the next dimension.
+func strTile(idx []int, dims, d int, center func(i, d int) float64) [][]int {
+	if len(idx) <= MaxEntries {
+		return [][]int{idx}
+	}
+	sort.Slice(idx, func(a, b int) bool { return center(idx[a], d) < center(idx[b], d) })
+	if d == dims-1 {
+		// Last dimension: chop into runs of MaxEntries.
+		var out [][]int
+		for i := 0; i < len(idx); i += MaxEntries {
+			j := i + MaxEntries
+			if j > len(idx) {
+				j = len(idx)
+			}
+			out = append(out, idx[i:j])
+		}
+		return out
+	}
+	// Number of slabs: ceil((N/M)^(1/(dims-d))) slabs along this axis.
+	leaves := float64(len(idx)) / float64(MaxEntries)
+	slabs := int(math.Ceil(math.Pow(leaves, 1/float64(dims-d))))
+	if slabs < 1 {
+		slabs = 1
+	}
+	per := (len(idx) + slabs - 1) / slabs
+	var out [][]int
+	for i := 0; i < len(idx); i += per {
+		j := i + per
+		if j > len(idx) {
+			j = len(idx)
+		}
+		out = append(out, strTile(idx[i:j], dims, d+1, center)...)
+	}
+	return out
+}
+
+// Len returns the number of items in the tree.
+func (t *Tree) Len() int { return t.count }
+
+// Dims returns the tree's dimensionality (0 when empty).
+func (t *Tree) Dims() int { return t.dims }
+
+// Search visits every item whose box intersects q, in unspecified
+// order. Returning false from fn stops the search.
+func (t *Tree) Search(q Rect, rects []Rect, fn func(item int) bool) {
+	if t.root == nil {
+		return
+	}
+	t.search(t.root, q, rects, fn)
+}
+
+func (t *Tree) search(n *node, q Rect, rects []Rect, fn func(item int) bool) bool {
+	if !n.rect.Intersects(q) {
+		return true
+	}
+	if n.children == nil {
+		for _, it := range n.items {
+			if rects[it].Intersects(q) {
+				if !fn(it) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !t.search(c, q, rects, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchAll collects the matching items of Search.
+func (t *Tree) SearchAll(q Rect, rects []Rect) []int {
+	var out []int
+	t.Search(q, rects, func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// Depth returns the height of the tree (0 when empty); exposed for
+// tests and diagnostics.
+func (t *Tree) Depth() int {
+	d, n := 0, t.root
+	for n != nil {
+		d++
+		if n.children == nil {
+			break
+		}
+		n = n.children[0]
+	}
+	return d
+}

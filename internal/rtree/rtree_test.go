@@ -1,0 +1,183 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRect(t *testing.T) {
+	if _, err := NewRect([]float64{0, 0}, []float64{1, 1}); err != nil {
+		t.Errorf("valid rect rejected: %v", err)
+	}
+	if _, err := NewRect([]float64{0}, []float64{1, 1}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := NewRect([]float64{2}, []float64{1}); err == nil {
+		t.Error("inverted rect accepted")
+	}
+	if _, err := NewRect(nil, nil); err == nil {
+		t.Error("empty rect accepted")
+	}
+}
+
+func TestRectOps(t *testing.T) {
+	r1 := Rect{Min: []float64{0, 0}, Max: []float64{10, 10}}
+	r2 := Rect{Min: []float64{5, 5}, Max: []float64{15, 15}}
+	r3 := Rect{Min: []float64{11, 0}, Max: []float64{12, 10}}
+	if !r1.Intersects(r2) || r1.Intersects(r3) {
+		t.Error("Intersects misbehaves")
+	}
+	// Touching faces intersect (closed boxes).
+	r4 := Rect{Min: []float64{10, 0}, Max: []float64{20, 10}}
+	if !r1.Intersects(r4) {
+		t.Error("touching boxes should intersect")
+	}
+	if !r1.Contains([]float64{10, 10}) || r1.Contains([]float64{10.1, 0}) {
+		t.Error("Contains misbehaves")
+	}
+	if r1.Dims() != 2 {
+		t.Error("Dims wrong")
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	tr, err := Build(nil)
+	if err != nil {
+		t.Fatalf("Build(nil): %v", err)
+	}
+	if tr.Len() != 0 || tr.Depth() != 0 {
+		t.Errorf("empty tree: len=%d depth=%d", tr.Len(), tr.Depth())
+	}
+	tr.Search(Rect{Min: []float64{0}, Max: []float64{1}}, nil, func(int) bool {
+		t.Error("search on empty tree visited an item")
+		return true
+	})
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build([]Rect{
+		{Min: []float64{0, 0}, Max: []float64{1, 1}},
+		{Min: []float64{0}, Max: []float64{1}},
+	}); err == nil {
+		t.Error("mixed dims accepted")
+	}
+	if _, err := Build([]Rect{{Min: []float64{2}, Max: []float64{1}}}); err == nil {
+		t.Error("inverted rect accepted")
+	}
+	if _, err := Build([]Rect{{}}); err == nil {
+		t.Error("zero-dim rect accepted")
+	}
+}
+
+func TestSearchSmall(t *testing.T) {
+	rects := []Rect{
+		{Min: []float64{0, 0}, Max: []float64{1, 1}},
+		{Min: []float64{2, 2}, Max: []float64{3, 3}},
+		{Min: []float64{0.5, 0.5}, Max: []float64{2.5, 2.5}},
+	}
+	tr, err := Build(rects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tr.SearchAll(Rect{Min: []float64{0.9, 0.9}, Max: []float64{1.1, 1.1}}, rects)
+	if len(got) != 2 {
+		t.Errorf("SearchAll = %v", got)
+	}
+	found := map[int]bool{}
+	for _, i := range got {
+		found[i] = true
+	}
+	if !found[0] || !found[2] || found[1] {
+		t.Errorf("SearchAll items = %v", got)
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	var rects []Rect
+	for i := 0; i < 100; i++ {
+		rects = append(rects, Rect{Min: []float64{0}, Max: []float64{1}})
+	}
+	tr, _ := Build(rects)
+	visits := 0
+	tr.Search(Rect{Min: []float64{0}, Max: []float64{1}}, rects, func(int) bool {
+		visits++
+		return visits < 5
+	})
+	if visits != 5 {
+		t.Errorf("early stop visited %d items", visits)
+	}
+}
+
+func TestTreeShape(t *testing.T) {
+	var rects []Rect
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		rects = append(rects, Rect{Min: []float64{x, y}, Max: []float64{x + 1, y + 1}})
+	}
+	tr, err := Build(rects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 10000 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	// 10000 items at fan-out 16 should give a shallow tree.
+	if d := tr.Depth(); d < 3 || d > 5 {
+		t.Errorf("Depth = %d, want 3..5", d)
+	}
+	if tr.Dims() != 2 {
+		t.Errorf("Dims = %d", tr.Dims())
+	}
+}
+
+// Property: Search returns exactly the same items as a linear scan, for
+// random boxes in 1-3 dimensions.
+func TestSearchMatchesLinearQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := rng.Intn(3) + 1
+		n := rng.Intn(300) + 1
+		rects := make([]Rect, n)
+		mk := func() Rect {
+			min := make([]float64, dims)
+			max := make([]float64, dims)
+			for d := 0; d < dims; d++ {
+				a := rng.Float64() * 100
+				b := a + rng.Float64()*20
+				min[d], max[d] = a, b
+			}
+			return Rect{Min: min, Max: max}
+		}
+		for i := range rects {
+			rects[i] = mk()
+		}
+		tr, err := Build(rects)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 10; trial++ {
+			q := mk()
+			want := map[int]bool{}
+			for i, r := range rects {
+				if r.Intersects(q) {
+					want[i] = true
+				}
+			}
+			got := tr.SearchAll(q, rects)
+			if len(got) != len(want) {
+				return false
+			}
+			for _, i := range got {
+				if !want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,124 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StripComments removes the two comment forms of the description
+// language from src: line comments introduced by "//" and block comments
+// delimited by "{*" and "*}". It is shared by the Component-I parser here
+// and the Component-II/III parsers in internal/metadata.
+func StripComments(src string) string {
+	var b strings.Builder
+	b.Grow(len(src))
+	for i := 0; i < len(src); {
+		if src[i] == '/' && i+1 < len(src) && src[i+1] == '/' {
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+			continue
+		}
+		if src[i] == '{' && i+1 < len(src) && src[i+1] == '*' {
+			j := strings.Index(src[i+2:], "*}")
+			if j < 0 {
+				// Unterminated block comment: swallow to end of input.
+				i = len(src)
+				continue
+			}
+			// Preserve newlines inside the comment so error line numbers
+			// in surrounding text stay correct.
+			for _, c := range src[i : i+2+j+2] {
+				if c == '\n' {
+					b.WriteByte('\n')
+				}
+			}
+			i += 2 + j + 2
+			continue
+		}
+		b.WriteByte(src[i])
+		i++
+	}
+	return b.String()
+}
+
+// ParseSchemas parses Component I of a meta-data descriptor: one or more
+// bracket-headed schema sections of the form
+//
+//	[IPARS]
+//	REL  = short int
+//	TIME = int
+//	X    = float
+//
+// Comments (// and {* *}) are permitted anywhere. The returned schemas
+// appear in source order.
+func ParseSchemas(src string) ([]*Schema, error) {
+	lines := strings.Split(StripComments(src), "\n")
+	var out []*Schema
+	var name string
+	var attrs []Attribute
+	flush := func() error {
+		if name == "" {
+			return nil
+		}
+		s, err := New(name, attrs)
+		if err != nil {
+			return err
+		}
+		out = append(out, s)
+		name, attrs = "", nil
+		return nil
+	}
+	for lineno, raw := range lines {
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "[") {
+			if !strings.HasSuffix(line, "]") {
+				return nil, fmt.Errorf("schema: line %d: malformed section header %q", lineno+1, line)
+			}
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			name = strings.TrimSpace(line[1 : len(line)-1])
+			if name == "" {
+				return nil, fmt.Errorf("schema: line %d: empty section name", lineno+1)
+			}
+			continue
+		}
+		eq := strings.Index(line, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("schema: line %d: expected NAME = type, got %q", lineno+1, line)
+		}
+		if name == "" {
+			return nil, fmt.Errorf("schema: line %d: attribute outside any [section]", lineno+1)
+		}
+		attrName := strings.TrimSpace(line[:eq])
+		kind, err := ParseKind(strings.TrimSpace(line[eq+1:]))
+		if err != nil {
+			return nil, fmt.Errorf("schema: line %d: %v", lineno+1, err)
+		}
+		attrs = append(attrs, Attribute{Name: attrName, Kind: kind})
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("schema: no schema sections found")
+	}
+	return out, nil
+}
+
+// ParseSchema parses a Component-I source that must contain exactly one
+// schema section.
+func ParseSchema(src string) (*Schema, error) {
+	ss, err := ParseSchemas(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(ss) != 1 {
+		return nil, fmt.Errorf("schema: expected 1 schema section, found %d", len(ss))
+	}
+	return ss[0], nil
+}

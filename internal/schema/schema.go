@@ -1,0 +1,238 @@
+// Package schema defines the attribute type system and the virtual-table
+// schemas used throughout datavirt. It implements Component I of the
+// meta-data description language of Weng et al. (HPDC 2004): the Dataset
+// Schema Description, which states the logical (virtual) relational table
+// view desired for a dataset.
+//
+// A schema is an ordered list of named, fixed-size, binary attribute
+// types. The fixed sizes are what make offset arithmetic over flat files
+// possible: every layout computation in internal/layout and internal/afc
+// ultimately reduces to sums and products of the sizes defined here.
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind identifies one of the primitive binary attribute types supported by
+// the description language. All kinds have a fixed byte size and a
+// little-endian on-disk encoding.
+type Kind int
+
+const (
+	// Invalid is the zero Kind; it never appears in a validated schema.
+	Invalid Kind = iota
+	// Char is a 1-byte signed integer ("char").
+	Char
+	// Short is a 2-byte signed integer ("short int").
+	Short
+	// Int is a 4-byte signed integer ("int").
+	Int
+	// Long is an 8-byte signed integer ("long").
+	Long
+	// Float is a 4-byte IEEE-754 value ("float").
+	Float
+	// Double is an 8-byte IEEE-754 value ("double").
+	Double
+)
+
+// Size returns the number of bytes the kind occupies in a data file.
+func (k Kind) Size() int {
+	switch k {
+	case Char:
+		return 1
+	case Short:
+		return 2
+	case Int:
+		return 4
+	case Long:
+		return 8
+	case Float:
+		return 4
+	case Double:
+		return 8
+	}
+	return 0
+}
+
+// Integral reports whether the kind stores integer values.
+func (k Kind) Integral() bool {
+	switch k {
+	case Char, Short, Int, Long:
+		return true
+	}
+	return false
+}
+
+// String returns the description-language spelling of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Char:
+		return "char"
+	case Short:
+		return "short int"
+	case Int:
+		return "int"
+	case Long:
+		return "long"
+	case Float:
+		return "float"
+	case Double:
+		return "double"
+	}
+	return "invalid"
+}
+
+// ParseKind parses a description-language type name. It accepts the
+// canonical spellings produced by Kind.String plus common aliases
+// ("short", "int32", "int64", "float32", "float64", "byte").
+func ParseKind(s string) (Kind, error) {
+	switch strings.Join(strings.Fields(strings.ToLower(s)), " ") {
+	case "char", "byte", "int8":
+		return Char, nil
+	case "short", "short int", "int16":
+		return Short, nil
+	case "int", "int32":
+		return Int, nil
+	case "long", "long int", "int64":
+		return Long, nil
+	case "float", "float32":
+		return Float, nil
+	case "double", "float64":
+		return Double, nil
+	}
+	return Invalid, fmt.Errorf("schema: unknown type %q", s)
+}
+
+// Attribute is one named column of a virtual table.
+type Attribute struct {
+	Name string
+	Kind Kind
+}
+
+// Size returns the on-disk byte size of the attribute.
+func (a Attribute) Size() int { return a.Kind.Size() }
+
+// Schema is an ordered set of attributes forming the virtual relational
+// table view of a dataset. The zero Schema is empty and unusable; build
+// one with New or the Component-I parser.
+type Schema struct {
+	name   string
+	attrs  []Attribute
+	byName map[string]int
+}
+
+// New constructs a schema from an ordered attribute list. Attribute names
+// are case-sensitive identifiers and must be unique.
+func New(name string, attrs []Attribute) (*Schema, error) {
+	if name == "" {
+		return nil, fmt.Errorf("schema: empty schema name")
+	}
+	s := &Schema{name: name, byName: make(map[string]int, len(attrs))}
+	for _, a := range attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("schema %s: attribute with empty name", name)
+		}
+		if a.Kind.Size() == 0 {
+			return nil, fmt.Errorf("schema %s: attribute %s has invalid type", name, a.Name)
+		}
+		if _, dup := s.byName[a.Name]; dup {
+			return nil, fmt.Errorf("schema %s: duplicate attribute %s", name, a.Name)
+		}
+		s.byName[a.Name] = len(s.attrs)
+		s.attrs = append(s.attrs, a)
+	}
+	if len(s.attrs) == 0 {
+		return nil, fmt.Errorf("schema %s: no attributes", name)
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on error; intended for tests and constants.
+func MustNew(name string, attrs []Attribute) *Schema {
+	s, err := New(name, attrs)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name returns the schema's name (the bracket header of Component I).
+func (s *Schema) Name() string { return s.name }
+
+// NumAttrs returns the number of attributes.
+func (s *Schema) NumAttrs() int { return len(s.attrs) }
+
+// Attr returns the i'th attribute.
+func (s *Schema) Attr(i int) Attribute { return s.attrs[i] }
+
+// Attrs returns a copy of the attribute list.
+func (s *Schema) Attrs() []Attribute {
+	out := make([]Attribute, len(s.attrs))
+	copy(out, s.attrs)
+	return out
+}
+
+// Index returns the position of the named attribute, or -1 if absent.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Has reports whether the schema contains the named attribute.
+func (s *Schema) Has(name string) bool { return s.Index(name) >= 0 }
+
+// Kind returns the kind of the named attribute and whether it exists.
+func (s *Schema) Kind(name string) (Kind, bool) {
+	i := s.Index(name)
+	if i < 0 {
+		return Invalid, false
+	}
+	return s.attrs[i].Kind, true
+}
+
+// RowBytes returns the byte size of one full row with every attribute
+// stored contiguously — the record size of a "tabular" layout.
+func (s *Schema) RowBytes() int {
+	n := 0
+	for _, a := range s.attrs {
+		n += a.Size()
+	}
+	return n
+}
+
+// Names returns the attribute names in schema order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Project returns a new schema containing the named attributes, in the
+// given order. It fails if any name is unknown.
+func (s *Schema) Project(names []string) (*Schema, error) {
+	attrs := make([]Attribute, 0, len(names))
+	for _, n := range names {
+		i := s.Index(n)
+		if i < 0 {
+			return nil, fmt.Errorf("schema %s: no attribute %q", s.name, n)
+		}
+		attrs = append(attrs, s.attrs[i])
+	}
+	return New(s.name, attrs)
+}
+
+// String renders the schema in Component-I syntax.
+func (s *Schema) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s]\n", s.name)
+	for _, a := range s.attrs {
+		fmt.Fprintf(&b, "%s = %s\n", a.Name, a.Kind)
+	}
+	return b.String()
+}

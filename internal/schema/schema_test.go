@@ -1,0 +1,238 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindSizes(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		size int
+		intg bool
+	}{
+		{Char, 1, true},
+		{Short, 2, true},
+		{Int, 4, true},
+		{Long, 8, true},
+		{Float, 4, false},
+		{Double, 8, false},
+		{Invalid, 0, false},
+	}
+	for _, c := range cases {
+		if got := c.k.Size(); got != c.size {
+			t.Errorf("%v.Size() = %d, want %d", c.k, got, c.size)
+		}
+		if got := c.k.Integral(); got != c.intg {
+			t.Errorf("%v.Integral() = %v, want %v", c.k, got, c.intg)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	ok := map[string]Kind{
+		"char": Char, "byte": Char, "int8": Char,
+		"short": Short, "short int": Short, "SHORT  INT": Short, "int16": Short,
+		"int": Int, "Int32": Int,
+		"long": Long, "long int": Long, "int64": Long,
+		"float": Float, "float32": Float,
+		"double": Double, "Float64": Double,
+	}
+	for s, want := range ok {
+		got, err := ParseKind(s)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	for _, s := range []string{"", "string", "int 16", "floaty"} {
+		if k, err := ParseKind(s); err == nil {
+			t.Errorf("ParseKind(%q) = %v, want error", s, k)
+		}
+	}
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for _, k := range []Kind{Char, Short, Int, Long, Float, Double} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+	}
+}
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := New("IPARS", []Attribute{
+		{"REL", Short}, {"TIME", Int}, {"X", Float}, {"Y", Float},
+		{"Z", Float}, {"SOIL", Float}, {"SGAS", Float},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := testSchema(t)
+	if s.Name() != "IPARS" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if s.NumAttrs() != 7 {
+		t.Errorf("NumAttrs = %d", s.NumAttrs())
+	}
+	if s.Index("SOIL") != 5 {
+		t.Errorf("Index(SOIL) = %d", s.Index("SOIL"))
+	}
+	if s.Index("NOPE") != -1 {
+		t.Errorf("Index(NOPE) = %d", s.Index("NOPE"))
+	}
+	if !s.Has("Z") || s.Has("zz") {
+		t.Error("Has is wrong")
+	}
+	if k, ok := s.Kind("TIME"); !ok || k != Int {
+		t.Errorf("Kind(TIME) = %v, %v", k, ok)
+	}
+	// 2 + 4 + 5*4 = 26
+	if got := s.RowBytes(); got != 26 {
+		t.Errorf("RowBytes = %d, want 26", got)
+	}
+	want := []string{"REL", "TIME", "X", "Y", "Z", "SOIL", "SGAS"}
+	names := s.Names()
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestSchemaErrors(t *testing.T) {
+	if _, err := New("", []Attribute{{"A", Int}}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := New("S", nil); err == nil {
+		t.Error("empty attrs accepted")
+	}
+	if _, err := New("S", []Attribute{{"A", Int}, {"A", Float}}); err == nil {
+		t.Error("duplicate attr accepted")
+	}
+	if _, err := New("S", []Attribute{{"", Int}}); err == nil {
+		t.Error("empty attr name accepted")
+	}
+	if _, err := New("S", []Attribute{{"A", Invalid}}); err == nil {
+		t.Error("invalid kind accepted")
+	}
+}
+
+func TestProject(t *testing.T) {
+	s := testSchema(t)
+	p, err := s.Project([]string{"SOIL", "TIME"})
+	if err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	if p.NumAttrs() != 2 || p.Attr(0).Name != "SOIL" || p.Attr(1).Name != "TIME" {
+		t.Errorf("Project gave %v", p.Names())
+	}
+	if _, err := s.Project([]string{"MISSING"}); err == nil {
+		t.Error("Project of missing attr accepted")
+	}
+}
+
+func TestAttrsCopyIsDefensive(t *testing.T) {
+	s := testSchema(t)
+	attrs := s.Attrs()
+	attrs[0].Name = "MUTATED"
+	if s.Attr(0).Name != "REL" {
+		t.Error("Attrs() exposed internal slice")
+	}
+}
+
+func TestStripComments(t *testing.T) {
+	in := "a // line comment\nb {* block *} c\nd {* multi\nline *} e\n"
+	got := StripComments(in)
+	want := "a \nb  c\nd \n e\n"
+	if got != want {
+		t.Errorf("StripComments = %q, want %q", got, want)
+	}
+	// Unterminated block comment swallows the rest.
+	if got := StripComments("x {* oops"); got != "x " {
+		t.Errorf("unterminated = %q", got)
+	}
+}
+
+func TestParseSchemas(t *testing.T) {
+	src := `
+// The IPARS oil reservoir schema (paper Figure 4, Component I).
+[IPARS]
+REL = short int   // {* realization id *}
+TIME = int
+X = float
+Y = float
+Z = float
+SOIL = float
+SGAS = float
+
+[TITAN]
+X = int
+Y = int
+Z = int
+S1 = float
+`
+	ss, err := ParseSchemas(src)
+	if err != nil {
+		t.Fatalf("ParseSchemas: %v", err)
+	}
+	if len(ss) != 2 {
+		t.Fatalf("got %d schemas", len(ss))
+	}
+	if ss[0].Name() != "IPARS" || ss[0].NumAttrs() != 7 {
+		t.Errorf("first schema = %s/%d", ss[0].Name(), ss[0].NumAttrs())
+	}
+	if k, _ := ss[0].Kind("REL"); k != Short {
+		t.Errorf("REL kind = %v", k)
+	}
+	if ss[1].Name() != "TITAN" || ss[1].NumAttrs() != 4 {
+		t.Errorf("second schema = %s/%d", ss[1].Name(), ss[1].NumAttrs())
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"REL = int\n",               // attribute before any section
+		"[S]\nREL short int\n",      // missing '='
+		"[S]\nREL = complex\n",      // unknown type
+		"[S\nREL = int\n",           // malformed header
+		"[]\nREL = int\n",           // empty section name
+		"[S]\nA = int\n[T]\n",       // empty second schema
+		"[S]\nA = int\nA = float\n", // duplicate
+	}
+	for _, src := range bad {
+		if _, err := ParseSchemas(src); err == nil {
+			t.Errorf("ParseSchemas(%q) accepted", src)
+		}
+	}
+}
+
+func TestParseSchemaSingle(t *testing.T) {
+	if _, err := ParseSchema("[A]\nX = int\n[B]\nY = int\n"); err == nil {
+		t.Error("ParseSchema accepted two sections")
+	}
+	s, err := ParseSchema("[A]\nX = int\n")
+	if err != nil || s.Name() != "A" {
+		t.Errorf("ParseSchema = %v, %v", s, err)
+	}
+}
+
+func TestSchemaStringRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	back, err := ParseSchema(s.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if back.String() != s.String() {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", back, s)
+	}
+	if !strings.Contains(s.String(), "REL = short int") {
+		t.Errorf("String() = %q", s.String())
+	}
+}

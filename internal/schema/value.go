@@ -1,0 +1,225 @@
+package schema
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Value is one attribute value. Integral kinds carry their value in Int,
+// floating kinds in Float. The Kind field says which is meaningful.
+//
+// Value is a small value type (no pointers) so that rows — slices of
+// Value — stay allocation-free in the extractor hot path.
+type Value struct {
+	Kind  Kind
+	Int   int64
+	Float float64
+}
+
+// IntValue returns an Int-kind value.
+func IntValue(v int64) Value { return Value{Kind: Int, Int: v} }
+
+// LongValue returns a Long-kind value.
+func LongValue(v int64) Value { return Value{Kind: Long, Int: v} }
+
+// FloatValue returns a Float-kind value.
+func FloatValue(v float64) Value { return Value{Kind: Float, Float: v} }
+
+// DoubleValue returns a Double-kind value.
+func DoubleValue(v float64) Value { return Value{Kind: Double, Float: v} }
+
+// KindValue builds a value of the given kind from a float64, truncating
+// toward zero for integral kinds.
+func KindValue(k Kind, f float64) Value {
+	if k.Integral() {
+		return Value{Kind: k, Int: int64(f)}
+	}
+	return Value{Kind: k, Float: f}
+}
+
+// AsFloat returns the value as a float64 regardless of kind. This is the
+// common currency of predicate evaluation.
+func (v Value) AsFloat() float64 {
+	if v.Kind.Integral() {
+		return float64(v.Int)
+	}
+	return v.Float
+}
+
+// AsInt returns the value as an int64, truncating floats toward zero.
+func (v Value) AsInt() int64 {
+	if v.Kind.Integral() {
+		return v.Int
+	}
+	return int64(v.Float)
+}
+
+// Compare returns -1, 0 or +1 comparing v to w numerically. Integer pairs
+// compare exactly; mixed or float pairs compare as float64.
+func (v Value) Compare(w Value) int {
+	if v.Kind.Integral() && w.Kind.Integral() {
+		switch {
+		case v.Int < w.Int:
+			return -1
+		case v.Int > w.Int:
+			return 1
+		}
+		return 0
+	}
+	a, b := v.AsFloat(), w.AsFloat()
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// String formats the value for display.
+func (v Value) String() string {
+	if v.Kind.Integral() {
+		return strconv.FormatInt(v.Int, 10)
+	}
+	return strconv.FormatFloat(v.Float, 'g', -1, 64)
+}
+
+// ParseValue parses a literal of the given kind from its text form.
+func ParseValue(k Kind, s string) (Value, error) {
+	if k.Integral() {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			// Allow "1e3"-style literals for integer attributes.
+			f, ferr := strconv.ParseFloat(s, 64)
+			if ferr != nil {
+				return Value{}, fmt.Errorf("schema: bad %s literal %q: %v", k, s, err)
+			}
+			n = int64(f)
+		}
+		return Value{Kind: k, Int: n}, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return Value{}, fmt.Errorf("schema: bad %s literal %q: %v", k, s, err)
+	}
+	return Value{Kind: k, Float: f}, nil
+}
+
+// DecodeValue decodes one value of kind k from the start of b, which must
+// hold at least k.Size() bytes. Encoding is little-endian, two's
+// complement for integers, IEEE-754 for floats — the native layout of the
+// scientific datasets the paper targets.
+func DecodeValue(k Kind, b []byte) Value {
+	switch k {
+	case Char:
+		return Value{Kind: k, Int: int64(int8(b[0]))}
+	case Short:
+		return Value{Kind: k, Int: int64(int16(binary.LittleEndian.Uint16(b)))}
+	case Int:
+		return Value{Kind: k, Int: int64(int32(binary.LittleEndian.Uint32(b)))}
+	case Long:
+		return Value{Kind: k, Int: int64(binary.LittleEndian.Uint64(b))}
+	case Float:
+		return Value{Kind: k, Float: float64(math.Float32frombits(binary.LittleEndian.Uint32(b)))}
+	case Double:
+		return Value{Kind: k, Float: math.Float64frombits(binary.LittleEndian.Uint64(b))}
+	}
+	panic("schema: DecodeValue on invalid kind")
+}
+
+// EncodeValue appends the little-endian encoding of v to dst and returns
+// the extended slice.
+func EncodeValue(dst []byte, v Value) []byte {
+	switch v.Kind {
+	case Char:
+		return append(dst, byte(int8(v.Int)))
+	case Short:
+		return binary.LittleEndian.AppendUint16(dst, uint16(int16(v.Int)))
+	case Int:
+		return binary.LittleEndian.AppendUint32(dst, uint32(int32(v.Int)))
+	case Long:
+		return binary.LittleEndian.AppendUint64(dst, uint64(v.Int))
+	case Float:
+		return binary.LittleEndian.AppendUint32(dst, math.Float32bits(float32(v.Float)))
+	case Double:
+		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.Float))
+	}
+	panic("schema: EncodeValue on invalid kind")
+}
+
+// DecodeValueBig is DecodeValue for big-endian data (datasets declared
+// with BYTEORDER { BIG }).
+func DecodeValueBig(k Kind, b []byte) Value {
+	switch k {
+	case Char:
+		return Value{Kind: k, Int: int64(int8(b[0]))}
+	case Short:
+		return Value{Kind: k, Int: int64(int16(binary.BigEndian.Uint16(b)))}
+	case Int:
+		return Value{Kind: k, Int: int64(int32(binary.BigEndian.Uint32(b)))}
+	case Long:
+		return Value{Kind: k, Int: int64(binary.BigEndian.Uint64(b))}
+	case Float:
+		return Value{Kind: k, Float: float64(math.Float32frombits(binary.BigEndian.Uint32(b)))}
+	case Double:
+		return Value{Kind: k, Float: math.Float64frombits(binary.BigEndian.Uint64(b))}
+	}
+	panic("schema: DecodeValueBig on invalid kind")
+}
+
+// EncodeValueBig is EncodeValue for big-endian data.
+func EncodeValueBig(dst []byte, v Value) []byte {
+	switch v.Kind {
+	case Char:
+		return append(dst, byte(int8(v.Int)))
+	case Short:
+		return binary.BigEndian.AppendUint16(dst, uint16(int16(v.Int)))
+	case Int:
+		return binary.BigEndian.AppendUint32(dst, uint32(int32(v.Int)))
+	case Long:
+		return binary.BigEndian.AppendUint64(dst, uint64(v.Int))
+	case Float:
+		return binary.BigEndian.AppendUint32(dst, math.Float32bits(float32(v.Float)))
+	case Double:
+		return binary.BigEndian.AppendUint64(dst, math.Float64bits(v.Float))
+	}
+	panic("schema: EncodeValueBig on invalid kind")
+}
+
+// DecodeValueOrder dispatches on byte order.
+func DecodeValueOrder(k Kind, b []byte, big bool) Value {
+	if big {
+		return DecodeValueBig(k, b)
+	}
+	return DecodeValue(k, b)
+}
+
+// EncodeValueOrder dispatches on byte order.
+func EncodeValueOrder(dst []byte, v Value, big bool) []byte {
+	if big {
+		return EncodeValueBig(dst, v)
+	}
+	return EncodeValue(dst, v)
+}
+
+// DecodeFloat decodes a value of kind k from b directly to float64. It is
+// the fast path used by generated extractors for predicate evaluation.
+func DecodeFloat(k Kind, b []byte) float64 {
+	switch k {
+	case Char:
+		return float64(int8(b[0]))
+	case Short:
+		return float64(int16(binary.LittleEndian.Uint16(b)))
+	case Int:
+		return float64(int32(binary.LittleEndian.Uint32(b)))
+	case Long:
+		return float64(int64(binary.LittleEndian.Uint64(b)))
+	case Float:
+		return float64(math.Float32frombits(binary.LittleEndian.Uint32(b)))
+	case Double:
+		return math.Float64frombits(binary.LittleEndian.Uint64(b))
+	}
+	panic("schema: DecodeFloat on invalid kind")
+}

@@ -1,0 +1,168 @@
+package schema
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndConversions(t *testing.T) {
+	if v := IntValue(42); v.Kind != Int || v.AsInt() != 42 || v.AsFloat() != 42 {
+		t.Errorf("IntValue: %+v", v)
+	}
+	if v := LongValue(-7); v.Kind != Long || v.AsInt() != -7 {
+		t.Errorf("LongValue: %+v", v)
+	}
+	if v := FloatValue(1.5); v.Kind != Float || v.AsFloat() != 1.5 || v.AsInt() != 1 {
+		t.Errorf("FloatValue: %+v", v)
+	}
+	if v := DoubleValue(-2.25); v.Kind != Double || v.AsFloat() != -2.25 {
+		t.Errorf("DoubleValue: %+v", v)
+	}
+	if v := KindValue(Int, 3.9); v.Int != 3 {
+		t.Errorf("KindValue(Int, 3.9) = %+v", v)
+	}
+	if v := KindValue(Double, 3.9); v.Float != 3.9 {
+		t.Errorf("KindValue(Double, 3.9) = %+v", v)
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{IntValue(1), IntValue(2), -1},
+		{IntValue(2), IntValue(2), 0},
+		{IntValue(3), IntValue(2), 1},
+		{FloatValue(1.5), IntValue(2), -1},
+		{IntValue(2), FloatValue(1.5), 1},
+		{DoubleValue(2), IntValue(2), 0},
+		// Exact comparison for large int64 that float64 cannot hold.
+		{LongValue(1 << 62), LongValue(1<<62 + 1), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if got := IntValue(-3).String(); got != "-3" {
+		t.Errorf("IntValue.String = %q", got)
+	}
+	if got := DoubleValue(0.5).String(); got != "0.5" {
+		t.Errorf("DoubleValue.String = %q", got)
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	v, err := ParseValue(Int, "123")
+	if err != nil || v.Int != 123 {
+		t.Errorf("ParseValue(Int, 123) = %+v, %v", v, err)
+	}
+	v, err = ParseValue(Int, "1e3")
+	if err != nil || v.Int != 1000 {
+		t.Errorf("ParseValue(Int, 1e3) = %+v, %v", v, err)
+	}
+	v, err = ParseValue(Float, "-0.25")
+	if err != nil || v.Float != -0.25 {
+		t.Errorf("ParseValue(Float, -0.25) = %+v, %v", v, err)
+	}
+	if _, err := ParseValue(Int, "abc"); err == nil {
+		t.Error("ParseValue(Int, abc) accepted")
+	}
+	if _, err := ParseValue(Double, "abc"); err == nil {
+		t.Error("ParseValue(Double, abc) accepted")
+	}
+}
+
+func TestEncodeDecodeKnownBytes(t *testing.T) {
+	b := EncodeValue(nil, IntValue(0x01020304))
+	want := []byte{0x04, 0x03, 0x02, 0x01}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("little-endian int encoding = %x", b)
+		}
+	}
+	if got := DecodeValue(Int, b); got.Int != 0x01020304 {
+		t.Errorf("decode = %v", got)
+	}
+}
+
+// Property: encode→decode is the identity for every kind (modulo the
+// precision of the kind itself).
+func TestEncodeDecodeRoundTripQuick(t *testing.T) {
+	kinds := []Kind{Char, Short, Int, Long, Float, Double}
+	f := func(raw int64, fraw float64, pick uint8) bool {
+		k := kinds[int(pick)%len(kinds)]
+		var v Value
+		if k.Integral() {
+			// Clamp to the kind's range so the round trip is exact.
+			switch k {
+			case Char:
+				v = Value{Kind: k, Int: int64(int8(raw))}
+			case Short:
+				v = Value{Kind: k, Int: int64(int16(raw))}
+			case Int:
+				v = Value{Kind: k, Int: int64(int32(raw))}
+			default:
+				v = Value{Kind: k, Int: raw}
+			}
+		} else {
+			if math.IsNaN(fraw) {
+				fraw = 0 // NaN != NaN; skip
+			}
+			if k == Float {
+				v = Value{Kind: k, Float: float64(float32(fraw))}
+			} else {
+				v = Value{Kind: k, Float: fraw}
+			}
+		}
+		b := EncodeValue(nil, v)
+		if len(b) != k.Size() {
+			return false
+		}
+		got := DecodeValue(k, b)
+		if got.Kind != k {
+			return false
+		}
+		if k.Integral() {
+			return got.Int == v.Int
+		}
+		return got.Float == v.Float
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DecodeFloat agrees with DecodeValue().AsFloat().
+func TestDecodeFloatAgreesQuick(t *testing.T) {
+	kinds := []Kind{Char, Short, Int, Long, Float, Double}
+	f := func(raw [8]byte, pick uint8) bool {
+		k := kinds[int(pick)%len(kinds)]
+		b := raw[:k.Size()]
+		a := DecodeFloat(k, b)
+		c := DecodeValue(k, b).AsFloat()
+		if math.IsNaN(a) && math.IsNaN(c) {
+			return true
+		}
+		return a == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeAppends(t *testing.T) {
+	prefix := []byte{0xAA}
+	out := EncodeValue(prefix, ShortVal(259))
+	if len(out) != 3 || out[0] != 0xAA || out[1] != 0x03 || out[2] != 0x01 {
+		t.Errorf("EncodeValue append = %x", out)
+	}
+}
+
+// ShortVal builds a Short-kind value; helper shared by tests.
+func ShortVal(v int64) Value { return Value{Kind: Short, Int: v} }

@@ -1,0 +1,250 @@
+// Package sqlparser parses the SQL subset of the paper's canonical query
+// structure (Figure 1):
+//
+//	SELECT <Data Elements>
+//	FROM   <Dataset Name>
+//	WHERE  <Expression> AND Filter(<Data Element>)
+//
+// Supported WHERE syntax: comparisons (< <= > >= = != <>) between an
+// attribute or user-defined filter call and a numeric literal, IN lists,
+// BETWEEN, AND/OR/NOT and parentheses. Joins, aggregations and GROUP BY
+// are deliberately rejected — the system's goal is subsetting.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Query is a parsed SELECT statement.
+type Query struct {
+	// Star is true for SELECT *.
+	Star bool
+	// Columns holds the selected attribute names when Star is false.
+	Columns []string
+	// From names the virtual table (the dataset name of Component II).
+	From string
+	// Where is the predicate tree, or nil when there is no WHERE clause.
+	Where Expr
+}
+
+// String renders the query in SQL syntax; the output re-parses to an
+// equivalent query.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Star {
+		b.WriteString("*")
+	} else {
+		b.WriteString(strings.Join(q.Columns, ", "))
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(q.From)
+	if q.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(q.Where.String())
+	}
+	return b.String()
+}
+
+// Expr is a node of the WHERE predicate tree.
+type Expr interface {
+	String() string
+	expr()
+}
+
+// LogicOp is AND or OR.
+type LogicOp int
+
+// Logical operators.
+const (
+	OpAnd LogicOp = iota
+	OpOr
+)
+
+// Logic is a binary AND/OR node.
+type Logic struct {
+	Op   LogicOp
+	L, R Expr
+}
+
+func (*Logic) expr() {}
+
+func (l *Logic) String() string {
+	op := "AND"
+	if l.Op == OpOr {
+		op = "OR"
+	}
+	return fmt.Sprintf("(%s %s %s)", l.L, op, l.R)
+}
+
+// Not is logical negation.
+type Not struct{ X Expr }
+
+func (*Not) expr() {}
+
+func (n *Not) String() string { return fmt.Sprintf("(NOT %s)", n.X) }
+
+// CmpOp is a comparison operator.
+type CmpOp int
+
+// Comparison operators.
+const (
+	CmpLT CmpOp = iota
+	CmpLE
+	CmpGT
+	CmpGE
+	CmpEQ
+	CmpNE
+)
+
+// String returns the SQL spelling of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case CmpLT:
+		return "<"
+	case CmpLE:
+		return "<="
+	case CmpGT:
+		return ">"
+	case CmpGE:
+		return ">="
+	case CmpEQ:
+		return "="
+	case CmpNE:
+		return "!="
+	}
+	return "?"
+}
+
+// Flip mirrors the operator (for rewriting literal-on-the-left
+// comparisons): a < b  ≡  b > a.
+func (op CmpOp) Flip() CmpOp {
+	switch op {
+	case CmpLT:
+		return CmpGT
+	case CmpLE:
+		return CmpGE
+	case CmpGT:
+		return CmpLT
+	case CmpGE:
+		return CmpLE
+	}
+	return op
+}
+
+// Cmp compares an operand against another operand. The parser normalizes
+// literal-op-column to column-op-literal, so Left is a Column or Call
+// and Right is a Literal in all parser output.
+type Cmp struct {
+	Op    CmpOp
+	Left  Operand
+	Right Operand
+}
+
+func (*Cmp) expr() {}
+
+func (c *Cmp) String() string {
+	return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right)
+}
+
+// In is attribute IN (v1, v2, ...).
+type In struct {
+	Col    string
+	Values []float64
+}
+
+func (*In) expr() {}
+
+func (in *In) String() string {
+	parts := make([]string, len(in.Values))
+	for i, v := range in.Values {
+		parts[i] = trimFloat(v)
+	}
+	return fmt.Sprintf("%s IN (%s)", in.Col, strings.Join(parts, ", "))
+}
+
+// Operand is a comparison operand: Column, Literal, or Call.
+type Operand interface {
+	String() string
+	operand()
+}
+
+// Column references an attribute of the virtual table.
+type Column struct{ Name string }
+
+func (Column) operand() {}
+
+func (c Column) String() string { return c.Name }
+
+// Literal is a numeric constant.
+type Literal struct{ Value float64 }
+
+func (Literal) operand() {}
+
+func (l Literal) String() string { return trimFloat(l.Value) }
+
+// Call is a user-defined filter invocation, e.g. SPEED(OILVX, OILVY,
+// OILVZ). Arguments are attribute references or literals.
+type Call struct {
+	Name string
+	Args []Operand
+}
+
+func (Call) operand() {}
+
+func (c Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", c.Name, strings.Join(parts, ", "))
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}
+
+// Columns returns the distinct attribute names referenced anywhere in
+// the expression, in first-appearance order.
+func ExprColumns(e Expr) []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	var walkOp func(o Operand)
+	walkOp = func(o Operand) {
+		switch v := o.(type) {
+		case Column:
+			add(v.Name)
+		case Call:
+			for _, a := range v.Args {
+				walkOp(a)
+			}
+		}
+	}
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case *Logic:
+			walk(v.L)
+			walk(v.R)
+		case *Not:
+			walk(v.X)
+		case *Cmp:
+			walkOp(v.Left)
+			walkOp(v.Right)
+		case *In:
+			add(v.Col)
+		}
+	}
+	if e != nil {
+		walk(e)
+	}
+	return out
+}

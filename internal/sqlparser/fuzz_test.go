@@ -1,0 +1,28 @@
+package sqlparser
+
+import "testing"
+
+// FuzzParse guards the SQL parser against panics and checks that every
+// accepted query prints to a fixpoint.
+func FuzzParse(f *testing.F) {
+	f.Add("SELECT * FROM T")
+	f.Add("SELECT a, b FROM T WHERE a < 1 AND b IN (1,2,3) OR NOT c >= 2.5e-3")
+	f.Add("SELECT * FROM IparsData WHERE RID in (0,6,26,27) AND TIME >= 1000 AND SPEED(OILVX, OILVY, OILVZ) <= 30.0;")
+	f.Add("SELECT * FROM T WHERE x BETWEEN 1 AND 2")
+	f.Add("select")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := q.String()
+		q2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed query does not re-parse: %v\n%s", err, printed)
+		}
+		if q2.String() != printed {
+			t.Fatalf("print is not a fixpoint:\n%s\nvs\n%s", printed, q2.String())
+		}
+	})
+}

@@ -1,0 +1,431 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type tkind int
+
+const (
+	tEOF tkind = iota
+	tIdent
+	tNumber
+	tPunct // ( ) , * ;
+	tOp    // < <= > >= = != <>
+)
+
+type tok struct {
+	kind tkind
+	text string
+	pos  int
+}
+
+func (t tok) String() string {
+	if t.kind == tEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+func lexSQL(src string) ([]tok, error) {
+	var out []tok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '*' || c == ';':
+			out = append(out, tok{tPunct, string(c), i})
+			i++
+		case c == '<':
+			if i+1 < len(src) && src[i+1] == '=' {
+				out = append(out, tok{tOp, "<=", i})
+				i += 2
+			} else if i+1 < len(src) && src[i+1] == '>' {
+				out = append(out, tok{tOp, "!=", i})
+				i += 2
+			} else {
+				out = append(out, tok{tOp, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				out = append(out, tok{tOp, ">=", i})
+				i += 2
+			} else {
+				out = append(out, tok{tOp, ">", i})
+				i++
+			}
+		case c == '=':
+			out = append(out, tok{tOp, "=", i})
+			i++
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				out = append(out, tok{tOp, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sql: position %d: unexpected '!'", i)
+			}
+		case c == '-' || c == '+' || c == '.' || (c >= '0' && c <= '9'):
+			j := i
+			if c == '-' || c == '+' {
+				j++
+			}
+			digits := false
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9') {
+				j, digits = j+1, true
+			}
+			if j < len(src) && src[j] == '.' {
+				j++
+				for j < len(src) && (src[j] >= '0' && src[j] <= '9') {
+					j, digits = j+1, true
+				}
+			}
+			if j < len(src) && (src[j] == 'e' || src[j] == 'E') {
+				k := j + 1
+				if k < len(src) && (src[k] == '-' || src[k] == '+') {
+					k++
+				}
+				expDigits := false
+				for k < len(src) && (src[k] >= '0' && src[k] <= '9') {
+					k, expDigits = k+1, true
+				}
+				if expDigits {
+					j = k
+				}
+			}
+			if !digits {
+				return nil, fmt.Errorf("sql: position %d: malformed number", i)
+			}
+			out = append(out, tok{tNumber, src[i:j], i})
+			i = j
+		case c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+			j := i
+			for j < len(src) && (src[j] == '_' || (src[j] >= 'a' && src[j] <= 'z') ||
+				(src[j] >= 'A' && src[j] <= 'Z') || (src[j] >= '0' && src[j] <= '9')) {
+				j++
+			}
+			out = append(out, tok{tIdent, src[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("sql: position %d: unexpected character %q", i, c)
+		}
+	}
+	out = append(out, tok{tEOF, "", len(src)})
+	return out, nil
+}
+
+type sqlParser struct {
+	toks []tok
+	pos  int
+}
+
+func (p *sqlParser) peek() tok { return p.toks[p.pos] }
+
+func (p *sqlParser) next() tok {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *sqlParser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: near position %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *sqlParser) kw(kw string) bool {
+	return p.peek().kind == tIdent && strings.EqualFold(p.peek().text, kw)
+}
+
+func (p *sqlParser) expectKw(kw string) error {
+	if !p.kw(kw) {
+		return p.errf("expected %s, got %s", kw, p.peek())
+	}
+	p.next()
+	return nil
+}
+
+var reservedWords = map[string]bool{
+	"select": true, "from": true, "where": true, "and": true, "or": true,
+	"not": true, "in": true, "between": true,
+}
+
+func isReserved(s string) bool { return reservedWords[strings.ToLower(s)] }
+
+// Parse parses one SELECT statement. A trailing semicolon is allowed.
+func Parse(src string) (*Query, error) {
+	toks, err := lexSQL(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks}
+	q := &Query{}
+
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	for _, agg := range []string{"COUNT", "SUM", "AVG", "MIN", "MAX"} {
+		if p.kw(agg) {
+			return nil, p.errf("aggregation %s is not supported: the system only performs subsetting", agg)
+		}
+	}
+	if p.peek().kind == tPunct && p.peek().text == "*" {
+		p.next()
+		q.Star = true
+	} else {
+		for {
+			t := p.next()
+			if t.kind != tIdent || isReserved(t.text) {
+				return nil, p.errf("expected column name, got %s", t)
+			}
+			q.Columns = append(q.Columns, t.text)
+			if p.peek().kind == tPunct && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	ft := p.next()
+	if ft.kind != tIdent || isReserved(ft.text) {
+		return nil, p.errf("expected table name, got %s", ft)
+	}
+	q.From = ft.text
+	if p.kw("JOIN") || (p.peek().kind == tPunct && p.peek().text == ",") {
+		return nil, p.errf("joins are not supported: the system only performs subsetting")
+	}
+
+	if p.kw("GROUP") {
+		return nil, p.errf("GROUP BY is not supported: the system only performs subsetting")
+	}
+	if p.kw("WHERE") {
+		p.next()
+		w, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = w
+	}
+	if p.peek().kind == tPunct && p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tEOF {
+		return nil, p.errf("unexpected trailing input: %s", p.peek())
+	}
+	return q, nil
+}
+
+// MustParse is Parse but panics on error; for tests and fixed queries.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func (p *sqlParser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.kw("OR") {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Logic{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) parseAnd() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.kw("AND") {
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Logic{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) parseUnary() (Expr, error) {
+	if p.kw("NOT") {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{X: x}, nil
+	}
+	return p.parsePredicate()
+}
+
+// parsePredicate parses a parenthesized expression, a comparison, an IN
+// list, or a BETWEEN (desugared to two comparisons).
+func (p *sqlParser) parsePredicate() (Expr, error) {
+	if p.peek().kind == tPunct && p.peek().text == "(" {
+		// Could be a parenthesized boolean expression.
+		save := p.pos
+		p.next()
+		e, err := p.parseOr()
+		if err == nil && p.peek().kind == tPunct && p.peek().text == ")" {
+			p.next()
+			return e, nil
+		}
+		p.pos = save
+		return nil, p.errf("malformed parenthesized expression")
+	}
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	if p.kw("IN") {
+		col, ok := left.(Column)
+		if !ok {
+			return nil, p.errf("IN requires an attribute on the left")
+		}
+		p.next()
+		if p.peek().kind != tPunct || p.peek().text != "(" {
+			return nil, p.errf("expected ( after IN")
+		}
+		p.next()
+		var vals []float64
+		for {
+			t := p.next()
+			if t.kind != tNumber {
+				return nil, p.errf("expected number in IN list, got %s", t)
+			}
+			v, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			vals = append(vals, v)
+			if p.peek().kind == tPunct && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+		if p.peek().kind != tPunct || p.peek().text != ")" {
+			return nil, p.errf("expected ) after IN list")
+		}
+		p.next()
+		return &In{Col: col.Name, Values: vals}, nil
+	}
+	if p.kw("BETWEEN") {
+		col, ok := left.(Column)
+		if !ok {
+			return nil, p.errf("BETWEEN requires an attribute on the left")
+		}
+		p.next()
+		lo, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		loLit, ok1 := lo.(Literal)
+		hiLit, ok2 := hi.(Literal)
+		if !ok1 || !ok2 {
+			return nil, p.errf("BETWEEN bounds must be numeric literals")
+		}
+		return &Logic{Op: OpAnd,
+			L: &Cmp{Op: CmpGE, Left: col, Right: loLit},
+			R: &Cmp{Op: CmpLE, Left: col, Right: hiLit},
+		}, nil
+	}
+	if p.peek().kind != tOp {
+		return nil, p.errf("expected comparison operator, got %s", p.peek())
+	}
+	opText := p.next().text
+	var op CmpOp
+	switch opText {
+	case "<":
+		op = CmpLT
+	case "<=":
+		op = CmpLE
+	case ">":
+		op = CmpGT
+	case ">=":
+		op = CmpGE
+	case "=":
+		op = CmpEQ
+	case "!=":
+		op = CmpNE
+	}
+	right, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	// Normalize literal-op-nonliteral to nonliteral-flip(op)-literal.
+	if _, leftIsLit := left.(Literal); leftIsLit {
+		if _, rightIsLit := right.(Literal); !rightIsLit {
+			left, right = right, left
+			op = op.Flip()
+		}
+	}
+	return &Cmp{Op: op, Left: left, Right: right}, nil
+}
+
+// parseOperand parses a column, a numeric literal, or a filter call.
+func (p *sqlParser) parseOperand() (Operand, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tNumber:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return Literal{Value: v}, nil
+	case t.kind == tIdent && !isReserved(t.text):
+		p.next()
+		if p.peek().kind == tPunct && p.peek().text == "(" {
+			p.next()
+			call := Call{Name: t.text}
+			for {
+				a, err := p.parseOperand()
+				if err != nil {
+					return nil, err
+				}
+				if _, ok := a.(Call); ok {
+					return nil, p.errf("nested filter calls are not supported")
+				}
+				call.Args = append(call.Args, a)
+				if p.peek().kind == tPunct && p.peek().text == "," {
+					p.next()
+					continue
+				}
+				break
+			}
+			if p.peek().kind != tPunct || p.peek().text != ")" {
+				return nil, p.errf("expected ) after filter arguments")
+			}
+			p.next()
+			return call, nil
+		}
+		return Column{Name: t.text}, nil
+	}
+	return nil, p.errf("expected attribute, literal, or filter call, got %s", t)
+}

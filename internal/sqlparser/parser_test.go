@@ -1,0 +1,211 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePaperQueries(t *testing.T) {
+	// Every query from the paper's Figures 1, 7 and 8 must parse.
+	queries := []string{
+		`SELECT * FROM IparsData WHERE RID in (0,6,26,27) AND TIME >= 1000 AND TIME <= 1100 AND SOIL >= 0.7 AND SPEED(OILVX, OILVY, OILVZ) <= 30.0;`,
+		`SELECT * FROM TITAN`,
+		`SELECT * FROM TITAN WHERE X>=0 AND Y<=10000 AND Y>=0 AND Y<=10000 AND Z>=0 AND Z<=100`,
+		`SELECT * FROM TITAN WHERE DISTANCE(X, Y, Z)<1000`,
+		`SELECT * FROM TITAN WHERE S1 < 0.01`,
+		`SELECT * FROM TITAN WHERE S1 < 0.5`,
+		`SELECT * FROM IPARS`,
+		`SELECT * FROM IPARS WHERE TIME>1000 AND TIME<1100`,
+		`SELECT * FROM IPARS WHERE TIME>1000 AND TIME<1100 AND SOIL>0.7`,
+		`SELECT * FROM IPARS WHERE TIME>1000 AND TIME<1100 AND SPEED(OILVX,OILVY,OILVZ) < 30`,
+		`SELECT * FROM IPARS WHERE TIME>1000 AND TIME<1050`,
+	}
+	for _, src := range queries {
+		q, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		if !q.Star {
+			t.Errorf("%q: expected SELECT *", src)
+		}
+	}
+}
+
+func TestParseStructure(t *testing.T) {
+	q, err := Parse("SELECT SOIL, TIME FROM IparsData WHERE REL IN (0, 1) AND TIME BETWEEN 1 AND 100")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Star || len(q.Columns) != 2 || q.Columns[0] != "SOIL" || q.Columns[1] != "TIME" {
+		t.Errorf("columns = %v (star=%v)", q.Columns, q.Star)
+	}
+	if q.From != "IparsData" {
+		t.Errorf("from = %q", q.From)
+	}
+	and, ok := q.Where.(*Logic)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("where = %v", q.Where)
+	}
+	in, ok := and.L.(*In)
+	if !ok || in.Col != "REL" || len(in.Values) != 2 {
+		t.Errorf("left = %v", and.L)
+	}
+	// BETWEEN desugars to (TIME >= 1 AND TIME <= 100).
+	rng, ok := and.R.(*Logic)
+	if !ok || rng.Op != OpAnd {
+		t.Fatalf("right = %v", and.R)
+	}
+	lo := rng.L.(*Cmp)
+	hi := rng.R.(*Cmp)
+	if lo.Op != CmpGE || hi.Op != CmpLE {
+		t.Errorf("between ops = %v, %v", lo.Op, hi.Op)
+	}
+}
+
+func TestLiteralOnLeftNormalized(t *testing.T) {
+	q := MustParse("SELECT * FROM T WHERE 10 < TIME")
+	c := q.Where.(*Cmp)
+	if col, ok := c.Left.(Column); !ok || col.Name != "TIME" || c.Op != CmpGT {
+		t.Errorf("normalized cmp = %v", q.Where)
+	}
+}
+
+func TestOperatorSpellings(t *testing.T) {
+	cases := map[string]CmpOp{
+		"A < 1": CmpLT, "A <= 1": CmpLE, "A > 1": CmpGT,
+		"A >= 1": CmpGE, "A = 1": CmpEQ, "A != 1": CmpNE, "A <> 1": CmpNE,
+	}
+	for src, want := range cases {
+		q := MustParse("SELECT * FROM T WHERE " + src)
+		if got := q.Where.(*Cmp).Op; got != want {
+			t.Errorf("%q: op = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestPrecedenceAndParens(t *testing.T) {
+	// OR binds looser than AND.
+	q := MustParse("SELECT * FROM T WHERE A < 1 AND B < 2 OR C < 3")
+	or, ok := q.Where.(*Logic)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("top = %v", q.Where)
+	}
+	if and, ok := or.L.(*Logic); !ok || and.Op != OpAnd {
+		t.Errorf("left of OR = %v", or.L)
+	}
+	// Parens override.
+	q2 := MustParse("SELECT * FROM T WHERE A < 1 AND (B < 2 OR C < 3)")
+	and, ok := q2.Where.(*Logic)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("top = %v", q2.Where)
+	}
+	if or2, ok := and.R.(*Logic); !ok || or2.Op != OpOr {
+		t.Errorf("right of AND = %v", and.R)
+	}
+	// NOT.
+	q3 := MustParse("SELECT * FROM T WHERE NOT A < 1")
+	if _, ok := q3.Where.(*Not); !ok {
+		t.Errorf("NOT = %v", q3.Where)
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	q := MustParse("SELECT * FROM T WHERE A < -1.5 AND B < 2e3 AND C < .25 AND D < 1.5e-2")
+	want := []float64{-1.5, 2000, 0.25, 0.015}
+	var got []float64
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case *Logic:
+			walk(v.L)
+			walk(v.R)
+		case *Cmp:
+			got = append(got, v.Right.(Literal).Value)
+		}
+	}
+	walk(q.Where)
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("number %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRejected(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT FROM T",
+		"UPDATE T SET A = 1",
+		"SELECT * FROM T WHERE",
+		"SELECT * FROM T WHERE A",
+		"SELECT * FROM T WHERE A <",
+		"SELECT * FROM T WHERE A < 1 trailing",
+		"SELECT * FROM T WHERE A IN ()",
+		"SELECT * FROM T WHERE A IN (1",
+		"SELECT * FROM T WHERE SPEED(A IN (1,2)",
+		"SELECT * FROM T WHERE F(G(A)) < 1",
+		"SELECT * FROM T WHERE A BETWEEN B AND C",
+		"SELECT * FROM T, U WHERE A < 1",
+		"SELECT COUNT(*) FROM T",
+		"SELECT * FROM T GROUP BY A",
+		"SELECT * FROM T WHERE 1 IN (1,2)",
+		"SELECT * FROM T WHERE (A < 1",
+		"SELECT * FROM T WHERE A ! 1",
+		"SELECT a#b FROM T",
+	}
+	for _, src := range bad {
+		if q, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted: %v", src, q)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT * FROM T WHERE RID IN (0, 6, 26, 27) AND TIME >= 1000",
+		"SELECT SOIL, SGAS FROM IparsData",
+		"SELECT * FROM T WHERE (A < 1 OR B > 2) AND NOT C = 3",
+		"SELECT * FROM T WHERE SPEED(VX, VY, VZ) <= 30 AND S1 < 0.01",
+	}
+	for _, src := range queries {
+		q1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		q2, err := Parse(q1.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", q1.String(), err)
+		}
+		if q1.String() != q2.String() {
+			t.Errorf("round trip: %q -> %q", q1.String(), q2.String())
+		}
+	}
+}
+
+func TestExprColumns(t *testing.T) {
+	q := MustParse("SELECT * FROM T WHERE A < 1 AND SPEED(B, C) < 2 AND A IN (1,2) AND NOT D = 0")
+	got := ExprColumns(q.Where)
+	want := []string{"A", "B", "C", "D"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("ExprColumns = %v, want %v", got, want)
+	}
+	if cols := ExprColumns(nil); cols != nil {
+		t.Errorf("ExprColumns(nil) = %v", cols)
+	}
+}
+
+func TestSemicolonAndCase(t *testing.T) {
+	q, err := Parse("select * from T where a < 1;")
+	if err != nil {
+		t.Fatalf("lower-case parse: %v", err)
+	}
+	if q.From != "T" {
+		t.Errorf("from = %q", q.From)
+	}
+}

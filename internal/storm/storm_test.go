@@ -1,0 +1,197 @@
+package storm
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"datavirt/internal/schema"
+	"datavirt/internal/table"
+)
+
+func rowOf(vals ...float64) table.Row {
+	r := make(table.Row, len(vals))
+	for i, v := range vals {
+		r[i] = schema.DoubleValue(v)
+	}
+	return r
+}
+
+func lookup2(name string) (int, bool) {
+	switch name {
+	case "A":
+		return 0, true
+	case "B":
+		return 1, true
+	}
+	return 0, false
+}
+
+func TestRoundRobin(t *testing.T) {
+	p, err := NewPartitioner(PartitionSpec{Scheme: RoundRobin, NumDests: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []int{}
+	for i := 0; i < 7; i++ {
+		got = append(got, p.Dest(rowOf(1)))
+	}
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round robin = %v", got)
+		}
+	}
+}
+
+func TestHashPartitioner(t *testing.T) {
+	p, err := NewPartitioner(PartitionSpec{Scheme: HashAttr, NumDests: 4, Attr: "B"}, lookup2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same value → same destination.
+	if p.Dest(rowOf(1, 7)) != p.Dest(rowOf(2, 7)) {
+		t.Error("hash partitioner not value-stable")
+	}
+	// Distribution over many integer values touches all destinations.
+	seen := map[int]int{}
+	for v := 0; v < 100; v++ {
+		d := p.Dest(rowOf(0, float64(v)))
+		if d < 0 || d >= 4 {
+			t.Fatalf("dest out of range: %d", d)
+		}
+		seen[d]++
+	}
+	if len(seen) != 4 {
+		t.Errorf("hash used only %d of 4 destinations: %v", len(seen), seen)
+	}
+}
+
+func TestRangePartitioner(t *testing.T) {
+	p, err := NewPartitioner(PartitionSpec{
+		Scheme: RangeAttr, NumDests: 3, Attr: "A", Bounds: []float64{10, 20},
+	}, lookup2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[float64]int{-5: 0, 9.9: 0, 10: 1, 19.9: 1, 20: 2, 100: 2}
+	for v, want := range cases {
+		if got := p.Dest(rowOf(v, 0)); got != want {
+			t.Errorf("range dest(%g) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestPartitionerErrors(t *testing.T) {
+	cases := []PartitionSpec{
+		{Scheme: RoundRobin, NumDests: 0},
+		{Scheme: HashAttr, NumDests: 2, Attr: "NOPE"},
+		{Scheme: RangeAttr, NumDests: 3, Attr: "A", Bounds: []float64{1}},
+		{Scheme: RangeAttr, NumDests: 3, Attr: "A", Bounds: []float64{5, 1}},
+		{Scheme: Scheme(99), NumDests: 1},
+	}
+	for i, spec := range cases {
+		if _, err := NewPartitioner(spec, lookup2); err == nil {
+			t.Errorf("spec %d accepted", i)
+		}
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if RoundRobin.String() != "round-robin" || HashAttr.String() != "hash" ||
+		RangeAttr.String() != "range" || Scheme(9).String() != "unknown" {
+		t.Error("Scheme.String wrong")
+	}
+}
+
+// Property: for any scheme, the mover's per-destination outputs are a
+// disjoint cover of the input rows.
+func TestMoverPartitionsAreCoverQuick(t *testing.T) {
+	f := func(vals []float64, pick uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		specs := []PartitionSpec{
+			{Scheme: RoundRobin, NumDests: 3},
+			{Scheme: HashAttr, NumDests: 3, Attr: "A"},
+			{Scheme: RangeAttr, NumDests: 3, Attr: "A", Bounds: []float64{-1, 1}},
+		}
+		spec := specs[int(pick)%len(specs)]
+		p, err := NewPartitioner(spec, lookup2)
+		if err != nil {
+			return false
+		}
+		sinks := []Sink{&SliceSink{}, &SliceSink{}, &SliceSink{}}
+		m, err := NewMover(p, sinks)
+		if err != nil {
+			return false
+		}
+		for i, v := range vals {
+			if err := m.Move(rowOf(v, float64(i))); err != nil {
+				return false
+			}
+		}
+		if err := m.Close(); err != nil {
+			return false
+		}
+		total := 0
+		for _, s := range sinks {
+			total += len(s.(*SliceSink).Rows)
+		}
+		if total != len(vals) {
+			return false
+		}
+		var sent int64
+		for _, n := range m.Sent() {
+			sent += n
+		}
+		return sent == int64(len(vals))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamSink(t *testing.T) {
+	sch := schema.MustNew("T", []schema.Attribute{
+		{Name: "A", Kind: schema.Int}, {Name: "B", Kind: schema.Float},
+	})
+	var buf bytes.Buffer
+	s := NewStreamSink(&buf, sch)
+	rows := []table.Row{
+		{schema.IntValue(1), schema.FloatValue(0.5)},
+		{schema.IntValue(2), schema.FloatValue(-1.5)},
+	}
+	for _, r := range rows {
+		if err := s.Send(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := table.NewCodec(sch).DecodeAll(buf.Bytes())
+	if err != nil || len(got) != 2 {
+		t.Fatalf("decode: %v (%d rows)", err, len(got))
+	}
+	for i := range rows {
+		if !table.RowsEqual(rows[i], got[i]) {
+			t.Errorf("row %d: %v vs %v", i, rows[i], got[i])
+		}
+	}
+}
+
+func TestFuncSinkAndMoverErrors(t *testing.T) {
+	if _, err := NewMover(&roundRobin{n: 1}, nil); err == nil {
+		t.Error("mover without sinks accepted")
+	}
+	// A partitioner that misbehaves is caught.
+	bad := &rangePart{idx: 0, bounds: nil} // always dest 0, fine
+	m, err := NewMover(bad, []Sink{FuncSink(func(table.Row) error { return nil })})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Move(rowOf(1)); err != nil {
+		t.Errorf("Move: %v", err)
+	}
+}
