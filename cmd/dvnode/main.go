@@ -10,11 +10,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"os/signal"
 
 	"datavirt/internal/cluster"
 	"datavirt/internal/core"
+	"datavirt/internal/obs"
 )
 
 func main() {
@@ -22,6 +24,8 @@ func main() {
 	root := flag.String("root", ".", "data root directory")
 	nodeName := flag.String("node", "", "cluster node name served (must appear in the descriptor's DIR table)")
 	addr := flag.String("addr", "127.0.0.1:0", "listen address")
+	slow := flag.Duration("slow", 0, "log query stages slower than this threshold (0 = disabled)")
+	trace := flag.Bool("trace", false, "log every query stage (implies -slow 0s for all stages)")
 	flag.Parse()
 
 	if *desc == "" || *nodeName == "" {
@@ -45,6 +49,13 @@ func main() {
 	node, err := cluster.StartNode(*nodeName, svc, *addr)
 	if err != nil {
 		fatal(err)
+	}
+	if *trace || *slow > 0 {
+		threshold := *slow
+		if *trace {
+			threshold = 0
+		}
+		node.Tracer = &obs.LogTracer{Logf: log.Printf, Slow: threshold}
 	}
 	fmt.Printf("dvnode: serving %s (%s) on %s\n", *nodeName, svc.TableName(), node.Addr())
 

@@ -1,40 +1,75 @@
 // Command dvq runs a SQL query against a virtualized dataset: it loads
 // a meta-data descriptor, compiles the data service, executes the query
 // over the flat files under the data root, and prints the resulting
-// virtual-table rows.
+// virtual-table rows. With -nodes it becomes a cluster client instead,
+// submitting the query to the named node servers through a coordinator.
 //
 // Usage:
 //
 //	dvq -desc dataset.dvd -root /data "SELECT * FROM IparsData WHERE TIME > 1000"
+//	dvq -desc dataset.dvd -nodes node0=127.0.0.1:7070,node1=127.0.0.1:7071 \
+//	    -stats -timeout 30s "SELECT * FROM IparsData WHERE TIME > 1000"
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
+	"datavirt/internal/cluster"
 	"datavirt/internal/core"
+	"datavirt/internal/metadata"
 	"datavirt/internal/table"
 )
+
+// config carries the execution flags through both query paths.
+type config struct {
+	parallel bool
+	workers  int
+	quiet    bool
+	header   bool
+	explain  bool
+	stats    bool
+	timeout  time.Duration
+}
 
 func main() {
 	desc := flag.String("desc", "", "path to the meta-data descriptor")
 	root := flag.String("root", ".", "data root directory (holds <node>/<dir>/<file>)")
-	parallel := flag.Bool("parallel", false, "extract aligned file chunks with a worker pool")
-	workers := flag.Int("workers", 0, "worker pool size (0 = automatic)")
-	quiet := flag.Bool("quiet", false, "suppress rows; print only the summary")
-	header := flag.Bool("header", true, "print a column header line")
-	explain := flag.Bool("explain", false, "print the query plan (ranges and aligned file chunks) instead of rows")
+	nodes := flag.String("nodes", "", "run distributed: comma-separated node address table name=host:port,...")
+	var cfg config
+	flag.BoolVar(&cfg.parallel, "parallel", false, "extract aligned file chunks with a worker pool")
+	flag.IntVar(&cfg.workers, "workers", 0, "worker pool size (0 = automatic)")
+	flag.BoolVar(&cfg.quiet, "quiet", false, "suppress rows; print only the summary")
+	flag.BoolVar(&cfg.header, "header", true, "print a column header line")
+	flag.BoolVar(&cfg.explain, "explain", false, "print the query plan (ranges and aligned file chunks) instead of rows")
+	flag.BoolVar(&cfg.stats, "stats", false, "print per-stage query statistics after the summary")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "cancel the query after this duration (0 = none)")
 	interactive := flag.Bool("i", false, "interactive mode: read queries from stdin, one per line")
 	flag.Parse()
 
 	if *desc == "" || (flag.NArg() != 1 && !*interactive) {
-		fmt.Fprintln(os.Stderr, "usage: dvq -desc FILE [-root DIR] [flags] \"SELECT ...\"   or   dvq -desc FILE -i")
+		fmt.Fprintln(os.Stderr, "usage: dvq -desc FILE [-root DIR | -nodes NAME=ADDR,...] [flags] \"SELECT ...\"   or   dvq -desc FILE -i")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+
+	// Ctrl-C cancels the in-flight query instead of killing the process
+	// mid-write; a second interrupt terminates as usual.
+	baseCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *nodes != "" {
+		if *interactive {
+			fatal(fmt.Errorf("-i is not supported with -nodes"))
+		}
+		runCluster(baseCtx, *desc, *nodes, flag.Arg(0), cfg)
+		return
 	}
 
 	svc, err := core.Open(*desc, *root)
@@ -60,30 +95,36 @@ func main() {
 			if sql == "quit" || sql == "exit" || sql == `\q` {
 				return
 			}
-			prep, err := svc.Prepare(sql)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "dvq:", err)
-				continue
-			}
-			if err := runPrepared(svc, prep, *parallel, *workers, *quiet, *header, *explain); err != nil {
+			if err := runLocal(baseCtx, svc, sql, cfg); err != nil {
 				fmt.Fprintln(os.Stderr, "dvq:", err)
 			}
 		}
 	}
 
-	sql := flag.Arg(0)
-	prep, err := svc.Prepare(sql)
-	if err != nil {
-		fatal(err)
-	}
-	if err := runPrepared(svc, prep, *parallel, *workers, *quiet, *header, *explain); err != nil {
+	if err := runLocal(baseCtx, svc, flag.Arg(0), cfg); err != nil {
 		fatal(err)
 	}
 }
 
-// runPrepared executes (or explains) one prepared query.
-func runPrepared(svc *core.Service, prep *core.Prepared, parallel bool, workers int, quiet, header, explain bool) error {
-	if explain {
+// queryCtx derives the per-query context from the timeout flag.
+func queryCtx(ctx context.Context, cfg config) (context.Context, context.CancelFunc) {
+	if cfg.timeout > 0 {
+		return context.WithTimeout(ctx, cfg.timeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// runLocal executes (or explains) one query against local files using
+// the streaming Rows API.
+func runLocal(ctx context.Context, svc *core.Service, sql string, cfg config) error {
+	ctx, cancel := queryCtx(ctx, cfg)
+	defer cancel()
+
+	prep, err := svc.PrepareContext(ctx, sql)
+	if err != nil {
+		return err
+	}
+	if cfg.explain {
 		fmt.Printf("table: %s\ncolumns: %s\nranges: %s\naligned file chunks: %d\n",
 			svc.TableName(), strings.Join(prep.Cols, ", "), prep.Ranges, len(prep.AFCs))
 		limit := 20
@@ -99,28 +140,92 @@ func runPrepared(svc *core.Service, prep *core.Prepared, parallel bool, workers 
 
 	out := bufio.NewWriterSize(os.Stdout, 1<<16)
 	defer out.Flush()
-	if header && !quiet {
+	if cfg.header && !cfg.quiet {
 		fmt.Fprintln(out, strings.Join(prep.Cols, "\t"))
 	}
-	var rows int64
 	start := time.Now()
-	stats, err := prep.Run(core.Options{Parallel: parallel, Workers: workers},
-		func(r table.Row) error {
-			rows++
-			if quiet {
-				return nil
-			}
-			_, err := fmt.Fprintln(out, table.FormatRow(r))
-			return err
-		})
+	rows, err := prep.QueryContext(ctx, core.Options{Parallel: cfg.parallel, Workers: cfg.workers})
 	if err != nil {
 		return err
 	}
+	defer rows.Close()
+	var n int64
+	for rows.Next() {
+		n++
+		if cfg.quiet {
+			continue
+		}
+		if _, err := fmt.Fprintln(out, table.FormatRow(rows.Row())); err != nil {
+			return err
+		}
+	}
+	if err := rows.Err(); err != nil {
+		return err
+	}
+	rows.Close()
 	out.Flush()
+	st := rows.Stats()
 	fmt.Fprintf(os.Stderr, "%d rows in %s (scanned %d rows, read %.1f MB, %d aligned file chunks)\n",
-		rows, time.Since(start).Round(time.Millisecond),
-		stats.RowsScanned, float64(stats.BytesRead)/1e6, stats.AFCs)
+		n, time.Since(start).Round(time.Millisecond),
+		st.RowsScanned, float64(st.BytesRead)/1e6, st.ChunksRead)
+	if cfg.stats {
+		fmt.Fprintln(os.Stderr, indent(st.String()))
+	}
 	return nil
+}
+
+// runCluster submits the query to the node servers through a
+// coordinator and prints the merged stream.
+func runCluster(ctx context.Context, descPath, nodeTable, sql string, cfg config) {
+	d, err := metadata.ParseFile(descPath)
+	if err != nil {
+		fatal(err)
+	}
+	addrs := map[string]string{}
+	for _, pair := range strings.Split(nodeTable, ",") {
+		name, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			fatal(fmt.Errorf("bad -nodes entry %q", pair))
+		}
+		addrs[name] = addr
+	}
+	coord, err := cluster.NewCoordinator(d, addrs)
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, cancel := queryCtx(ctx, cfg)
+	defer cancel()
+	out := bufio.NewWriterSize(os.Stdout, 1<<16)
+	defer out.Flush()
+	if cfg.explain {
+		fatal(fmt.Errorf("-explain is not supported with -nodes; run without -nodes against local files"))
+	}
+
+	start := time.Now()
+	var rows int64
+	res, err := coord.QueryContext(ctx, sql, func(r table.Row) error {
+		rows++
+		if cfg.quiet {
+			return nil
+		}
+		_, err := fmt.Fprintln(out, table.FormatRow(r))
+		return err
+	})
+	if err != nil {
+		fatal(err)
+	}
+	out.Flush()
+	fmt.Fprintf(os.Stderr, "%d rows in %s from %d nodes (%v)\n",
+		rows, time.Since(start).Round(time.Millisecond), len(res.PerNode), res.PerNode)
+	if cfg.stats {
+		fmt.Fprintln(os.Stderr, indent(res.QueryStats.String()))
+	}
+}
+
+// indent prefixes every line for the stderr stats block.
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
 }
 
 func fatal(err error) {

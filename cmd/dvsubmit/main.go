@@ -12,9 +12,11 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -32,6 +34,8 @@ func main() {
 	dests := flag.Int("dests", 1, "number of client processors")
 	attr := flag.String("attr", "", "partitioning attribute (hash/range)")
 	bounds := flag.String("bounds", "", "comma-separated range boundaries (range)")
+	stats := flag.Bool("stats", false, "print per-stage query statistics after the summary")
+	timeout := flag.Duration("timeout", 0, "cancel the query after this duration (0 = none)")
 	flag.Parse()
 
 	if *desc == "" || *nodes == "" || flag.NArg() != 1 {
@@ -58,13 +62,22 @@ func main() {
 		fatal(err)
 	}
 
+	// Ctrl-C cancels the in-flight query; -timeout bounds it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	start := time.Now()
 	out := bufio.NewWriterSize(os.Stdout, 1<<16)
 	defer out.Flush()
 
 	if *scheme == "" {
 		var rows int64
-		res, err := coord.Query(sql, func(r table.Row) error {
+		res, err := coord.QueryContext(ctx, sql, func(r table.Row) error {
 			rows++
 			if *quiet {
 				return nil
@@ -78,6 +91,9 @@ func main() {
 		out.Flush()
 		fmt.Fprintf(os.Stderr, "%d rows in %s from %d nodes (%v)\n",
 			rows, time.Since(start).Round(time.Millisecond), len(res.PerNode), res.PerNode)
+		if *stats {
+			fmt.Fprintln(os.Stderr, "  "+strings.ReplaceAll(res.QueryStats.String(), "\n", "\n  "))
+		}
 		return
 	}
 

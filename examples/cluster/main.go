@@ -16,9 +16,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"datavirt/internal/cluster"
 	"datavirt/internal/core"
@@ -72,10 +74,15 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Remote queries carry a context: the deadline is forwarded to every
+	// node server, which aborts its extraction if the client gives up.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
 	sql := "SELECT * FROM IparsData WHERE TIME > 50 AND TIME < 55"
 	fmt.Printf("\n> %s\n", sql)
 	var rows int64
-	res, err := coord.Query(sql, func(r table.Row) error {
+	res, err := coord.QueryContext(ctx, sql, func(r table.Row) error {
 		rows++
 		return nil
 	})
@@ -85,6 +92,9 @@ func main() {
 	fmt.Printf("received %d tuples; per node: %v\n", rows, res.PerNode)
 	fmt.Printf("cluster-wide extraction stats: scanned %d rows, read %.1f MB\n",
 		res.Stats.RowsScanned, float64(res.Stats.BytesRead)/1e6)
+	fmt.Printf("per-stage times: plan %s, index %s, extract %s (slowest node), net %s\n",
+		res.QueryStats.PlanTime.Round(10e3), res.QueryStats.IndexTime.Round(10e3),
+		res.QueryStats.ExtractTime.Round(10e3), res.QueryStats.NetTime.Round(10e3))
 
 	// Partitioned delivery: the client program runs on two processors;
 	// the nodes tag each tuple with its destination (partition

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -55,29 +56,39 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 3. Query the virtual table.
+	// 3. Query the virtual table through the streaming cursor. The
+	// context cancels the extraction if we stop early (or on timeout);
+	// Rows.Stats() reports what the query cost after the cursor drains.
+	ctx := context.Background()
 	for _, sql := range []string{
 		"SELECT * FROM IparsData WHERE REL = 0 AND TIME = 25 AND SOIL > 0.9",
 		"SELECT X, Y, Z, SOIL FROM IparsData WHERE TIME BETWEEN 10 AND 12 AND SPEED(OILVX, OILVY, OILVZ) < 5",
 	} {
 		fmt.Printf("\n> %s\n", sql)
-		prep, err := svc.Prepare(sql)
+		prep, err := svc.PrepareContext(ctx, sql)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("index pruned to %d aligned file chunks; ranges: %s\n",
 			len(prep.AFCs), prep.Ranges)
-		n := 0
-		_, err = prep.Run(core.Options{}, func(row table.Row) error {
-			if n < 5 {
-				fmt.Println("  " + table.FormatRow(row))
-			}
-			n++
-			return nil
-		})
+		rows, err := prep.QueryContext(ctx, core.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  ... %d rows total\n", n)
+		n := 0
+		for rows.Next() {
+			if n < 5 {
+				fmt.Println("  " + table.FormatRow(rows.Row()))
+			}
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			log.Fatal(err)
+		}
+		rows.Close()
+		st := rows.Stats()
+		fmt.Printf("  ... %d rows total (scanned %d, read %d bytes; plan %s, index %s, extract %s)\n",
+			n, st.RowsScanned, st.BytesRead,
+			st.PlanTime.Round(10e3), st.IndexTime.Round(10e3), st.ExtractTime.Round(10e3))
 	}
 }

@@ -2,16 +2,19 @@ package cluster
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"net"
 	"sort"
 	"sync"
+	"time"
 
 	"datavirt/internal/core"
 	"datavirt/internal/extractor"
 	"datavirt/internal/metadata"
+	"datavirt/internal/obs"
 	"datavirt/internal/sqlparser"
 	"datavirt/internal/storm"
 	"datavirt/internal/table"
@@ -21,9 +24,30 @@ import (
 // it holds the descriptor (for planning and row decoding), knows the
 // address of every node server, fans each query out, and merges or
 // routes the returned tuple streams. It performs no file I/O.
+//
+// The timeout fields may be adjusted after NewCoordinator and before
+// the first query; they tolerate slow or dead nodes in the spirit of
+// the paper's loosely coupled STORM services.
 type Coordinator struct {
 	svc   *core.Service
 	addrs map[string]string // node name → host:port
+
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// DialRetries is how many times a failed dial is retried with
+	// exponential backoff before the node is reported dead (default 2).
+	DialRetries int
+	// RetryBackoff is the first retry's delay, doubled per attempt
+	// (default 50ms).
+	RetryBackoff time.Duration
+	// IOTimeout, when positive, bounds every frame write and read on a
+	// node connection; a node that stalls longer mid-stream fails the
+	// query. Zero relies on context deadlines alone.
+	IOTimeout time.Duration
+
+	// dialContext is the dial function; tests substitute it to inject
+	// misbehaving nodes and to observe connection lifecycles.
+	dialContext func(ctx context.Context, network, addr string) (net.Conn, error)
 }
 
 // NewCoordinator plans against the descriptor and dispatches to the
@@ -41,7 +65,13 @@ func NewCoordinator(d *metadata.Descriptor, addrs map[string]string) (*Coordinat
 			return nil, fmt.Errorf("cluster: no address for node %q", node)
 		}
 	}
-	return &Coordinator{svc: svc, addrs: addrs}, nil
+	return &Coordinator{
+		svc:          svc,
+		addrs:        addrs,
+		DialTimeout:  5 * time.Second,
+		DialRetries:  2,
+		RetryBackoff: 50 * time.Millisecond,
+	}, nil
 }
 
 // Schema returns the virtual table schema.
@@ -55,27 +85,46 @@ type Result struct {
 	Rows int64
 	// PerNode maps node name → tuples produced there.
 	PerNode map[string]int64
+	// QueryStats is the per-query observability record: plan and index
+	// times are the coordinator's, extract time is the slowest node's
+	// (the straggler), filter time sums over nodes, and net time is the
+	// fan-out wall time.
+	QueryStats obs.QueryStats
 }
 
-// Query runs sql on every node and calls emit for each returned row
-// (from a single goroutine; the row is only valid during the call).
-// Columns follow the SELECT list.
+// Query runs sql on every node with a background context; it is the
+// convenience form of QueryContext.
 func (c *Coordinator) Query(sql string, emit func(row table.Row) error) (*Result, error) {
-	return c.run(sql, storm.PartitionSpec{}, func(dest int, row table.Row) error {
+	return c.QueryContext(context.Background(), sql, emit)
+}
+
+// QueryContext runs sql on every node and calls emit for each returned
+// row (from a single goroutine; the row is only valid during the call,
+// per the extractor.EmitFunc reuse contract). Columns follow the
+// SELECT list. Cancelling ctx abandons every node leg promptly; a
+// context deadline is also forwarded to the nodes so they stop
+// extracting server-side.
+func (c *Coordinator) QueryContext(ctx context.Context, sql string, emit func(row table.Row) error) (*Result, error) {
+	return c.run(ctx, sql, storm.PartitionSpec{}, func(dest int, row table.Row) error {
 		return emit(row)
 	})
 }
 
-// QueryPartitioned runs sql with server-side partition generation: each
-// node tags every tuple with its destination among spec.NumDests client
-// processors, and the coordinator routes tuples to the matching sink —
-// the data mover service.
+// QueryPartitioned is the convenience form of QueryPartitionedContext.
 func (c *Coordinator) QueryPartitioned(sql string, spec storm.PartitionSpec, sinks []storm.Sink) (*Result, error) {
+	return c.QueryPartitionedContext(context.Background(), sql, spec, sinks)
+}
+
+// QueryPartitionedContext runs sql with server-side partition
+// generation: each node tags every tuple with its destination among
+// spec.NumDests client processors, and the coordinator routes tuples
+// to the matching sink — the data mover service.
+func (c *Coordinator) QueryPartitionedContext(ctx context.Context, sql string, spec storm.PartitionSpec, sinks []storm.Sink) (*Result, error) {
 	if spec.NumDests != len(sinks) {
 		return nil, fmt.Errorf("cluster: partition spec has %d destinations, got %d sinks",
 			spec.NumDests, len(sinks))
 	}
-	res, err := c.run(sql, spec, func(dest int, row table.Row) error {
+	res, err := c.run(ctx, sql, spec, func(dest int, row table.Row) error {
 		if dest < 0 || dest >= len(sinks) {
 			return fmt.Errorf("cluster: destination %d out of range", dest)
 		}
@@ -95,26 +144,35 @@ func (c *Coordinator) QueryPartitioned(sql string, spec storm.PartitionSpec, sin
 // CollectQuery runs sql and returns all rows (copied), in a
 // deterministic order only within each node's stream.
 func (c *Coordinator) CollectQuery(sql string) ([]table.Row, *Result, error) {
+	return c.CollectQueryContext(context.Background(), sql)
+}
+
+// CollectQueryContext is CollectQuery under a context.
+func (c *Coordinator) CollectQueryContext(ctx context.Context, sql string) ([]table.Row, *Result, error) {
 	var rows []table.Row
-	res, err := c.Query(sql, func(r table.Row) error {
+	res, err := c.QueryContext(ctx, sql, func(r table.Row) error {
 		rows = append(rows, append(table.Row(nil), r...))
 		return nil
 	})
 	return rows, res, err
 }
 
-func (c *Coordinator) run(sql string, spec storm.PartitionSpec, deliver func(dest int, row table.Row) error) (*Result, error) {
+func (c *Coordinator) run(ctx context.Context, sql string, spec storm.PartitionSpec, deliver func(dest int, row table.Row) error) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Validate and resolve the output schema locally before contacting
 	// any node; errors surface immediately and cheaply.
 	q, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	prep, err := c.svc.PrepareParsed(q)
+	prep, err := c.svc.PrepareParsedContext(ctx, q)
 	if err != nil {
 		return nil, err
 	}
 	codec := table.NewCodec(prep.OutSchema)
+	tracer := obs.TracerFrom(ctx)
 
 	nodes := c.svc.Nodes()
 	type nodeBatch struct {
@@ -131,13 +189,16 @@ func (c *Coordinator) run(sql string, spec storm.PartitionSpec, deliver func(des
 	donec := make(chan nodeDone, len(nodes))
 	var wg sync.WaitGroup
 
+	netStart := time.Now()
 	for _, node := range nodes {
 		wg.Add(1)
 		go func(node string) {
 			defer wg.Done()
-			tr, err := c.queryNode(node, sql, spec, codec, func(dest int, rows []table.Row) {
+			endNet := obs.Begin(tracer, sql, obs.StageNet)
+			tr, err := c.queryNode(ctx, node, sql, spec, codec, func(dest int, rows []table.Row) {
 				batchc <- nodeBatch{node: node, dest: dest, rows: rows}
 			})
+			endNet(err)
 			donec <- nodeDone{node: node, trailer: tr, err: err}
 		}(node)
 	}
@@ -159,6 +220,7 @@ func (c *Coordinator) run(sql string, spec storm.PartitionSpec, deliver func(des
 			}
 		}
 	}
+	var slowestExtract int64
 	for range nodes {
 		d := <-donec
 		if d.err != nil && firstErr == nil {
@@ -167,41 +229,137 @@ func (c *Coordinator) run(sql string, spec storm.PartitionSpec, deliver func(des
 		res.Stats.Add(d.trailer.Stats)
 		res.Rows += d.trailer.Rows
 		res.PerNode[d.node] = d.trailer.Rows
+		if d.trailer.ExtractNS > slowestExtract {
+			slowestExtract = d.trailer.ExtractNS
+		}
 	}
 	if firstErr != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, firstErr
+	}
+	plan, index := prep.PrepareStats()
+	res.QueryStats = obs.QueryStats{
+		ChunksPlanned: len(prep.AFCs),
+		ChunksRead:    res.Stats.AFCs,
+		BytesRead:     res.Stats.BytesRead,
+		RowsScanned:   res.Stats.RowsScanned,
+		RowsEmitted:   res.Stats.RowsEmitted,
+		RowsFiltered:  res.Stats.RowsScanned - res.Stats.RowsEmitted,
+		PlanTime:      plan,
+		IndexTime:     index,
+		ExtractTime:   time.Duration(slowestExtract),
+		FilterTime:    time.Duration(res.Stats.FilterNS),
+		NetTime:       time.Since(netStart),
 	}
 	return res, nil
 }
 
+// dialNode connects to a node with bounded retry and exponential
+// backoff: transient dial failures (a node restarting, a full accept
+// queue) are absorbed instead of failing the whole query.
+func (c *Coordinator) dialNode(ctx context.Context, node string) (net.Conn, error) {
+	dial := c.dialContext
+	if dial == nil {
+		d := &net.Dialer{Timeout: c.DialTimeout}
+		dial = d.DialContext
+	}
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.DialRetries; attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			}
+			backoff *= 2
+		}
+		conn, err := dial(ctx, "tcp", c.addrs[node])
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, fmt.Errorf("dial failed after %d attempts: %w", c.DialRetries+1, lastErr)
+}
+
 // queryNode runs one node's leg of the query over a fresh connection.
-func (c *Coordinator) queryNode(node, sql string, spec storm.PartitionSpec,
+// Every return path closes the connection: the deferred Close covers
+// handshake-write failures as well as streaming errors (a leak here
+// once exhausted client FDs under node churn).
+func (c *Coordinator) queryNode(ctx context.Context, node, sql string, spec storm.PartitionSpec,
 	codec *table.Codec, onBatch func(dest int, rows []table.Row)) (Trailer, error) {
 
-	conn, err := net.Dial("tcp", c.addrs[node])
+	conn, err := c.dialNode(ctx, node)
 	if err != nil {
 		return Trailer{}, err
 	}
 	defer conn.Close()
-	bw := bufio.NewWriterSize(conn, 1<<16)
-	if err := writeJSONFrame(bw, frameQuery, Request{
+
+	// Watchdog: a context cancellation mid-I/O forces any blocked read
+	// or write on this connection to fail immediately.
+	watchStop := make(chan struct{})
+	defer close(watchStop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.SetDeadline(time.Unix(1, 0)) //nolint:errcheck — unblocks in-flight I/O
+		case <-watchStop:
+		}
+	}()
+	// ctxErr prefers the context's error over the I/O error it induced.
+	ctxErr := func(err error) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		return err
+	}
+
+	req := Request{
 		Version:   protocolVersion,
 		SQL:       sql,
 		Partition: spec,
 		Parallel:  true,
-	}); err != nil {
-		return Trailer{}, err
+	}
+	// Forward the deadline so the node stops extracting server-side
+	// when the client's budget runs out.
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.TimeoutMS = ms
+	}
+	if c.IOTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(c.IOTimeout)) //nolint:errcheck
+	}
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	if err := writeJSONFrame(bw, frameQuery, req); err != nil {
+		return Trailer{}, ctxErr(err)
 	}
 	if err := bw.Flush(); err != nil {
-		return Trailer{}, err
+		return Trailer{}, ctxErr(err)
 	}
 
 	br := bufio.NewReaderSize(conn, 1<<16)
 	var buf []byte
 	for {
+		if c.IOTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(c.IOTimeout)) //nolint:errcheck
+		}
 		typ, payload, err := readFrame(br, buf)
 		if err != nil {
-			return Trailer{}, err
+			return Trailer{}, ctxErr(err)
 		}
 		buf = payload
 		switch typ {

@@ -2,14 +2,17 @@ package cluster
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"datavirt/internal/core"
+	"datavirt/internal/obs"
 	"datavirt/internal/storm"
 	"datavirt/internal/table"
 )
@@ -21,6 +24,11 @@ type Node struct {
 	name string
 	svc  *core.Service
 	ln   net.Listener
+
+	// baseCtx parents every query's context; Close cancels it so
+	// in-flight extractions stop with the listener.
+	baseCtx context.Context
+	cancel  context.CancelFunc
 
 	mu     sync.Mutex
 	closed bool
@@ -38,20 +46,26 @@ type Node struct {
 	// Logf receives diagnostics; defaults to log.Printf. Set before
 	// Serve traffic arrives.
 	Logf func(format string, args ...any)
+
+	// Tracer, when set, observes every stage of every query this node
+	// executes (plan/index on cache misses, extract and filter always);
+	// pair it with obs.LogTracer for slow-query logging. Set before
+	// traffic arrives.
+	Tracer obs.Tracer
 }
 
 // prepCacheCap bounds the per-node prepared-plan cache.
 const prepCacheCap = 64
 
 // prepare returns a cached plan or builds and caches one.
-func (n *Node) prepare(sql string) (*core.Prepared, error) {
+func (n *Node) prepare(ctx context.Context, sql string) (*core.Prepared, error) {
 	n.prepMu.Lock()
 	if p, ok := n.prepared[sql]; ok {
 		n.prepMu.Unlock()
 		return p, nil
 	}
 	n.prepMu.Unlock()
-	p, err := n.svc.Prepare(sql)
+	p, err := n.svc.PrepareContext(ctx, sql)
 	if err != nil {
 		return nil, err
 	}
@@ -82,10 +96,13 @@ func StartNode(name string, svc *core.Service, addr string) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: node %s: %w", name, err)
 	}
+	baseCtx, cancel := context.WithCancel(context.Background())
 	n := &Node{
 		name:     name,
 		svc:      svc,
 		ln:       ln,
+		baseCtx:  baseCtx,
+		cancel:   cancel,
 		conns:    map[net.Conn]bool{},
 		prepared: map[string]*core.Prepared{},
 		Logf:     log.Printf,
@@ -101,7 +118,8 @@ func (n *Node) Name() string { return n.name }
 // Addr returns the listen address.
 func (n *Node) Addr() string { return n.ln.Addr().String() }
 
-// Close stops the listener and closes active connections.
+// Close stops the listener, cancels in-flight extractions and closes
+// active connections.
 func (n *Node) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -109,6 +127,7 @@ func (n *Node) Close() error {
 		return nil
 	}
 	n.closed = true
+	n.cancel()
 	for c := range n.conns {
 		c.Close()
 	}
@@ -182,9 +201,21 @@ func sendError(bw *bufio.Writer, msg string) {
 }
 
 // runQuery prepares, executes and streams one query restricted to this
-// node's files.
+// node's files. The execution context descends from the node's base
+// context (cancelled on Close) and honours the request's forwarded
+// deadline, so a coordinator that has given up — or a node shutting
+// down — stops extraction between block reads.
 func (n *Node) runQuery(bw *bufio.Writer, req *Request) error {
-	prep, err := n.prepare(req.SQL)
+	ctx := n.baseCtx
+	if n.Tracer != nil {
+		ctx = obs.WithTracer(ctx, n.Tracer)
+	}
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	prep, err := n.prepare(ctx, req.SQL)
 	if err != nil {
 		return err
 	}
@@ -227,7 +258,8 @@ func (n *Node) runQuery(bw *bufio.Writer, req *Request) error {
 	}
 
 	var rows int64
-	stats, err := prep.Run(core.Options{
+	extractStart := time.Now()
+	stats, err := prep.RunContext(ctx, core.Options{
 		NodeFilter: n.name,
 		Parallel:   req.Parallel,
 	}, func(row table.Row) error {
@@ -251,6 +283,7 @@ func (n *Node) runQuery(bw *bufio.Writer, req *Request) error {
 		}
 		return nil
 	})
+	extractNS := time.Since(extractStart).Nanoseconds()
 	if err != nil {
 		return err
 	}
@@ -259,5 +292,5 @@ func (n *Node) runQuery(bw *bufio.Writer, req *Request) error {
 			return err
 		}
 	}
-	return writeJSONFrame(bw, frameDone, Trailer{Stats: stats, Rows: rows})
+	return writeJSONFrame(bw, frameDone, Trailer{Stats: stats, Rows: rows, ExtractNS: extractNS})
 }

@@ -55,12 +55,20 @@ type Request struct {
 	Partition storm.PartitionSpec
 	// Parallel asks the node to extract with a worker pool.
 	Parallel bool
+	// TimeoutMS bounds the node-side execution in milliseconds; the
+	// coordinator derives it from its context deadline so a node keeps
+	// no work in flight after the client has given up. Zero means no
+	// server-side bound.
+	TimeoutMS int64 `json:",omitempty"`
 }
 
 // Trailer is the JSON payload of a 'D' frame.
 type Trailer struct {
 	Stats extractor.Stats
 	Rows  int64
+	// ExtractNS is the node's extraction wall time in nanoseconds; the
+	// coordinator keeps the maximum across nodes (the straggler).
+	ExtractNS int64 `json:",omitempty"`
 }
 
 // writeFrame writes one frame.

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"datavirt/internal/obs"
+	"datavirt/internal/table"
+)
+
+// rowsBuffer is the channel depth between the extraction goroutine and
+// the consumer; it decouples bursty chunk extraction from row-at-a-time
+// iteration.
+const rowsBuffer = 256
+
+// Rows is a streaming cursor over a query's result, in the spirit of
+// database/sql.Rows: extraction runs concurrently and rows are pulled
+// one at a time, so results of any size are consumed in constant
+// memory. The iteration idiom:
+//
+//	rows, err := svc.QueryContext(ctx, sql)
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//	    use(rows.Row())
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// A Rows is not safe for concurrent use. Abandoning a cursor without
+// Close leaks the extraction goroutine until the parent context is
+// cancelled; always defer Close.
+type Rows struct {
+	parent context.Context // the caller's ctx, to tell its cancellation from Close's
+	cancel context.CancelFunc
+	ch     chan table.Row
+	done   chan struct{} // closed after runErr and stats are written
+
+	cols   []string
+	cur    table.Row
+	err    error
+	closed bool
+
+	// Written by the extraction goroutine before done closes.
+	runErr error
+	stats  obs.QueryStats
+}
+
+// QueryContext starts the prepared query and returns a streaming
+// cursor over its rows. Extraction proceeds concurrently with
+// iteration; Close cancels whatever is still in flight.
+func (p *Prepared) QueryContext(ctx context.Context, opt Options) (*Rows, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	r := &Rows{
+		parent: ctx,
+		cancel: cancel,
+		ch:     make(chan table.Row, rowsBuffer),
+		done:   make(chan struct{}),
+		cols:   p.Cols,
+	}
+	go func() {
+		defer close(r.done)
+		defer close(r.ch)
+		start := time.Now()
+		stats, err := p.RunContext(runCtx, opt, func(row table.Row) error {
+			// The extractor reuses the row; the cursor hands out copies so
+			// callers may retain them.
+			cp := append(table.Row(nil), row...)
+			select {
+			case r.ch <- cp:
+				return nil
+			case <-runCtx.Done():
+				return runCtx.Err()
+			}
+		})
+		r.stats = p.queryStats(stats, time.Since(start))
+		r.runErr = err
+	}()
+	return r, nil
+}
+
+// Columns returns the cursor's column names (the SELECT list, *
+// expanded).
+func (r *Rows) Columns() []string { return r.cols }
+
+// Next advances to the next row, blocking until one is available or
+// the query finishes. It returns false at the end of the result set,
+// on error (see Err), or after Close.
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil {
+		return false
+	}
+	row, ok := <-r.ch
+	if !ok {
+		<-r.done // runErr and stats are now visible
+		r.err = r.terminalErr()
+		r.cur = nil
+		return false
+	}
+	r.cur = row
+	return true
+}
+
+// Row returns the current row. It is a copy owned by the caller and
+// remains valid across subsequent Next calls.
+func (r *Rows) Row() table.Row { return r.cur }
+
+// Err returns the error that terminated iteration, if any. It is nil
+// while rows remain, after a complete iteration, and after a plain
+// Close; it reports the context's error when the parent context was
+// cancelled or timed out.
+func (r *Rows) Err() error { return r.err }
+
+// Close cancels any in-flight extraction, releases the cursor's
+// resources and returns Err. Close is idempotent and safe to call at
+// any point of the iteration.
+func (r *Rows) Close() error {
+	if r.closed {
+		return r.err
+	}
+	r.closed = true
+	r.cancel()
+	for range r.ch { // unblock the producer and drain
+	}
+	<-r.done
+	if r.err == nil {
+		r.err = r.terminalErr()
+	}
+	return r.err
+}
+
+// terminalErr maps the run's error to the cursor error: cancellation
+// triggered by our own Close is not an iteration error (mirroring
+// database/sql), but a parent-context cancellation is.
+func (r *Rows) terminalErr() error {
+	err := r.runErr
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) && r.parent.Err() == nil {
+		return nil
+	}
+	return err
+}
+
+// Stats returns the query's observability record: chunk, byte and row
+// counters plus per-stage wall times. It is available once the query
+// has finished — after Next returned false or Close was called — and
+// returns nil while extraction is still running.
+func (r *Rows) Stats() *obs.QueryStats {
+	select {
+	case <-r.done:
+		s := r.stats
+		return &s
+	default:
+		return nil
+	}
+}

@@ -14,9 +14,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"datavirt/internal/afc"
 	"datavirt/internal/extractor"
@@ -24,6 +26,7 @@ import (
 	"datavirt/internal/gen"
 	"datavirt/internal/index"
 	"datavirt/internal/metadata"
+	"datavirt/internal/obs"
 	"datavirt/internal/query"
 	"datavirt/internal/schema"
 	"datavirt/internal/sqlparser"
@@ -131,28 +134,53 @@ type Prepared struct {
 	workIdx map[string]int
 	pred    query.Predicate
 	project []int // work index per output column
+
+	sqlText   string        // query text reported to tracers
+	planTime  time.Duration // wall time of the plan stage
+	indexTime time.Duration // wall time of the index stage
 }
 
-// Prepare parses, validates and plans a SQL query.
+// Prepare parses, validates and plans a SQL query with a background
+// context; it is the convenience form of PrepareContext.
 func (s *Service) Prepare(sql string) (*Prepared, error) {
+	return s.PrepareContext(context.Background(), sql)
+}
+
+// PrepareContext parses, validates and plans a SQL query. The plan and
+// index stages are reported to the context's obs.Tracer and their wall
+// times recorded on the returned Prepared (surfaced later through
+// Rows.Stats).
+func (s *Service) PrepareContext(ctx context.Context, sql string) (*Prepared, error) {
 	q, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return s.PrepareParsed(q)
+	return s.PrepareParsedContext(ctx, q)
 }
 
-// PrepareParsed plans an already-parsed query.
+// PrepareParsed plans an already-parsed query; the convenience form of
+// PrepareParsedContext.
 func (s *Service) PrepareParsed(q *sqlparser.Query) (*Prepared, error) {
+	return s.PrepareParsedContext(context.Background(), q)
+}
+
+// PrepareParsedContext plans an already-parsed query.
+func (s *Service) PrepareParsedContext(ctx context.Context, q *sqlparser.Query) (*Prepared, error) {
+	tracer := obs.TracerFrom(ctx)
+	sqlText := q.String()
+	endPlan := obs.Begin(tracer, sqlText, obs.StagePlan)
 	sch := s.Schema()
 	if q.From != s.TableName() && q.From != sch.Name() {
-		return nil, fmt.Errorf("core: unknown table %q (service provides %q)", q.From, s.TableName())
+		err := fmt.Errorf("core: unknown table %q (service provides %q)", q.From, s.TableName())
+		endPlan(err)
+		return nil, err
 	}
 	cols, err := query.Validate(q, sch, s.registry)
 	if err != nil {
+		endPlan(err)
 		return nil, err
 	}
-	p := &Prepared{svc: s, Query: q, Cols: cols}
+	p := &Prepared{svc: s, Query: q, Cols: cols, sqlText: sqlText}
 
 	// Working row layout: every attribute the predicate or projection
 	// touches, in schema order.
@@ -174,6 +202,7 @@ func (s *Service) PrepareParsed(q *sqlparser.Query) (*Prepared, error) {
 	}
 	p.OutSchema, err = sch.Project(cols)
 	if err != nil {
+		endPlan(err)
 		return nil, err
 	}
 	p.project = make([]int, len(cols))
@@ -181,18 +210,26 @@ func (s *Service) PrepareParsed(q *sqlparser.Query) (*Prepared, error) {
 		p.project[i] = p.workIdx[c]
 	}
 
-	p.Ranges = query.ExtractRanges(q.Where)
 	p.pred, err = query.CompilePredicate(q.Where, func(name string) (int, bool) {
 		i, ok := p.workIdx[name]
 		return i, ok
 	}, s.registry)
 	if err != nil {
+		endPlan(err)
 		return nil, err
 	}
+	p.planTime = endPlan(nil)
+
+	// Index stage: range extraction plus aligned-file-chunk generation
+	// (the run-time analogue of the paper's generated index functions).
+	endIndex := obs.Begin(tracer, sqlText, obs.StageIndex)
+	p.Ranges = query.ExtractRanges(q.Where)
 	p.AFCs, err = s.plan.Generate(p.Ranges, neededNames, s.loadIndex)
 	if err != nil {
+		endIndex(err)
 		return nil, err
 	}
+	p.indexTime = endIndex(nil)
 	return p, nil
 }
 
@@ -212,9 +249,35 @@ type Options struct {
 	Coalesce bool
 }
 
-// Run executes the prepared query, emitting projected rows. The emitted
-// slice is reused; copy to retain.
+// Validate rejects nonsensical option values with explicit errors
+// instead of silently falling back to defaults. The zero Options value
+// is always valid.
+func (o Options) Validate() error {
+	if o.Workers < 0 {
+		return fmt.Errorf("core: Options.Workers = %d is negative; use 0 for the default pool size", o.Workers)
+	}
+	if o.BlockBytes < 0 {
+		return fmt.Errorf("core: Options.BlockBytes = %d is negative; use 0 for the default block size", o.BlockBytes)
+	}
+	return nil
+}
+
+// Run executes the prepared query with a background context; it is the
+// convenience form of RunContext.
 func (p *Prepared) Run(opt Options, emit func(row table.Row) error) (extractor.Stats, error) {
+	return p.RunContext(context.Background(), opt, emit)
+}
+
+// RunContext executes the prepared query, emitting projected rows
+// under the reuse contract of extractor.EmitFunc (the slice is reused;
+// copy to retain). Cancelling ctx stops extraction between block reads
+// and returns the context's error; the extract and filter stages are
+// reported to the context's obs.Tracer. For a streaming cursor over
+// the same execution, use QueryContext.
+func (p *Prepared) RunContext(ctx context.Context, opt Options, emit func(row table.Row) error) (extractor.Stats, error) {
+	if err := opt.Validate(); err != nil {
+		return extractor.Stats{}, err
+	}
 	afcs := p.AFCs
 	if opt.NodeFilter != "" {
 		afcs = FilterByNode(afcs, opt.NodeFilter)
@@ -236,10 +299,42 @@ func (p *Prepared) Run(opt Options, emit func(row table.Row) error) (extractor.S
 		Cols: p.work, Pred: p.pred,
 		BlockBytes: opt.BlockBytes, Workers: opt.Workers,
 	}
+	tracer := obs.TracerFrom(ctx)
+	endExtract := obs.Begin(tracer, p.sqlText, obs.StageExtract)
+	var stats extractor.Stats
+	var err error
 	if opt.Parallel {
-		return extractor.RunParallel(afcs, p.svc.resolver, xopt, inner)
+		stats, err = extractor.RunParallelContext(ctx, afcs, p.svc.resolver, xopt, inner)
+	} else {
+		stats, err = extractor.RunContext(ctx, afcs, p.svc.resolver, xopt, inner)
 	}
-	return extractor.Run(afcs, p.svc.resolver, xopt, inner)
+	endExtract(err)
+	tracer.StageEnd(p.sqlText, obs.StageFilter, time.Duration(stats.FilterNS), err)
+	return stats, err
+}
+
+// PrepareStats returns the wall times of the plan and index stages
+// recorded when the query was prepared (the cluster coordinator folds
+// them into its per-query stats).
+func (p *Prepared) PrepareStats() (plan, index time.Duration) {
+	return p.planTime, p.indexTime
+}
+
+// queryStats assembles the per-query observability record from the
+// prepare-time timings and one execution's extractor counters.
+func (p *Prepared) queryStats(x extractor.Stats, extract time.Duration) obs.QueryStats {
+	return obs.QueryStats{
+		ChunksPlanned: len(p.AFCs),
+		ChunksRead:    x.AFCs,
+		BytesRead:     x.BytesRead,
+		RowsScanned:   x.RowsScanned,
+		RowsEmitted:   x.RowsEmitted,
+		RowsFiltered:  x.RowsScanned - x.RowsEmitted,
+		PlanTime:      p.planTime,
+		IndexTime:     p.indexTime,
+		ExtractTime:   extract,
+		FilterTime:    time.Duration(x.FilterNS),
+	}
 }
 
 // identityProjection reports whether the working row already is the
@@ -257,17 +352,26 @@ func (p *Prepared) identityProjection() bool {
 	return true
 }
 
-// Collect runs the query and returns all rows (copied).
+// Collect runs the query and returns all rows (copied); the
+// convenience form of CollectContext.
 func (p *Prepared) Collect(opt Options) ([]table.Row, extractor.Stats, error) {
+	return p.CollectContext(context.Background(), opt)
+}
+
+// CollectContext runs the query and returns all rows (copied). Large
+// results are better consumed incrementally through QueryContext's
+// Rows cursor, which does not materialize the result set.
+func (p *Prepared) CollectContext(ctx context.Context, opt Options) ([]table.Row, extractor.Stats, error) {
 	var rows []table.Row
-	stats, err := p.Run(opt, func(r table.Row) error {
+	stats, err := p.RunContext(ctx, opt, func(r table.Row) error {
 		rows = append(rows, append(table.Row(nil), r...))
 		return nil
 	})
 	return rows, stats, err
 }
 
-// Query is the one-call convenience: prepare, run sequentially, collect.
+// Query is the one-call convenience: prepare, run sequentially,
+// collect, with a background context.
 func (s *Service) Query(sql string) ([]table.Row, error) {
 	p, err := s.Prepare(sql)
 	if err != nil {
@@ -275,6 +379,24 @@ func (s *Service) Query(sql string) ([]table.Row, error) {
 	}
 	rows, _, err := p.Collect(Options{})
 	return rows, err
+}
+
+// QueryContext prepares and executes sql, returning a streaming Rows
+// cursor — the primary result API: rows are consumed as extraction
+// produces them, nothing is materialized, and closing the cursor
+// cancels the in-flight query.
+func (s *Service) QueryContext(ctx context.Context, sql string) (*Rows, error) {
+	return s.QueryContextOptions(ctx, sql, Options{})
+}
+
+// QueryContextOptions is QueryContext with explicit execution options
+// (parallel extraction, worker count, block size, coalescing).
+func (s *Service) QueryContextOptions(ctx context.Context, sql string, opt Options) (*Rows, error) {
+	p, err := s.PrepareContext(ctx, sql)
+	if err != nil {
+		return nil, err
+	}
+	return p.QueryContext(ctx, opt)
 }
 
 // FilterByNode keeps the AFCs homed on node: every segment must live

@@ -10,6 +10,7 @@
 package extractor
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -17,6 +18,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"time"
 
 	"datavirt/internal/afc"
 	"datavirt/internal/query"
@@ -43,6 +45,10 @@ type Stats struct {
 	RowsScanned int64
 	RowsEmitted int64
 	BytesRead   int64
+	// FilterNS is the time spent evaluating the residual predicate and
+	// delivering rows, in nanoseconds, summed across workers (so it can
+	// exceed the run's wall time under RunParallel).
+	FilterNS int64
 }
 
 // Add merges other run's counters into s.
@@ -51,13 +57,22 @@ func (s *Stats) Add(o Stats) {
 	s.RowsScanned += o.RowsScanned
 	s.RowsEmitted += o.RowsEmitted
 	s.BytesRead += o.BytesRead
+	s.FilterNS += o.FilterNS
 }
 
-// EmitFunc receives each surviving row. The slice is reused between
-// calls; implementations must copy values they retain.
+// EmitFunc receives each surviving row.
+//
+// Row reuse contract (the one canonical statement; every emitting API
+// in this module — extractor.Run*, core.Prepared.Run*, the cluster
+// coordinator's emit callbacks, and storm.Sink.Send — follows it): the
+// row slice and its backing array are owned by the extractor and
+// reused for the next row; an implementation that retains a row beyond
+// the call must copy it (append(table.Row(nil), row...)). The
+// core.Rows cursor performs this copy for its caller.
 type EmitFunc func(row table.Row) error
 
-// Options configure an extraction run.
+// Options configure an extraction run. Rows are delivered under the
+// reuse contract documented on EmitFunc.
 type Options struct {
 	// Cols is the working row layout: every attribute the predicate or
 	// the final projection needs, in output order.
@@ -112,26 +127,41 @@ func (c *fileCache) closeAll() {
 	c.files = make(map[string]*os.File)
 }
 
-// Run extracts the AFCs sequentially, calling emit for each surviving
-// row, and returns run statistics.
+// Run extracts the AFCs sequentially with a background context; it is
+// the convenience form of RunContext.
 func Run(afcs []afc.AFC, resolver Resolver, opt Options, emit EmitFunc) (Stats, error) {
+	return RunContext(context.Background(), afcs, resolver, opt, emit)
+}
+
+// RunContext extracts the AFCs sequentially, calling emit for each
+// surviving row, and returns run statistics. Cancelling ctx stops the
+// run between block reads; the context's error is returned.
+func RunContext(ctx context.Context, afcs []afc.AFC, resolver Resolver, opt Options, emit EmitFunc) (Stats, error) {
 	cache := newFileCache(resolver)
 	defer cache.closeAll()
 	var stats Stats
 	bb := &blockBuf{}
 	for i := range afcs {
-		if err := extractOne(&afcs[i], cache, opt, bb, &stats, emit); err != nil {
+		if err := extractOne(ctx, &afcs[i], cache, opt, bb, &stats, emit); err != nil {
 			return stats, err
 		}
 	}
 	return stats, nil
 }
 
-// RunParallel extracts AFCs with a bounded worker pool. Rows are
+// RunParallel extracts AFCs with a bounded worker pool and a background
+// context; it is the convenience form of RunParallelContext.
+func RunParallel(afcs []afc.AFC, resolver Resolver, opt Options, emit EmitFunc) (Stats, error) {
+	return RunParallelContext(context.Background(), afcs, resolver, opt, emit)
+}
+
+// RunParallelContext extracts AFCs with a bounded worker pool. Rows are
 // delivered to emit from a single collector goroutine, so emit needs no
 // locking; row order across AFCs is unspecified (as in the paper's
 // middleware, which partitions and ships tuples as they are produced).
-func RunParallel(afcs []afc.AFC, resolver Resolver, opt Options, emit EmitFunc) (Stats, error) {
+// Cancelling ctx stops the feeder and every worker between block reads;
+// all goroutines have exited by the time the call returns.
+func RunParallelContext(ctx context.Context, afcs []afc.AFC, resolver Resolver, opt Options, emit EmitFunc) (Stats, error) {
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = defaultWorkers()
@@ -140,7 +170,7 @@ func RunParallel(afcs []afc.AFC, resolver Resolver, opt Options, emit EmitFunc) 
 		workers = len(afcs)
 	}
 	if workers <= 1 {
-		return Run(afcs, resolver, opt, emit)
+		return RunContext(ctx, afcs, resolver, opt, emit)
 	}
 
 	cache := newFileCache(resolver)
@@ -174,7 +204,7 @@ func RunParallel(afcs []afc.AFC, resolver Resolver, opt Options, emit EmitFunc) 
 					b.rows = append(b.rows, append(table.Row(nil), r...))
 					return nil
 				}
-				if err := extractOne(a, cache, opt, bb, &b.stats, collect); err != nil {
+				if err := extractOne(ctx, a, cache, opt, bb, &b.stats, collect); err != nil {
 					fail(err)
 					return
 				}
@@ -182,18 +212,24 @@ func RunParallel(afcs []afc.AFC, resolver Resolver, opt Options, emit EmitFunc) 
 				case results <- b:
 				case <-done:
 					return
+				case <-ctx.Done():
+					fail(ctx.Err())
+					return
 				}
 			}
 		}()
 	}
 
-	// Feeder: stops early when any worker fails.
+	// Feeder: stops early when any worker fails or ctx is cancelled.
 	go func() {
 		defer close(work)
 		for i := range afcs {
 			select {
 			case work <- &afcs[i]:
 			case <-done:
+				return
+			case <-ctx.Done():
+				fail(ctx.Err())
 				return
 			}
 		}
@@ -307,8 +343,10 @@ func (bb *blockBuf) shape(rows, cols, segs int) {
 // extractOne streams one AFC: it reads the block's byte spans, fills
 // the row matrix column by column with kind-specialized tight loops
 // (the run-time counterpart of the generated extraction code's
-// straight-line decoding), then filters and emits row-wise.
-func extractOne(a *afc.AFC, cache *fileCache, opt Options, bb *blockBuf, stats *Stats, emit EmitFunc) error {
+// straight-line decoding), then filters and emits row-wise. The
+// context is checked between blocks, bounding cancellation latency to
+// one block read (≤ maxBlockRows rows).
+func extractOne(ctx context.Context, a *afc.AFC, cache *fileCache, opt Options, bb *blockBuf, stats *Stats, emit EmitFunc) error {
 	stats.AFCs++
 	if a.NumRows == 0 {
 		return nil
@@ -353,6 +391,9 @@ func extractOne(a *afc.AFC, cache *fileCache, opt Options, bb *blockBuf, stats *
 	pred := opt.Pred
 	constRead := false
 	for base := int64(0); base < a.NumRows; base += rowsPerBlock {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		n := rowsPerBlock
 		if base+n > a.NumRows {
 			n = a.NumRows - base
@@ -418,15 +459,18 @@ func extractOne(a *afc.AFC, cache *fileCache, opt Options, bb *blockBuf, stats *
 
 		// Filter and emit row-wise.
 		stats.RowsScanned += n
+		filterStart := time.Now()
 		for r := int64(0); r < n; r++ {
 			if pred != nil && !pred(rows[r]) {
 				continue
 			}
 			stats.RowsEmitted++
 			if err := emit(rows[r]); err != nil {
+				stats.FilterNS += time.Since(filterStart).Nanoseconds()
 				return err
 			}
 		}
+		stats.FilterNS += time.Since(filterStart).Nanoseconds()
 	}
 	for _, s := range a.Segments {
 		if s.RowStride == 0 {

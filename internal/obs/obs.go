@@ -1,0 +1,227 @@
+// Package obs provides per-query observability for the datavirt
+// engine: QueryStats aggregates what a query cost (chunks, bytes,
+// rows, per-stage wall times) and Tracer is a pluggable hook that
+// observes stage boundaries as they happen (span start/end, slow-query
+// logging).
+//
+// The stages map onto the paper's STORM middleware services (§2.3):
+// plan is the query service, index the indexing service, extract the
+// data source service, filter the filtering service, and net the data
+// mover transferring tuples between nodes. A Tracer therefore sees the
+// same per-service cost breakdown the paper reports for its 1–16 node
+// experiments.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+)
+
+// Stage names one phase of query execution.
+type Stage string
+
+const (
+	// StagePlan covers SQL parsing, validation and predicate compilation.
+	StagePlan Stage = "plan"
+	// StageIndex covers range extraction and aligned-file-chunk
+	// generation (chunk-index lookups included).
+	StageIndex Stage = "index"
+	// StageExtract covers chunk reads and row assembly.
+	StageExtract Stage = "extract"
+	// StageFilter covers residual predicate evaluation and row delivery
+	// (accumulated across workers, so it can exceed extract wall time).
+	StageFilter Stage = "filter"
+	// StageNet covers cluster dials, request writes and tuple-stream
+	// reads on the coordinator.
+	StageNet Stage = "net"
+)
+
+// Stages lists all stages in execution order.
+var Stages = []Stage{StagePlan, StageIndex, StageExtract, StageFilter, StageNet}
+
+// QueryStats aggregates the measured cost of one query execution.
+type QueryStats struct {
+	// ChunksPlanned counts the aligned file chunks the plan selected
+	// after index pruning.
+	ChunksPlanned int
+	// ChunksRead counts the chunks actually extracted (after node
+	// filtering and coalescing they can differ from ChunksPlanned).
+	ChunksRead int
+	// BytesRead is the payload bytes read from data files.
+	BytesRead int64
+	// RowsScanned is the rows materialized from chunks.
+	RowsScanned int64
+	// RowsEmitted is the rows that survived the residual predicate.
+	RowsEmitted int64
+	// RowsFiltered is the rows scanned but rejected by the predicate.
+	RowsFiltered int64
+
+	// PlanTime is the wall time of StagePlan; likewise below.
+	PlanTime    time.Duration
+	IndexTime   time.Duration
+	ExtractTime time.Duration
+	FilterTime  time.Duration
+	NetTime     time.Duration
+}
+
+// StageTime returns the wall time recorded for one stage.
+func (s *QueryStats) StageTime(st Stage) time.Duration {
+	switch st {
+	case StagePlan:
+		return s.PlanTime
+	case StageIndex:
+		return s.IndexTime
+	case StageExtract:
+		return s.ExtractTime
+	case StageFilter:
+		return s.FilterTime
+	case StageNet:
+		return s.NetTime
+	}
+	return 0
+}
+
+// Add merges another execution's stats into s (stage times sum).
+func (s *QueryStats) Add(o QueryStats) {
+	s.ChunksPlanned += o.ChunksPlanned
+	s.ChunksRead += o.ChunksRead
+	s.BytesRead += o.BytesRead
+	s.RowsScanned += o.RowsScanned
+	s.RowsEmitted += o.RowsEmitted
+	s.RowsFiltered += o.RowsFiltered
+	s.PlanTime += o.PlanTime
+	s.IndexTime += o.IndexTime
+	s.ExtractTime += o.ExtractTime
+	s.FilterTime += o.FilterTime
+	s.NetTime += o.NetTime
+}
+
+// Counters renders the deterministic (time-free) counters, one value
+// per line — the form golden tests compare.
+func (s *QueryStats) Counters() string {
+	return fmt.Sprintf("chunks planned: %d\nchunks read: %d\nbytes read: %d\nrows scanned: %d\nrows emitted: %d\nrows filtered: %d",
+		s.ChunksPlanned, s.ChunksRead, s.BytesRead, s.RowsScanned, s.RowsEmitted, s.RowsFiltered)
+}
+
+// String renders counters plus per-stage times on one line each.
+func (s *QueryStats) String() string {
+	var b strings.Builder
+	b.WriteString(s.Counters())
+	for _, st := range Stages {
+		fmt.Fprintf(&b, "\n%-7s %s", st+":", s.StageTime(st).Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// Tracer observes query stages as they run. Implementations must be
+// safe for concurrent use: a cluster coordinator traces the net stage
+// of every node leg from its own goroutine.
+type Tracer interface {
+	// StageStart marks the beginning of stage for the given query text.
+	StageStart(query string, stage Stage)
+	// StageEnd marks its completion after elapsed d; err is the stage's
+	// terminal error, nil on success.
+	StageEnd(query string, stage Stage, d time.Duration, err error)
+}
+
+// NopTracer discards all events.
+type NopTracer struct{}
+
+// StageStart implements Tracer.
+func (NopTracer) StageStart(string, Stage) {}
+
+// StageEnd implements Tracer.
+func (NopTracer) StageEnd(string, Stage, time.Duration, error) {}
+
+// LogTracer logs stage ends through Logf. Stages faster than Slow are
+// suppressed (Slow = 0 logs everything); failed stages always log.
+type LogTracer struct {
+	// Logf receives the formatted events; defaults to log.Printf.
+	Logf func(format string, args ...any)
+	// Slow is the slow-query threshold applied per stage.
+	Slow time.Duration
+}
+
+// StageStart implements Tracer (start events are not logged).
+func (t *LogTracer) StageStart(string, Stage) {}
+
+// StageEnd implements Tracer.
+func (t *LogTracer) StageEnd(query string, stage Stage, d time.Duration, err error) {
+	if err == nil && d < t.Slow {
+		return
+	}
+	logf := t.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	if err != nil {
+		logf("obs: %s %s failed after %s: %v", stage, truncateQuery(query), d.Round(time.Microsecond), err)
+		return
+	}
+	logf("obs: %s %s took %s", stage, truncateQuery(query), d.Round(time.Microsecond))
+}
+
+// maxLoggedQuery bounds the SQL text echoed into logs.
+const maxLoggedQuery = 120
+
+func truncateQuery(q string) string {
+	if len(q) > maxLoggedQuery {
+		return q[:maxLoggedQuery] + "..."
+	}
+	return q
+}
+
+// MultiTracer fans events out to every tracer in order.
+type MultiTracer []Tracer
+
+// StageStart implements Tracer.
+func (m MultiTracer) StageStart(query string, stage Stage) {
+	for _, t := range m {
+		t.StageStart(query, stage)
+	}
+}
+
+// StageEnd implements Tracer.
+func (m MultiTracer) StageEnd(query string, stage Stage, d time.Duration, err error) {
+	for _, t := range m {
+		t.StageEnd(query, stage, d, err)
+	}
+}
+
+// ctxKey keys context values private to this package.
+type ctxKey int
+
+const tracerKey ctxKey = iota
+
+// WithTracer returns a context carrying t; the engine reports every
+// stage of queries run under that context to it.
+func WithTracer(ctx context.Context, t Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// TracerFrom returns the context's tracer, or NopTracer.
+func TracerFrom(ctx context.Context) Tracer {
+	if t, ok := ctx.Value(tracerKey).(Tracer); ok && t != nil {
+		return t
+	}
+	return NopTracer{}
+}
+
+// Begin reports a stage start and returns the matching end function,
+// which reports the stage end and returns its duration:
+//
+//	end := obs.Begin(tracer, sql, obs.StagePlan)
+//	... work ...
+//	planTime := end(err)
+func Begin(t Tracer, query string, stage Stage) func(err error) time.Duration {
+	t.StageStart(query, stage)
+	start := time.Now()
+	return func(err error) time.Duration {
+		d := time.Since(start)
+		t.StageEnd(query, stage, d, err)
+		return d
+	}
+}

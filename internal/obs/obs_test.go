@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStageTimeAndAdd(t *testing.T) {
+	a := QueryStats{ChunksPlanned: 2, ChunksRead: 1, BytesRead: 10,
+		RowsScanned: 5, RowsEmitted: 3, RowsFiltered: 2,
+		PlanTime: time.Millisecond, NetTime: 2 * time.Millisecond}
+	b := a
+	a.Add(b)
+	if a.ChunksPlanned != 4 || a.BytesRead != 20 || a.RowsFiltered != 4 {
+		t.Errorf("Add counters: %+v", a)
+	}
+	if a.PlanTime != 2*time.Millisecond || a.NetTime != 4*time.Millisecond {
+		t.Errorf("Add times: %+v", a)
+	}
+	for _, st := range Stages {
+		_ = a.StageTime(st) // all stages resolvable
+	}
+	if a.StageTime(Stage("bogus")) != 0 {
+		t.Error("unknown stage has nonzero time")
+	}
+}
+
+func TestCountersDeterministic(t *testing.T) {
+	s := QueryStats{ChunksPlanned: 7, ChunksRead: 7, BytesRead: 123,
+		RowsScanned: 40, RowsEmitted: 30, RowsFiltered: 10,
+		ExtractTime: 5 * time.Second}
+	got := s.Counters()
+	if strings.Contains(got, "5s") {
+		t.Errorf("Counters leaked a time: %q", got)
+	}
+	want := "chunks planned: 7\nchunks read: 7\nbytes read: 123\nrows scanned: 40\nrows emitted: 30\nrows filtered: 10"
+	if got != want {
+		t.Errorf("Counters = %q, want %q", got, want)
+	}
+	if !strings.Contains(s.String(), "extract: 5s") {
+		t.Errorf("String missing stage time: %q", s.String())
+	}
+}
+
+func TestLogTracerThreshold(t *testing.T) {
+	var lines []string
+	tr := &LogTracer{Logf: func(f string, a ...any) {
+		lines = append(lines, f)
+	}, Slow: time.Second}
+	tr.StageEnd("SELECT 1", StageExtract, time.Millisecond, nil) // fast: suppressed
+	if len(lines) != 0 {
+		t.Fatalf("fast stage logged: %v", lines)
+	}
+	tr.StageEnd("SELECT 1", StageExtract, 2*time.Second, nil) // slow: logged
+	tr.StageEnd("SELECT 1", StageNet, time.Millisecond, errors.New("boom"))
+	if len(lines) != 2 {
+		t.Fatalf("logged %d lines, want 2", len(lines))
+	}
+}
+
+func TestLogTracerTruncatesQuery(t *testing.T) {
+	var got string
+	tr := &LogTracer{Logf: func(f string, a ...any) {
+		for _, v := range a {
+			if s, ok := v.(string); ok && strings.Contains(s, "...") {
+				got = s
+			}
+		}
+	}}
+	long := "SELECT " + strings.Repeat("X", 300)
+	tr.StageEnd(long, StagePlan, time.Second, nil)
+	if len(got) == 0 || len(got) > maxLoggedQuery+3 {
+		t.Errorf("query not truncated: %d bytes", len(got))
+	}
+}
+
+func TestContextTracer(t *testing.T) {
+	if _, ok := TracerFrom(context.Background()).(NopTracer); !ok {
+		t.Error("default tracer is not NopTracer")
+	}
+	tr := &LogTracer{Logf: func(string, ...any) {}}
+	ctx := WithTracer(context.Background(), tr)
+	if TracerFrom(ctx) != Tracer(tr) {
+		t.Error("WithTracer round-trip failed")
+	}
+}
+
+func TestBeginEnd(t *testing.T) {
+	var evs []ev
+	tr := recorder{on: func(e ev) { evs = append(evs, e) }}
+	end := Begin(tr, "SELECT 1", StageIndex)
+	d := end(nil)
+	if d < 0 {
+		t.Errorf("duration %v", d)
+	}
+	if len(evs) != 2 || evs[0].end || !evs[1].end || evs[1].stage != StageIndex {
+		t.Errorf("events: %+v", evs)
+	}
+
+	var mt MultiTracer = []Tracer{tr, tr}
+	evs = nil
+	mt.StageStart("q", StagePlan)
+	mt.StageEnd("q", StagePlan, time.Second, nil)
+	if len(evs) != 4 {
+		t.Errorf("MultiTracer fanned out %d events, want 4", len(evs))
+	}
+}
+
+type ev struct {
+	stage Stage
+	end   bool
+	err   error
+}
+
+type recorder struct {
+	on func(ev)
+}
+
+func (r recorder) StageStart(q string, s Stage) {
+	r.on(ev{stage: s})
+}
+
+func (r recorder) StageEnd(q string, s Stage, d time.Duration, err error) {
+	r.on(ev{stage: s, end: true, err: err})
+}

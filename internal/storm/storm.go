@@ -150,7 +150,9 @@ func (r *rangePart) Dest(row table.Row) int {
 
 // Sink receives the rows of one destination processor.
 type Sink interface {
-	// Send delivers one row; the slice is reused by the caller.
+	// Send delivers one row under the same reuse contract as
+	// extractor.EmitFunc: the slice is reused by the caller after Send
+	// returns, so a sink that retains the row must copy it.
 	Send(row table.Row) error
 	// Close flushes and finalizes the sink.
 	Close() error
