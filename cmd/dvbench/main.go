@@ -6,10 +6,12 @@
 //
 //	dvbench -workdir /tmp/dvbench -exp all
 //	dvbench -exp fig6 -scale 0.5
+//	dvbench -exp cache -json BENCH_cache.json
 //	dvbench -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +29,7 @@ func main() {
 	verbose := flag.Bool("v", true, "progress to stderr")
 	list := flag.Bool("list", false, "list experiments and the paper queries, then exit")
 	verify := flag.Bool("verify", false, "cross-check systems on a small sample before timing")
+	jsonPath := flag.String("json", "", "also write the result tables as JSON to this file")
 	flag.Parse()
 
 	if *list {
@@ -62,14 +65,26 @@ func main() {
 		}
 		toRun = []bench.Experiment{e}
 	}
+	var tables []*bench.Table
 	for _, e := range toRun {
 		start := time.Now()
 		tbl, err := e.Run(cfg)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", e.ID, err))
 		}
+		tables = append(tables, tbl)
 		fmt.Println(tbl.Format())
 		fmt.Fprintf(os.Stderr, "dvbench: %s finished in %s\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dvbench: wrote %s\n", *jsonPath)
 	}
 }
 

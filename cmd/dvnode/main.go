@@ -14,6 +14,7 @@ import (
 	"os"
 	"os/signal"
 
+	"datavirt/internal/cache"
 	"datavirt/internal/cluster"
 	"datavirt/internal/core"
 	"datavirt/internal/obs"
@@ -26,6 +27,9 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "listen address")
 	slow := flag.Duration("slow", 0, "log query stages slower than this threshold (0 = disabled)")
 	trace := flag.Bool("trace", false, "log every query stage (implies -slow 0s for all stages)")
+	cacheMB := flag.Int("cache-mb", 64, "block cache budget in MiB (0 disables block caching; handles stay pooled)")
+	cacheBlock := flag.Int("cache-block", 256<<10, "block cache block size in bytes")
+	readahead := flag.Int("readahead", 0, "blocks to prefetch ahead of sequential scans (0 = off)")
 	flag.Parse()
 
 	if *desc == "" || *nodeName == "" {
@@ -46,6 +50,12 @@ func main() {
 	if !known {
 		fatal(fmt.Errorf("node %q is not in the descriptor's storage table %v", *nodeName, svc.Nodes()))
 	}
+	svc.SetCacheConfig(cache.Config{
+		MaxBytes:   int64(*cacheMB) << 20,
+		BlockBytes: *cacheBlock,
+		Readahead:  *readahead,
+		Disabled:   *cacheMB == 0,
+	})
 	node, err := cluster.StartNode(*nodeName, svc, *addr)
 	if err != nil {
 		fatal(err)
@@ -66,6 +76,12 @@ func main() {
 	if err := node.Close(); err != nil {
 		fatal(err)
 	}
+	cs := svc.CacheStats()
+	if cs.Hits+cs.Misses > 0 {
+		fmt.Printf("dvnode: cache %d hits / %d misses, %d evictions, %.1f MB read, %.1f MB saved\n",
+			cs.Hits, cs.Misses, cs.Evictions, float64(cs.BytesRead)/1e6, float64(cs.BytesSaved())/1e6)
+	}
+	svc.Close()
 }
 
 func fatal(err error) {

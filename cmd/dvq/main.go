@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"datavirt/internal/cache"
 	"datavirt/internal/cluster"
 	"datavirt/internal/core"
 	"datavirt/internal/metadata"
@@ -36,6 +37,21 @@ type config struct {
 	explain  bool
 	stats    bool
 	timeout  time.Duration
+
+	cacheMB    int
+	cacheBlock int
+	readahead  int
+	noCache    bool
+}
+
+// cacheConfig translates the cache flags into a cache.Config.
+func (c config) cacheConfig() cache.Config {
+	return cache.Config{
+		MaxBytes:   int64(c.cacheMB) << 20,
+		BlockBytes: c.cacheBlock,
+		Readahead:  c.readahead,
+		Disabled:   c.cacheMB == 0,
+	}
 }
 
 func main() {
@@ -50,6 +66,10 @@ func main() {
 	flag.BoolVar(&cfg.explain, "explain", false, "print the query plan (ranges and aligned file chunks) instead of rows")
 	flag.BoolVar(&cfg.stats, "stats", false, "print per-stage query statistics after the summary")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "cancel the query after this duration (0 = none)")
+	flag.IntVar(&cfg.cacheMB, "cache-mb", 64, "block cache budget in MiB (0 disables block caching; handles stay pooled)")
+	flag.IntVar(&cfg.cacheBlock, "cache-block", 256<<10, "block cache block size in bytes")
+	flag.IntVar(&cfg.readahead, "readahead", 0, "blocks to prefetch ahead of sequential scans (0 = off)")
+	flag.BoolVar(&cfg.noCache, "no-cache", false, "bypass the block cache for this query")
 	interactive := flag.Bool("i", false, "interactive mode: read queries from stdin, one per line")
 	flag.Parse()
 
@@ -76,6 +96,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	svc.SetCacheConfig(cfg.cacheConfig())
+	defer svc.Close()
 
 	if *interactive {
 		fmt.Fprintf(os.Stderr, "dvq: table %s (%s); enter SQL, one statement per line (ctrl-D to quit)\n",
@@ -144,7 +166,9 @@ func runLocal(ctx context.Context, svc *core.Service, sql string, cfg config) er
 		fmt.Fprintln(out, strings.Join(prep.Cols, "\t"))
 	}
 	start := time.Now()
-	rows, err := prep.QueryContext(ctx, core.Options{Parallel: cfg.parallel, Workers: cfg.workers})
+	rows, err := prep.QueryContext(ctx, core.Options{
+		Parallel: cfg.parallel, Workers: cfg.workers, NoCache: cfg.noCache,
+	})
 	if err != nil {
 		return err
 	}

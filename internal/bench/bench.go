@@ -139,6 +139,7 @@ func Experiments() []Experiment {
 		{"ablation-index", "Ablation: chunk-index pruning on vs off (ours)", RunAblationIndex},
 		{"ablation-chunk", "Ablation: chunked vs monolithic Titan storage (ours)", RunAblationChunks},
 		{"ablation-coalesce", "Ablation: chunk coalescing on vs off (ours)", RunAblationCoalesce},
+		{"cache", "Block cache cold vs warm on repeated-range queries (ours)", RunCache},
 	}
 }
 

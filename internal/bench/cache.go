@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"datavirt/internal/cache"
+	"datavirt/internal/core"
+	"datavirt/internal/extractor"
+	"datavirt/internal/gen"
+	"datavirt/internal/table"
+)
+
+// RunCache measures the node-local block cache on a repeated-range
+// workload: the same narrow query executed cold, then warm, with the
+// cache on and off. The dataset uses the tiny-chunk CLUSTER regime
+// (many time steps, small grids) where extraction is dominated by
+// per-chunk positional reads — exactly the syscall traffic the block
+// cache absorbs. Expected outcome: the warm cached pass reads ~0 bytes
+// from the filesystem and beats the uncached pass by >=2x.
+func RunCache(cfg Config) (*Table, error) {
+	spec := gen.IparsSpec{
+		Realizations: 2,
+		TimeSteps:    cfg.scaleInt(12000, 128, 2),
+		GridPoints:   16,
+		Partitions:   2,
+		Attrs:        17,
+		Seed:         604,
+	}
+	root, err := ensureDir(cfg, "cache")
+	if err != nil {
+		return nil, err
+	}
+	if !haveMarker(root, "data") {
+		cfg.logf("cache: generating ipars CLUSTER (%d time steps)", spec.TimeSteps)
+		if _, err := gen.WriteIpars(root, spec, "CLUSTER"); err != nil {
+			return nil, err
+		}
+		if err := setMarker(root, "data"); err != nil {
+			return nil, err
+		}
+	}
+	descPath := filepath.Join(root, "ipars_cluster.dvd")
+
+	// The repeated-range workload: a narrow time window, re-queried —
+	// the warm-cache case a dashboard or parameter sweep produces. X
+	// comes from the COORDS file, which the CLUSTER layout re-reads on
+	// every time step, so the block cache also collapses repeated spans
+	// within a single execution.
+	hi := spec.TimeSteps / 8
+	if hi < 2 {
+		hi = 2
+	}
+	sql := fmt.Sprintf("SELECT X, SOIL FROM IparsData WHERE TIME >= 1 AND TIME <= %d", hi)
+
+	// A small extraction buffer puts both modes in the per-row
+	// positional-read regime of the paper's tiny aligned chunks — the
+	// syscall traffic the block cache exists to absorb.
+	const extractBuf = 128
+
+	t := &Table{
+		ID:     "cache",
+		Title:  "Block cache cold vs warm on a repeated-range query (Ipars tiny chunks)",
+		Header: []string{"mode", "pass", "rows", "fs_MB", "hits", "misses", "hit_pct", "time_ms"},
+	}
+
+	type pass struct {
+		rows   int64
+		stats  extractor.Stats
+		timeMS float64
+	}
+	// run executes the query repeatedly against one service and reports
+	// the best trial of each pass (cold = first, warm = repeat).
+	run := func(mode string, ccfg cache.Config) (cold, warm pass, err error) {
+		svc, err := core.Open(descPath, root)
+		if err != nil {
+			return cold, warm, err
+		}
+		defer svc.Close()
+		svc.SetCacheConfig(ccfg)
+		prep, err := svc.Prepare(sql)
+		if err != nil {
+			return cold, warm, err
+		}
+		one := func() (pass, error) {
+			var p pass
+			dur, err := timeBest(Config{Trials: 1}, func() error {
+				p.rows = 0
+				var e error
+				p.stats, e = prep.Run(core.Options{BlockBytes: extractBuf}, func(table.Row) error {
+					p.rows++
+					return nil
+				})
+				return e
+			})
+			p.timeMS = float64(dur.Microseconds()) / 1000
+			return p, err
+		}
+		if cold, err = one(); err != nil {
+			return cold, warm, fmt.Errorf("cache %s cold: %w", mode, err)
+		}
+		// Warm: best of trials, all against the now-populated cache.
+		best := pass{timeMS: -1}
+		for i := 0; i < cfg.trials(); i++ {
+			p, err := one()
+			if err != nil {
+				return cold, warm, fmt.Errorf("cache %s warm: %w", mode, err)
+			}
+			if best.timeMS < 0 || p.timeMS < best.timeMS {
+				best = p
+			}
+		}
+		return cold, best, nil
+	}
+	row := func(mode, label string, p pass) {
+		total := p.stats.CacheHits + p.stats.CacheMisses
+		hitPct := 0.0
+		if total > 0 {
+			hitPct = 100 * float64(p.stats.CacheHits) / float64(total)
+		}
+		t.AddRow(mode, label, fmt.Sprint(p.rows),
+			fmt.Sprintf("%.1f", float64(p.stats.FSBytesRead)/1e6),
+			fmt.Sprint(p.stats.CacheHits), fmt.Sprint(p.stats.CacheMisses),
+			fmt.Sprintf("%.1f", hitPct), fmt.Sprintf("%.1f", p.timeMS))
+	}
+
+	offCold, offWarm, err := run("cache-off", cache.Config{Disabled: true})
+	if err != nil {
+		return nil, err
+	}
+	onCold, onWarm, err := run("cache-on", cache.Config{BlockBytes: 256 << 10, Readahead: 2})
+	if err != nil {
+		return nil, err
+	}
+	row("cache-off", "cold", offCold)
+	row("cache-off", "warm", offWarm)
+	row("cache-on", "cold", onCold)
+	row("cache-on", "warm", onWarm)
+
+	if onCold.rows != offCold.rows || onWarm.rows != offWarm.rows {
+		return nil, fmt.Errorf("cache: row counts diverge: off %d/%d on %d/%d",
+			offCold.rows, offWarm.rows, onCold.rows, onWarm.rows)
+	}
+	if onWarm.stats.FSBytesRead != 0 {
+		return nil, fmt.Errorf("cache: warm cached pass read %d fs bytes, want 0", onWarm.stats.FSBytesRead)
+	}
+	speedup := offWarm.timeMS / onWarm.timeMS
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("repeated-range speedup (uncached warm / cached warm): %.2fx", speedup),
+		"warm cached pass performs zero filesystem reads; fs_MB is physical bytes, not payload bytes",
+		fmt.Sprintf("both modes extract through a %d-byte buffer (per-row reads, the tiny-chunk regime)", extractBuf))
+	if !cfg.Quick && speedup < 2 {
+		t.Notes = append(t.Notes, fmt.Sprintf("WARNING: speedup %.2fx below the 2x target", speedup))
+	}
+	return t, nil
+}

@@ -1,0 +1,121 @@
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// handle is one pooled open file. refs counts the readers (and the
+// prefetch worker) currently using it; a handle evicted or closed
+// while referenced is marked dead and closed by the last release, so
+// no ReadAt ever races a Close.
+type handle struct {
+	path string
+	f    File
+	refs int
+	dead bool
+	elem *list.Element
+}
+
+// handleCache is a bounded LRU over open files. The map and list hold
+// only live (non-dead) handles, so residency never exceeds max even
+// when referenced handles are evicted — those live on solely through
+// their refs and are closed on the final release.
+type handleCache struct {
+	mu     sync.Mutex
+	max    int
+	open   func(path string) (File, error)
+	m      map[string]*handle
+	lru    *list.List // front = most recent
+	opens  int64
+	evicts int64
+}
+
+func newHandleCache(max int, open func(path string) (File, error)) *handleCache {
+	return &handleCache{
+		max:  max,
+		open: open,
+		m:    map[string]*handle{},
+		lru:  list.New(),
+	}
+}
+
+// acquire returns a referenced handle for path, opening it on a miss
+// and evicting the least recently used unreferenced handle when over
+// budget. The open happens under the lock: handle churn is rare by
+// design (the point of the cache), and this gives single-flight opens
+// for free.
+func (c *handleCache) acquire(path string) (*handle, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h, ok := c.m[path]; ok {
+		h.refs++
+		c.lru.MoveToFront(h.elem)
+		return h, nil
+	}
+	f, err := c.open(path)
+	if err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	c.opens++
+	h := &handle{path: path, f: f, refs: 1}
+	h.elem = c.lru.PushFront(h)
+	c.m[path] = h
+	for c.lru.Len() > c.max {
+		tail := c.lru.Back()
+		if tail == nil || tail == h.elem {
+			break
+		}
+		victim := tail.Value.(*handle)
+		c.lru.Remove(tail)
+		delete(c.m, victim.path)
+		c.evicts++
+		if victim.refs == 0 {
+			victim.f.Close() //nolint:errcheck — read-only handle
+		} else {
+			victim.dead = true // last release closes it
+		}
+	}
+	return h, nil
+}
+
+// release drops one reference; a dead handle is closed when the last
+// reference goes away.
+func (c *handleCache) release(h *handle) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h.refs--
+	if h.dead && h.refs == 0 {
+		h.f.Close() //nolint:errcheck
+	}
+}
+
+// closeAll closes every unreferenced handle and marks the rest dead.
+func (c *handleCache) closeAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, h := range c.m {
+		if h.refs == 0 {
+			h.f.Close() //nolint:errcheck
+		} else {
+			h.dead = true
+		}
+	}
+	c.m = map[string]*handle{}
+	c.lru.Init()
+}
+
+// stats reports open/evict totals.
+func (c *handleCache) stats() (opens, evicts int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.opens, c.evicts
+}
+
+// len reports current residency (for tests).
+func (c *handleCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

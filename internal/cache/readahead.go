@@ -1,0 +1,64 @@
+package cache
+
+// The readahead prefetcher: a single background worker that loads the
+// next blocks of a detected forward scan into the cache off the
+// critical path. Extraction reads an AFC segment front to back in
+// block-sized spans; once a reader advances from block b to b+1 the
+// next Config.Readahead blocks are queued here, so by the time the
+// scan arrives they are (ideally) already resident and the demand read
+// is a memory copy.
+//
+// The queue is lossy by design: when it is full, requests are dropped
+// rather than ever stalling a demand read. Prefetch I/O and block
+// installs go through the same single-flight path as demand loads, so
+// a demand read that arrives mid-prefetch waits for that one read
+// instead of duplicating it.
+
+// prefetchQueue bounds the pending prefetch requests.
+const prefetchQueue = 256
+
+type prefetchReq struct {
+	path    string
+	blockNo int64
+}
+
+// schedulePrefetch queues the n blocks after bn for background
+// loading, skipping ones already resident or in flight. Never blocks.
+func (c *Cache) schedulePrefetch(path string, bn int64, n int) {
+	for i := 1; i <= n; i++ {
+		k := blockKey{path, bn + int64(i)}
+		if c.contains(k) {
+			continue
+		}
+		select {
+		case c.pfCh <- prefetchReq{path: k.path, blockNo: k.blockNo}:
+		default:
+			return // queue full; drop the rest
+		}
+	}
+}
+
+// prefetchLoop is the background worker; it exits when Close is
+// called. Errors are deliberately swallowed: a failed prefetch simply
+// leaves the block to the demand path, which reports the error with
+// full context.
+func (c *Cache) prefetchLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.done:
+			return
+		case req := <-c.pfCh:
+			k := blockKey{req.path, req.blockNo}
+			if c.contains(k) {
+				continue
+			}
+			h, err := c.handles.acquire(req.path)
+			if err != nil {
+				continue
+			}
+			c.getBlock(h, k, nil, true) //nolint:errcheck — demand path reports errors
+			c.handles.release(h)
+		}
+	}
+}

@@ -323,3 +323,39 @@ func TestNodeCloseIdempotent(t *testing.T) {
 		t.Errorf("second Close: %v", err)
 	}
 }
+
+func TestClusterCacheStatsCrossWire(t *testing.T) {
+	coord, _ := startCluster(t, defaultSpec())
+	sql := "SELECT * FROM IparsData WHERE TIME >= 1 AND TIME <= 3"
+
+	_, cold, err := coord.CollectQuery(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats.CacheMisses == 0 || cold.Stats.FSBytesRead == 0 {
+		t.Fatalf("cold distributed query reported no cache traffic: %+v", cold.Stats)
+	}
+	if cold.QueryStats.CacheMisses != cold.Stats.CacheMisses ||
+		cold.QueryStats.FSBytesRead != cold.Stats.FSBytesRead {
+		t.Errorf("QueryStats dropped cache counters: %+v vs %+v", cold.QueryStats, cold.Stats)
+	}
+
+	// Node services keep their block caches across queries: a repeat of
+	// the same query is served warm on every node.
+	_, warm, err := coord.CollectQuery(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Rows != cold.Rows || warm.Rows == 0 {
+		t.Fatalf("warm rows = %d, cold = %d", warm.Rows, cold.Rows)
+	}
+	if warm.Stats.FSBytesRead != 0 {
+		t.Errorf("warm distributed query read %d fs bytes, want 0", warm.Stats.FSBytesRead)
+	}
+	if warm.Stats.CacheHits == 0 || warm.Stats.CacheMisses != 0 {
+		t.Errorf("warm distributed query not cache-served: %+v", warm.Stats)
+	}
+	if warm.Stats.BytesRead != cold.Stats.BytesRead {
+		t.Errorf("analytic BytesRead changed warm: %d vs %d", warm.Stats.BytesRead, cold.Stats.BytesRead)
+	}
+}

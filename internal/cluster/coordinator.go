@@ -247,11 +247,17 @@ func (c *Coordinator) run(ctx context.Context, sql string, spec storm.PartitionS
 		RowsScanned:   res.Stats.RowsScanned,
 		RowsEmitted:   res.Stats.RowsEmitted,
 		RowsFiltered:  res.Stats.RowsScanned - res.Stats.RowsEmitted,
-		PlanTime:      plan,
-		IndexTime:     index,
-		ExtractTime:   time.Duration(slowestExtract),
-		FilterTime:    time.Duration(res.Stats.FilterNS),
-		NetTime:       time.Since(netStart),
+
+		CacheHits:        res.Stats.CacheHits,
+		CacheMisses:      res.Stats.CacheMisses,
+		FSBytesRead:      res.Stats.FSBytesRead,
+		CacheBytesServed: res.Stats.CacheBytesServed,
+
+		PlanTime:    plan,
+		IndexTime:   index,
+		ExtractTime: time.Duration(slowestExtract),
+		FilterTime:  time.Duration(res.Stats.FilterNS),
+		NetTime:     time.Since(netStart),
 	}
 	return res, nil
 }

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"datavirt/internal/afc"
+	"datavirt/internal/cache"
 	"datavirt/internal/extractor"
 	"datavirt/internal/filter"
 	"datavirt/internal/gen"
@@ -43,6 +44,9 @@ type Service struct {
 
 	mu       sync.Mutex
 	idxCache map[string]*index.ChunkIndex
+
+	cmu        sync.Mutex
+	blockCache *cache.Cache
 }
 
 // Open loads the descriptor at descPath and compiles a service whose
@@ -76,7 +80,50 @@ func Compile(d *metadata.Descriptor, resolver extractor.Resolver) (*Service, err
 		registry: filter.NewRegistry(),
 		resolver: resolver,
 		idxCache: make(map[string]*index.ChunkIndex),
+		// The node-local block cache, shared by every query this service
+		// runs (the paper's data source service sits on exactly this
+		// boundary). Defaults: 64 MiB, 256 KiB blocks, no readahead — so
+		// compiling a service starts no goroutines.
+		blockCache: cache.New(cache.Config{}),
 	}, nil
+}
+
+// SetCacheConfig replaces the service's block cache. Call it before
+// running queries (typically right after Compile/Open, from CLI
+// flags); the previous cache is closed and its contents discarded.
+// A Config with Disabled set turns block caching off while keeping
+// handle pooling.
+func (s *Service) SetCacheConfig(cfg cache.Config) {
+	s.cmu.Lock()
+	old := s.blockCache
+	s.blockCache = cache.New(cfg)
+	s.cmu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+}
+
+// CacheStats snapshots the shared block cache's counters.
+func (s *Service) CacheStats() cache.Stats {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	return s.blockCache.Stats()
+}
+
+// blockSource returns the cache queries should extract through.
+func (s *Service) blockSource() cache.Source {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	return s.blockCache
+}
+
+// Close releases the service's pooled file handles and cached blocks
+// and stops its readahead worker, if any. Queries must have finished.
+func (s *Service) Close() error {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	s.blockCache.Close()
+	return nil
 }
 
 // Descriptor returns the parsed descriptor.
@@ -247,6 +294,10 @@ type Options struct {
 	// Coalesce merges contiguous aligned file chunks before extraction
 	// (see afc.Coalesce), trading chunk count for larger reads.
 	Coalesce bool
+	// NoCache bypasses the service's shared block cache for this query;
+	// reads go straight to the filesystem (handles are still pooled for
+	// the duration of the run).
+	NoCache bool
 }
 
 // Validate rejects nonsensical option values with explicit errors
@@ -299,6 +350,9 @@ func (p *Prepared) RunContext(ctx context.Context, opt Options, emit func(row ta
 		Cols: p.work, Pred: p.pred,
 		BlockBytes: opt.BlockBytes, Workers: opt.Workers,
 	}
+	if !opt.NoCache {
+		xopt.Source = p.svc.blockSource()
+	}
 	tracer := obs.TracerFrom(ctx)
 	endExtract := obs.Begin(tracer, p.sqlText, obs.StageExtract)
 	var stats extractor.Stats
@@ -310,6 +364,11 @@ func (p *Prepared) RunContext(ctx context.Context, opt Options, emit func(row ta
 	}
 	endExtract(err)
 	tracer.StageEnd(p.sqlText, obs.StageFilter, time.Duration(stats.FilterNS), err)
+	saved := stats.CacheBytesServed - stats.FSBytesRead
+	if saved < 0 {
+		saved = 0
+	}
+	obs.ReportCache(tracer, p.sqlText, stats.CacheHits, stats.CacheMisses, saved)
 	return stats, err
 }
 
@@ -330,10 +389,16 @@ func (p *Prepared) queryStats(x extractor.Stats, extract time.Duration) obs.Quer
 		RowsScanned:   x.RowsScanned,
 		RowsEmitted:   x.RowsEmitted,
 		RowsFiltered:  x.RowsScanned - x.RowsEmitted,
-		PlanTime:      p.planTime,
-		IndexTime:     p.indexTime,
-		ExtractTime:   extract,
-		FilterTime:    time.Duration(x.FilterNS),
+
+		CacheHits:        x.CacheHits,
+		CacheMisses:      x.CacheMisses,
+		FSBytesRead:      x.FSBytesRead,
+		CacheBytesServed: x.CacheBytesServed,
+
+		PlanTime:    p.planTime,
+		IndexTime:   p.indexTime,
+		ExtractTime: extract,
+		FilterTime:  time.Duration(x.FilterNS),
 	}
 }
 

@@ -3,9 +3,12 @@ package core
 import (
 	"math"
 	"sort"
+	"strings"
 	"testing"
 
 	"datavirt/internal/afc"
+	"datavirt/internal/cache"
+	"datavirt/internal/extractor"
 	"datavirt/internal/filter"
 	"datavirt/internal/gen"
 	"datavirt/internal/table"
@@ -354,5 +357,105 @@ func TestTitanService(t *testing.T) {
 	// Index cache: a second query reuses the loaded index.
 	if _, err := svc.Query("SELECT * FROM TitanData WHERE Z <= 10"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestServiceCacheWarmsAcrossQueries(t *testing.T) {
+	svc, _ := iparsService(t, "CLUSTER")
+	defer svc.Close()
+	sql := "SELECT * FROM IparsData WHERE TIME >= 1 AND TIME <= 2"
+
+	run := func(opt Options) ([]table.Row, extractor.Stats) {
+		t.Helper()
+		p, err := svc.Prepare(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, stats, err := p.Collect(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows, stats
+	}
+
+	cold, coldStats := run(Options{})
+	if coldStats.CacheMisses == 0 || coldStats.FSBytesRead == 0 {
+		t.Fatalf("cold query saw no cache traffic: %+v", coldStats)
+	}
+	warm, warmStats := run(Options{})
+	if len(warm) != len(cold) {
+		t.Fatalf("warm rows = %d, cold = %d", len(warm), len(cold))
+	}
+	if warmStats.FSBytesRead != 0 {
+		t.Errorf("warm query read %d fs bytes, want 0", warmStats.FSBytesRead)
+	}
+	if warmStats.CacheHits == 0 || warmStats.CacheMisses != 0 {
+		t.Errorf("warm query not served from cache: %+v", warmStats)
+	}
+	// BytesRead (analytic payload) is identical either way.
+	if warmStats.BytesRead != coldStats.BytesRead {
+		t.Errorf("analytic BytesRead changed: cold %d warm %d", coldStats.BytesRead, warmStats.BytesRead)
+	}
+	// The shared cache's global stats agree.
+	cs := svc.CacheStats()
+	if cs.Hits == 0 || cs.Misses == 0 || cs.Bytes == 0 {
+		t.Errorf("service cache stats empty: %+v", cs)
+	}
+
+	// NoCache bypasses the shared cache: fs bytes come back.
+	_, bypassStats := run(Options{NoCache: true})
+	if bypassStats.CacheHits != 0 || bypassStats.CacheMisses != 0 {
+		t.Errorf("NoCache query touched the block cache: %+v", bypassStats)
+	}
+	if bypassStats.FSBytesRead == 0 {
+		t.Errorf("NoCache query reported no fs bytes")
+	}
+
+	// queryStats surfaces the cache counters to obs.
+	p, err := svc.Prepare(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := p.Collect(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := p.queryStats(stats, 0)
+	if qs.CacheHits != stats.CacheHits || qs.FSBytesRead != stats.FSBytesRead ||
+		qs.CacheMisses != stats.CacheMisses || qs.CacheBytesServed != stats.CacheBytesServed {
+		t.Errorf("queryStats dropped cache counters: %+v vs %+v", qs, stats)
+	}
+	if !strings.Contains(qs.String(), "cache: ") {
+		t.Errorf("QueryStats.String missing cache line:\n%s", qs.String())
+	}
+}
+
+func TestSetCacheConfigReplacesCache(t *testing.T) {
+	svc, _ := iparsService(t, "CLUSTER")
+	defer svc.Close()
+	if _, err := svc.Query("SELECT * FROM IparsData WHERE TIME = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if svc.CacheStats().Misses == 0 {
+		t.Fatal("expected cache traffic before reconfigure")
+	}
+	svc.SetCacheConfig(cache.Config{MaxBytes: 1 << 20, BlockBytes: 4096})
+	cs := svc.CacheStats()
+	if cs.Misses != 0 || cs.Blocks != 0 {
+		t.Errorf("SetCacheConfig kept old stats: %+v", cs)
+	}
+	if _, err := svc.Query("SELECT * FROM IparsData WHERE TIME = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if svc.CacheStats().Misses == 0 {
+		t.Error("replacement cache unused")
+	}
+	// Disabled config: queries still work, no blocks cached.
+	svc.SetCacheConfig(cache.Config{Disabled: true})
+	if _, err := svc.Query("SELECT * FROM IparsData WHERE TIME = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if cs := svc.CacheStats(); cs.Blocks != 0 {
+		t.Errorf("disabled cache holds %d blocks", cs.Blocks)
 	}
 }

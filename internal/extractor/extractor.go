@@ -15,12 +15,14 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
 	"datavirt/internal/afc"
+	"datavirt/internal/cache"
 	"datavirt/internal/query"
 	"datavirt/internal/schema"
 	"datavirt/internal/table"
@@ -31,11 +33,28 @@ import (
 // node server restricts it to its own name.
 type Resolver func(node, file string) (string, error)
 
+// SafeJoin joins name under root, rejecting absolute names and names
+// whose cleaned form escapes the root (a leading ".."): descriptor
+// file names are data, and data must not address files outside the
+// data directory.
+func SafeJoin(root, name string) (string, error) {
+	rel := filepath.FromSlash(name)
+	if rel == "" || filepath.IsAbs(rel) {
+		return "", fmt.Errorf("extractor: file name %q is not relative", name)
+	}
+	rel = filepath.Clean(rel)
+	if rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("extractor: file name %q escapes the data root", name)
+	}
+	return filepath.Join(root, rel), nil
+}
+
 // DirResolver resolves every file under a single root directory,
-// ignoring the node name.
+// ignoring the node name. Names that would escape the root are
+// rejected.
 func DirResolver(root string) Resolver {
 	return func(node, file string) (string, error) {
-		return root + "/" + file, nil
+		return SafeJoin(root, file)
 	}
 }
 
@@ -49,6 +68,20 @@ type Stats struct {
 	// delivering rows, in nanoseconds, summed across workers (so it can
 	// exceed the run's wall time under RunParallel).
 	FilterNS int64
+
+	// CacheHits and CacheMisses count block-cache lookups made by this
+	// run's segment reads (zero when the run reads through a disabled
+	// cache).
+	CacheHits   int64
+	CacheMisses int64
+	// FSBytesRead is the bytes physically read from the filesystem by
+	// this run's demand reads; a warm cache drives it toward zero while
+	// BytesRead (the logical payload bytes, above) stays constant.
+	// Readahead I/O is accounted on the cache's global Stats, not here.
+	FSBytesRead int64
+	// CacheBytesServed is the bytes delivered through the cache layer
+	// (hits and misses combined, including stride gaps within spans).
+	CacheBytesServed int64
 }
 
 // Add merges other run's counters into s.
@@ -58,6 +91,10 @@ func (s *Stats) Add(o Stats) {
 	s.RowsEmitted += o.RowsEmitted
 	s.BytesRead += o.BytesRead
 	s.FilterNS += o.FilterNS
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.FSBytesRead += o.FSBytesRead
+	s.CacheBytesServed += o.CacheBytesServed
 }
 
 // EmitFunc receives each surviving row.
@@ -84,47 +121,58 @@ type Options struct {
 	// Workers sets the parallelism of RunParallel (default GOMAXPROCS
 	// capped at 8).
 	Workers int
+	// Source supplies byte readers for segment files — typically the
+	// node's shared block cache (*cache.Cache, see internal/cache), so
+	// repeated and overlapping queries reuse resident blocks. nil uses
+	// a run-scoped passthrough source: direct reads, but open handles
+	// are still pooled across the run's AFCs instead of reopening the
+	// file per chunk.
+	Source cache.Source
 }
 
 const defaultBlockBytes = 1 << 20
 
-// fileCache shares open read-only file handles across AFCs of one run.
-type fileCache struct {
-	mu       sync.Mutex
-	resolver Resolver
-	files    map[string]*os.File
+// runSource resolves opt.Source for one run; the cleanup closes the
+// fallback source (a no-op closure when the caller supplied one, whose
+// lifetime the caller owns).
+func runSource(opt Options) (cache.Source, func()) {
+	if opt.Source != nil {
+		return opt.Source, func() {}
+	}
+	local := cache.New(cache.Config{Disabled: true})
+	return local, func() { local.Close() }
 }
 
-func newFileCache(r Resolver) *fileCache {
-	return &fileCache{resolver: r, files: make(map[string]*os.File)}
+// openSegments opens one reader per segment of the AFC. On error,
+// already-opened readers are released.
+func openSegments(a *afc.AFC, resolver Resolver, src cache.Source) ([]cache.Reader, error) {
+	readers := make([]cache.Reader, len(a.Segments))
+	for i, s := range a.Segments {
+		path, err := resolver(s.Node, s.File)
+		if err == nil {
+			readers[i], err = src.Open(path)
+		}
+		if err != nil {
+			for _, r := range readers[:i] {
+				r.Release()
+			}
+			return nil, fmt.Errorf("extractor: %s:%s: %w", s.Node, s.File, err)
+		}
+	}
+	return readers, nil
 }
 
-func (c *fileCache) get(node, file string) (*os.File, error) {
-	key := node + "\x00" + file
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if f, ok := c.files[key]; ok {
-		return f, nil
+// releaseSegments folds the readers' demand counters into stats and
+// returns them to the source.
+func releaseSegments(readers []cache.Reader, stats *Stats) {
+	for _, r := range readers {
+		c := r.Counters()
+		stats.CacheHits += c.Hits
+		stats.CacheMisses += c.Misses
+		stats.FSBytesRead += c.BytesRead
+		stats.CacheBytesServed += c.BytesServed
+		r.Release()
 	}
-	path, err := c.resolver(node, file)
-	if err != nil {
-		return nil, err
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("extractor: %w", err)
-	}
-	c.files[key] = f
-	return f, nil
-}
-
-func (c *fileCache) closeAll() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, f := range c.files {
-		f.Close()
-	}
-	c.files = make(map[string]*os.File)
 }
 
 // Run extracts the AFCs sequentially with a background context; it is
@@ -137,12 +185,12 @@ func Run(afcs []afc.AFC, resolver Resolver, opt Options, emit EmitFunc) (Stats, 
 // surviving row, and returns run statistics. Cancelling ctx stops the
 // run between block reads; the context's error is returned.
 func RunContext(ctx context.Context, afcs []afc.AFC, resolver Resolver, opt Options, emit EmitFunc) (Stats, error) {
-	cache := newFileCache(resolver)
-	defer cache.closeAll()
+	src, done := runSource(opt)
+	defer done()
 	var stats Stats
 	bb := &blockBuf{}
 	for i := range afcs {
-		if err := extractOne(ctx, &afcs[i], cache, opt, bb, &stats, emit); err != nil {
+		if err := extractOne(ctx, &afcs[i], resolver, src, opt, bb, &stats, emit); err != nil {
 			return stats, err
 		}
 	}
@@ -173,8 +221,8 @@ func RunParallelContext(ctx context.Context, afcs []afc.AFC, resolver Resolver, 
 		return RunContext(ctx, afcs, resolver, opt, emit)
 	}
 
-	cache := newFileCache(resolver)
-	defer cache.closeAll()
+	src, srcDone := runSource(opt)
+	defer srcDone()
 
 	type batch struct {
 		rows  []table.Row
@@ -204,7 +252,7 @@ func RunParallelContext(ctx context.Context, afcs []afc.AFC, resolver Resolver, 
 					b.rows = append(b.rows, append(table.Row(nil), r...))
 					return nil
 				}
-				if err := extractOne(ctx, a, cache, opt, bb, &b.stats, collect); err != nil {
+				if err := extractOne(ctx, a, resolver, src, opt, bb, &b.stats, collect); err != nil {
 					fail(err)
 					return
 				}
@@ -340,13 +388,15 @@ func (bb *blockBuf) shape(rows, cols, segs int) {
 	}
 }
 
-// extractOne streams one AFC: it reads the block's byte spans, fills
-// the row matrix column by column with kind-specialized tight loops
-// (the run-time counterpart of the generated extraction code's
+// extractOne streams one AFC: it reads the block's byte spans through
+// the segment readers (cache-backed or passthrough), fills the row
+// matrix column by column with kind-specialized tight loops (the
+// run-time counterpart of the generated extraction code's
 // straight-line decoding), then filters and emits row-wise. The
 // context is checked between blocks, bounding cancellation latency to
-// one block read (≤ maxBlockRows rows).
-func extractOne(ctx context.Context, a *afc.AFC, cache *fileCache, opt Options, bb *blockBuf, stats *Stats, emit EmitFunc) error {
+// one block read (≤ maxBlockRows rows). One reader per segment means
+// the cache's readahead sees each segment as its own forward scan.
+func extractOne(ctx context.Context, a *afc.AFC, resolver Resolver, src cache.Source, opt Options, bb *blockBuf, stats *Stats, emit EmitFunc) error {
 	stats.AFCs++
 	if a.NumRows == 0 {
 		return nil
@@ -355,14 +405,11 @@ func extractOne(ctx context.Context, a *afc.AFC, cache *fileCache, opt Options, 
 	if err != nil {
 		return err
 	}
-	files := make([]*os.File, len(a.Segments))
-	for i, s := range a.Segments {
-		f, err := cache.get(s.Node, s.File)
-		if err != nil {
-			return err
-		}
-		files[i] = f
+	files, err := openSegments(a, resolver, src)
+	if err != nil {
+		return err
 	}
+	defer releaseSegments(files, stats)
 
 	blockBytes := opt.BlockBytes
 	if blockBytes <= 0 {

@@ -7,9 +7,11 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"datavirt/internal/afc"
+	"datavirt/internal/cache"
 	"datavirt/internal/filter"
 	"datavirt/internal/gen"
 	"datavirt/internal/index"
@@ -430,5 +432,154 @@ func TestSmallBlockSizes(t *testing.T) {
 	}
 	if rowsBig != rowsSmall || rowsBig == 0 {
 		t.Errorf("block size changed results: %d vs %d", rowsBig, rowsSmall)
+	}
+}
+
+// TestDirResolverRejectsEscapes is the regression test for the path
+// traversal fix: a descriptor file name containing ".." (or an
+// absolute path) must not resolve outside the data directory.
+func TestDirResolverRejectsEscapes(t *testing.T) {
+	r := DirResolver("/data/root")
+	for _, bad := range []string{
+		"../secret",
+		"../../etc/passwd",
+		"dir/../../escape",
+		"/etc/passwd",
+		"",
+	} {
+		if got, err := r("node0", bad); err == nil {
+			t.Errorf("DirResolver accepted %q -> %q", bad, got)
+		}
+	}
+	for file, want := range map[string]string{
+		"plain":        filepath.Join("/data/root", "plain"),
+		"dir/file":     filepath.Join("/data/root", "dir", "file"),
+		"dir/../file":  filepath.Join("/data/root", "file"), // stays inside
+		"./dir/./file": filepath.Join("/data/root", "dir", "file"),
+	} {
+		got, err := r("node0", file)
+		if err != nil {
+			t.Errorf("DirResolver rejected %q: %v", file, err)
+		} else if got != want {
+			t.Errorf("DirResolver(%q) = %q, want %q", file, got, want)
+		}
+	}
+}
+
+// countingSource wraps a disabled cache with an open-counting hook: the
+// handle-pooling regression test for per-AFC file churn.
+func countingSource(t *testing.T, opens *atomic.Int64) *cache.Cache {
+	t.Helper()
+	return cache.New(cache.Config{
+		Disabled: true,
+		OpenFile: func(path string) (cache.File, error) {
+			opens.Add(1)
+			return os.Open(path)
+		},
+	})
+}
+
+// TestHandleReuseAcrossAFCs: with the block cache disabled, a run over
+// many AFCs of the same files must open each file once, not once per
+// chunk (the pre-cache implementation's churn).
+func TestHandleReuseAcrossAFCs(t *testing.T) {
+	s := spec()
+	p, root := setupIpars(t, s, "CLUSTER")
+	afcs, err := p.Generate(query.Ranges{}, p.Schema.Names(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(afcs) < 4 {
+		t.Fatalf("need several AFCs, got %d", len(afcs))
+	}
+	distinct := map[string]bool{}
+	for _, a := range afcs {
+		for _, seg := range a.Segments {
+			distinct[seg.Node+"/"+seg.File] = true
+		}
+	}
+	var opens atomic.Int64
+	src := countingSource(t, &opens)
+	defer src.Close()
+	var rows int64
+	_, err = Run(afcs, nodeResolver(root), Options{Cols: p.Schema.Attrs(), Source: src},
+		func(table.Row) error { rows++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows == 0 {
+		t.Fatal("no rows; test is vacuous")
+	}
+	if got := opens.Load(); got != int64(len(distinct)) {
+		t.Errorf("opened files %d times for %d distinct files across %d AFCs",
+			got, len(distinct), len(afcs))
+	}
+}
+
+// TestCachedRunMatchesUncached runs the same query through the block
+// cache (cold, then warm) and without it; rows must be identical and
+// the warm pass must read nothing from the filesystem.
+func TestCachedRunMatchesUncached(t *testing.T) {
+	s := spec()
+	p, root := setupIpars(t, s, "CLUSTER")
+	sql := "SELECT * FROM IparsData WHERE TIME >= 2 AND TIME <= 5"
+	plain, _ := runQuery(t, p, root, sql, false)
+
+	q := sqlparser.MustParse(sql)
+	needed := p.Schema.Names()
+	afcs, err := p.Generate(query.ExtractRanges(q.Where), needed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := query.CompilePredicate(q.Where, func(name string) (int, bool) {
+		i := p.Schema.Index(name)
+		return i, i >= 0
+	}, filter.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cache.New(cache.Config{BlockBytes: 4096, Readahead: 2})
+	defer c.Close()
+	opt := Options{Cols: p.Schema.Attrs(), Pred: pred, Source: c}
+	collect := func() ([][]float64, Stats) {
+		var rows [][]float64
+		stats, err := Run(afcs, nodeResolver(root), opt, func(r table.Row) error {
+			out := make([]float64, len(r))
+			for i := range r {
+				out[i] = r[i].AsFloat()
+			}
+			rows = append(rows, out)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows, stats
+	}
+	cold, coldStats := collect()
+	warm, warmStats := collect()
+	assertSameRows(t, "cold-vs-plain", cold, plain)
+	assertSameRows(t, "warm-vs-plain", warm, plain)
+	if coldStats.CacheMisses == 0 || coldStats.FSBytesRead == 0 {
+		t.Errorf("cold pass did not read: %+v", coldStats)
+	}
+	if warmStats.FSBytesRead != 0 {
+		t.Errorf("warm pass read %d bytes from the filesystem, want 0", warmStats.FSBytesRead)
+	}
+	if warmStats.CacheMisses != 0 || warmStats.CacheHits == 0 {
+		t.Errorf("warm pass not served from cache: %+v", warmStats)
+	}
+	// Parallel through the same shared cache agrees too.
+	opt.Workers = 4
+	var rows int64
+	pstats, err := RunParallel(afcs, nodeResolver(root), opt, func(table.Row) error { rows++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != int64(len(plain)) {
+		t.Errorf("parallel cached rows = %d, want %d", rows, len(plain))
+	}
+	if pstats.FSBytesRead != 0 {
+		t.Errorf("parallel warm pass read %d fs bytes", pstats.FSBytesRead)
 	}
 }

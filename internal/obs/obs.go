@@ -59,6 +59,17 @@ type QueryStats struct {
 	// RowsFiltered is the rows scanned but rejected by the predicate.
 	RowsFiltered int64
 
+	// CacheHits counts block-cache hits during extraction; CacheMisses
+	// counts the blocks loaded from the filesystem on demand.
+	CacheHits   int64
+	CacheMisses int64
+	// FSBytesRead is the bytes physically read from data files; on a
+	// warm cache it drops toward zero while BytesRead (the analytic
+	// payload size) stays constant.
+	FSBytesRead int64
+	// CacheBytesServed is the bytes copied out of cached blocks.
+	CacheBytesServed int64
+
 	// PlanTime is the wall time of StagePlan; likewise below.
 	PlanTime    time.Duration
 	IndexTime   time.Duration
@@ -92,6 +103,10 @@ func (s *QueryStats) Add(o QueryStats) {
 	s.RowsScanned += o.RowsScanned
 	s.RowsEmitted += o.RowsEmitted
 	s.RowsFiltered += o.RowsFiltered
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.FSBytesRead += o.FSBytesRead
+	s.CacheBytesServed += o.CacheBytesServed
 	s.PlanTime += o.PlanTime
 	s.IndexTime += o.IndexTime
 	s.ExtractTime += o.ExtractTime
@@ -106,10 +121,28 @@ func (s *QueryStats) Counters() string {
 		s.ChunksPlanned, s.ChunksRead, s.BytesRead, s.RowsScanned, s.RowsEmitted, s.RowsFiltered)
 }
 
-// String renders counters plus per-stage times on one line each.
+// CacheBytesSaved reports the bytes the block cache kept off the
+// filesystem: bytes served from cached blocks minus bytes physically
+// read, clamped at zero (a cold scan can read more than it serves due
+// to block alignment).
+func (s *QueryStats) CacheBytesSaved() int64 {
+	saved := s.CacheBytesServed - s.FSBytesRead
+	if saved < 0 {
+		return 0
+	}
+	return saved
+}
+
+// String renders counters plus per-stage times on one line each. When
+// the block cache saw any traffic a cache summary line is appended;
+// Counters stays byte-stable for golden tests either way.
 func (s *QueryStats) String() string {
 	var b strings.Builder
 	b.WriteString(s.Counters())
+	if s.CacheHits+s.CacheMisses > 0 {
+		fmt.Fprintf(&b, "\ncache: %d hits / %d misses, %d fs bytes, %d bytes saved",
+			s.CacheHits, s.CacheMisses, s.FSBytesRead, s.CacheBytesSaved())
+	}
 	for _, st := range Stages {
 		fmt.Fprintf(&b, "\n%-7s %s", st+":", s.StageTime(st).Round(time.Microsecond))
 	}
@@ -125,6 +158,26 @@ type Tracer interface {
 	// StageEnd marks its completion after elapsed d; err is the stage's
 	// terminal error, nil on success.
 	StageEnd(query string, stage Stage, d time.Duration, err error)
+}
+
+// CacheReporter is an optional Tracer extension: tracers implementing
+// it additionally receive the block-cache outcome of each execution
+// (hits, misses, bytes kept off the filesystem). The engine only calls
+// it for executions that touched the cache.
+type CacheReporter interface {
+	CacheReport(query string, hits, misses, bytesSaved int64)
+}
+
+// ReportCache forwards an execution's cache outcome to t if it
+// implements CacheReporter; no-op otherwise or when the cache saw no
+// traffic.
+func ReportCache(t Tracer, query string, hits, misses, bytesSaved int64) {
+	if hits+misses == 0 {
+		return
+	}
+	if cr, ok := t.(CacheReporter); ok {
+		cr.CacheReport(query, hits, misses, bytesSaved)
+	}
 }
 
 // NopTracer discards all events.
@@ -164,6 +217,19 @@ func (t *LogTracer) StageEnd(query string, stage Stage, d time.Duration, err err
 	logf("obs: %s %s took %s", stage, truncateQuery(query), d.Round(time.Microsecond))
 }
 
+// CacheReport implements CacheReporter; cache outcomes log only when
+// Slow is zero (full logging), mirroring the per-stage suppression.
+func (t *LogTracer) CacheReport(query string, hits, misses, bytesSaved int64) {
+	if t.Slow > 0 {
+		return
+	}
+	logf := t.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	logf("obs: cache %s: %d hits / %d misses, %d bytes saved", truncateQuery(query), hits, misses, bytesSaved)
+}
+
 // maxLoggedQuery bounds the SQL text echoed into logs.
 const maxLoggedQuery = 120
 
@@ -188,6 +254,16 @@ func (m MultiTracer) StageStart(query string, stage Stage) {
 func (m MultiTracer) StageEnd(query string, stage Stage, d time.Duration, err error) {
 	for _, t := range m {
 		t.StageEnd(query, stage, d, err)
+	}
+}
+
+// CacheReport implements CacheReporter, forwarding to every member
+// tracer that implements it.
+func (m MultiTracer) CacheReport(query string, hits, misses, bytesSaved int64) {
+	for _, t := range m {
+		if cr, ok := t.(CacheReporter); ok {
+			cr.CacheReport(query, hits, misses, bytesSaved)
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package obs
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -125,4 +126,65 @@ func (r recorder) StageStart(q string, s Stage) {
 
 func (r recorder) StageEnd(q string, s Stage, d time.Duration, err error) {
 	r.on(ev{stage: s, end: true, err: err})
+}
+
+func TestCacheCounters(t *testing.T) {
+	s := QueryStats{CacheHits: 8, CacheMisses: 2, FSBytesRead: 100, CacheBytesServed: 900}
+	b := s
+	s.Add(b)
+	if s.CacheHits != 16 || s.CacheMisses != 4 || s.FSBytesRead != 200 || s.CacheBytesServed != 1800 {
+		t.Errorf("Add cache counters: %+v", s)
+	}
+	if got := s.CacheBytesSaved(); got != 1600 {
+		t.Errorf("CacheBytesSaved = %d", got)
+	}
+	neg := QueryStats{FSBytesRead: 500, CacheBytesServed: 100}
+	if got := neg.CacheBytesSaved(); got != 0 {
+		t.Errorf("CacheBytesSaved clamps at zero, got %d", got)
+	}
+	// Counters stays byte-stable (golden form) even with cache traffic;
+	// String gains the cache line only when the cache was touched.
+	if strings.Contains(s.Counters(), "cache") {
+		t.Errorf("Counters leaked cache fields: %q", s.Counters())
+	}
+	if !strings.Contains(s.String(), "cache: 16 hits / 4 misses") {
+		t.Errorf("String missing cache line: %q", s.String())
+	}
+	var cold QueryStats
+	if strings.Contains(cold.String(), "cache") {
+		t.Errorf("untouched cache rendered: %q", cold.String())
+	}
+}
+
+func TestCacheReporter(t *testing.T) {
+	var lines []string
+	tr := &LogTracer{Logf: func(f string, a ...any) {
+		lines = append(lines, fmt.Sprintf(f, a...))
+	}}
+	ReportCache(tr, "SELECT 1", 5, 1, 4096)
+	if len(lines) != 1 || !strings.Contains(lines[0], "5 hits / 1 misses") {
+		t.Fatalf("CacheReport lines: %v", lines)
+	}
+	// Slow>0 suppresses cache reports like fast stages.
+	lines = nil
+	tr.Slow = time.Second
+	ReportCache(tr, "SELECT 1", 5, 1, 4096)
+	if len(lines) != 0 {
+		t.Fatalf("suppressed tracer logged: %v", lines)
+	}
+	// Zero traffic never reports; non-implementors are ignored.
+	tr.Slow = 0
+	ReportCache(tr, "SELECT 1", 0, 0, 0)
+	if len(lines) != 0 {
+		t.Fatalf("zero-traffic report logged: %v", lines)
+	}
+	ReportCache(NopTracer{}, "SELECT 1", 1, 1, 1)
+
+	// MultiTracer forwards to implementing members only.
+	lines = nil
+	mt := MultiTracer{NopTracer{}, tr}
+	ReportCache(mt, "SELECT 2", 3, 0, 64)
+	if len(lines) != 1 {
+		t.Fatalf("MultiTracer forwarded %d reports, want 1", len(lines))
+	}
 }
