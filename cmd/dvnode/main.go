@@ -30,6 +30,8 @@ func main() {
 	cacheMB := flag.Int("cache-mb", 64, "block cache budget in MiB (0 disables block caching; handles stay pooled)")
 	cacheBlock := flag.Int("cache-block", 256<<10, "block cache block size in bytes")
 	readahead := flag.Int("readahead", 0, "blocks to prefetch ahead of sequential scans (0 = off)")
+	planCache := flag.Bool("plan-cache", true, "memoize query plans by semantic fingerprint (range-equal queries share one plan)")
+	planCacheEntries := flag.Int("plan-cache-entries", core.DefaultPlanCacheEntries, "plan cache capacity in entries")
 	flag.Parse()
 
 	if *desc == "" || *nodeName == "" {
@@ -56,6 +58,10 @@ func main() {
 		Readahead:  *readahead,
 		Disabled:   *cacheMB == 0,
 	})
+	svc.SetPlanCacheConfig(core.PlanCacheConfig{
+		MaxEntries: *planCacheEntries,
+		Disabled:   !*planCache,
+	})
 	node, err := cluster.StartNode(*nodeName, svc, *addr)
 	if err != nil {
 		fatal(err)
@@ -80,6 +86,11 @@ func main() {
 	if cs.Hits+cs.Misses > 0 {
 		fmt.Printf("dvnode: cache %d hits / %d misses, %d evictions, %.1f MB read, %.1f MB saved\n",
 			cs.Hits, cs.Misses, cs.Evictions, float64(cs.BytesRead)/1e6, float64(cs.BytesSaved())/1e6)
+	}
+	ps := svc.PlanCacheStats()
+	if ps.Hits+ps.Misses > 0 {
+		fmt.Printf("dvnode: plans %d hits / %d misses, %d evictions, %d entries\n",
+			ps.Hits, ps.Misses, ps.Evictions, ps.Entries)
 	}
 	svc.Close()
 }

@@ -42,6 +42,9 @@ type config struct {
 	cacheBlock int
 	readahead  int
 	noCache    bool
+
+	planCache        bool
+	planCacheEntries int
 }
 
 // cacheConfig translates the cache flags into a cache.Config.
@@ -51,6 +54,14 @@ func (c config) cacheConfig() cache.Config {
 		BlockBytes: c.cacheBlock,
 		Readahead:  c.readahead,
 		Disabled:   c.cacheMB == 0,
+	}
+}
+
+// planCacheConfig translates the plan-cache flags.
+func (c config) planCacheConfig() core.PlanCacheConfig {
+	return core.PlanCacheConfig{
+		MaxEntries: c.planCacheEntries,
+		Disabled:   !c.planCache,
 	}
 }
 
@@ -70,6 +81,8 @@ func main() {
 	flag.IntVar(&cfg.cacheBlock, "cache-block", 256<<10, "block cache block size in bytes")
 	flag.IntVar(&cfg.readahead, "readahead", 0, "blocks to prefetch ahead of sequential scans (0 = off)")
 	flag.BoolVar(&cfg.noCache, "no-cache", false, "bypass the block cache for this query")
+	flag.BoolVar(&cfg.planCache, "plan-cache", true, "memoize query plans by semantic fingerprint (range-equal queries share one plan)")
+	flag.IntVar(&cfg.planCacheEntries, "plan-cache-entries", core.DefaultPlanCacheEntries, "plan cache capacity in entries")
 	interactive := flag.Bool("i", false, "interactive mode: read queries from stdin, one per line")
 	flag.Parse()
 
@@ -97,6 +110,7 @@ func main() {
 		fatal(err)
 	}
 	svc.SetCacheConfig(cfg.cacheConfig())
+	svc.SetPlanCacheConfig(cfg.planCacheConfig())
 	defer svc.Close()
 
 	if *interactive {
@@ -217,6 +231,7 @@ func runCluster(ctx context.Context, descPath, nodeTable, sql string, cfg config
 	if err != nil {
 		fatal(err)
 	}
+	coord.SetPlanCacheConfig(cfg.planCacheConfig())
 
 	ctx, cancel := queryCtx(ctx, cfg)
 	defer cancel()

@@ -1,0 +1,50 @@
+package afc
+
+import (
+	"sort"
+	"strconv"
+
+	"datavirt/internal/query"
+)
+
+// Fingerprint returns the semantic plan-cache key of a query against
+// the named virtual table: a canonical encoding of (table, needed
+// columns, per-attribute constraint sets). Generate is a pure function
+// of exactly these inputs (plus the immutable compiled plan and the
+// chunk-index files), so two queries with equal fingerprints provably
+// need the same aligned file chunks — "y < 10 AND x > 2" and
+// "x > 2 AND y < 10" share one cached AFC list, and so does any textual
+// variant implying the same normalized ranges. The residual predicate
+// is NOT part of the key: it is compiled per query and only filters
+// rows after extraction, so plans may be shared across queries whose
+// predicates differ but whose range sets agree.
+//
+// The needed column list is sorted and de-duplicated, range sets use
+// query's canonical encoding (full sets dropped, intervals normalized,
+// floats bit-exact), and every component is length-delimited, making
+// the key injective: fingerprints collide iff the inputs are
+// semantically equal.
+func Fingerprint(table string, ranges query.Ranges, needed []string) string {
+	cols := append([]string(nil), needed...)
+	sort.Strings(cols)
+	uniq := cols[:0]
+	for i, c := range cols {
+		if i == 0 || c != cols[i-1] {
+			uniq = append(uniq, c)
+		}
+	}
+	b := make([]byte, 0, 64)
+	b = strconv.AppendInt(b, int64(len(table)), 10)
+	b = append(b, ':')
+	b = append(b, table...)
+	b = append(b, '|')
+	for _, c := range uniq {
+		b = strconv.AppendInt(b, int64(len(c)), 10)
+		b = append(b, ':')
+		b = append(b, c...)
+		b = append(b, ',')
+	}
+	b = append(b, '|')
+	b = ranges.AppendCanonical(b)
+	return string(b)
+}

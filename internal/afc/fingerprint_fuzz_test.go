@@ -1,0 +1,133 @@
+package afc
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"datavirt/internal/query"
+	"datavirt/internal/sqlparser"
+)
+
+// semanticEqual is an independent oracle for plan identity: same table,
+// same de-duplicated needed-column set, and pointwise-equal constraint
+// sets per attribute. It deliberately avoids the canonical encoding —
+// it walks the normalized interval lists directly — so a bug in
+// AppendCanonical cannot hide from the fuzzer by breaking both sides
+// the same way.
+func semanticEqual(qa, qb *sqlparser.Query) bool {
+	if qa.From != qb.From {
+		return false
+	}
+	colsA := sortedUnique(qa.Columns)
+	colsB := sortedUnique(qb.Columns)
+	if len(colsA) != len(colsB) {
+		return false
+	}
+	for i := range colsA {
+		if colsA[i] != colsB[i] {
+			return false
+		}
+	}
+	ra := query.ExtractRanges(qa.Where)
+	rb := query.ExtractRanges(qb.Where)
+	attrs := map[string]bool{}
+	for n := range ra {
+		attrs[n] = true
+	}
+	for n := range rb {
+		attrs[n] = true
+	}
+	for n := range attrs {
+		// Ranges.Get defaults to the full set for absent attributes, so
+		// "absent" and "present but unconstrained" compare equal here.
+		if !setEqual(ra.Get(n), rb.Get(n)) {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedUnique(ss []string) []string {
+	out := append([]string(nil), ss...)
+	sort.Strings(out)
+	j := 0
+	for i, s := range out {
+		if i == 0 || s != out[i-1] {
+			out[j] = s
+			j++
+		}
+	}
+	return out[:j]
+}
+
+func setEqual(a, b query.Set) bool {
+	ia, ib := a.Intervals(), b.Intervals()
+	if len(ia) != len(ib) {
+		return false
+	}
+	for i := range ia {
+		if !intervalEqual(ia[i], ib[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func intervalEqual(a, b query.Interval) bool {
+	return endpointBits(a.Lo) == endpointBits(b.Lo) &&
+		endpointBits(a.Hi) == endpointBits(b.Hi) &&
+		loOpen(a) == loOpen(b) && hiOpen(a) == hiOpen(b)
+}
+
+// endpointBits identifies -0 with +0 and is otherwise bit-exact.
+func endpointBits(v float64) uint64 {
+	if v == 0 {
+		v = 0
+	}
+	return math.Float64bits(v)
+}
+
+// ±Inf is never a set member, so an infinite endpoint is open whether
+// or not the flag says so.
+func loOpen(iv query.Interval) bool { return iv.LoOpen || math.IsInf(iv.Lo, -1) }
+func hiOpen(iv query.Interval) bool { return iv.HiOpen || math.IsInf(iv.Hi, 1) }
+
+// FuzzFingerprint asserts the plan-cache key property end to end:
+// fingerprints collide iff the normalized range sets, needed columns,
+// and table are semantically equal.
+func FuzzFingerprint(f *testing.F) {
+	seeds := [][2]string{
+		{"SELECT x, y FROM T WHERE y < 10 AND x > 2", "SELECT x, y FROM T WHERE x > 2 AND y < 10"},
+		{"SELECT x FROM T WHERE x BETWEEN 1 AND 2", "SELECT x FROM T WHERE x >= 1 AND x <= 2"},
+		{"SELECT x FROM T WHERE x IN (1,2)", "SELECT x FROM T WHERE x = 2 OR x = 1"},
+		{"SELECT x FROM T WHERE x > 2", "SELECT x FROM T WHERE x >= 2"},
+		{"SELECT x FROM T WHERE NOT x < 3", "SELECT x FROM T WHERE x >= 3"},
+		{"SELECT x FROM T WHERE x > 2 AND (y < 5 OR y >= 5)", "SELECT x FROM T WHERE x > 2"},
+		{"SELECT x FROM T WHERE x = 0", "SELECT x FROM T WHERE x = -0.0"},
+		{"SELECT a, b FROM T WHERE a < 1 AND b IN (1,2,3) OR NOT c >= 2.5e-3", "SELECT b, a FROM T WHERE a < 1"},
+		{"SELECT x FROM T WHERE x < 1 AND x > 2", "SELECT x FROM T WHERE x = 1 AND x = 2"},
+		{"SELECT x, x FROM T", "SELECT x FROM T"},
+		{"SELECT * FROM T WHERE x > 2", "SELECT * FROM U WHERE x > 2"},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1])
+	}
+	f.Fuzz(func(t *testing.T, srcA, srcB string) {
+		qa, err := sqlparser.Parse(srcA)
+		if err != nil {
+			return
+		}
+		qb, err := sqlparser.Parse(srcB)
+		if err != nil {
+			return
+		}
+		fa := Fingerprint(qa.From, query.ExtractRanges(qa.Where), qa.Columns)
+		fb := Fingerprint(qb.From, query.ExtractRanges(qb.Where), qb.Columns)
+		want := semanticEqual(qa, qb)
+		if got := fa == fb; got != want {
+			t.Fatalf("fingerprint collision = %v, semantic equality = %v\nA: %s\n   %q\nB: %s\n   %q",
+				got, want, srcA, fa, srcB, fb)
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package afc
+
+import (
+	"strings"
+	"testing"
+
+	"datavirt/internal/query"
+	"datavirt/internal/sqlparser"
+)
+
+func fpFromSQL(t *testing.T, sql string) string {
+	t.Helper()
+	q, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	ranges := query.ExtractRanges(q.Where)
+	return Fingerprint(q.From, ranges, q.Columns)
+}
+
+func TestFingerprintSemanticEquality(t *testing.T) {
+	equal := [][2]string{
+		{
+			"SELECT x, y FROM T WHERE y < 10 AND x > 2",
+			"SELECT x, y FROM T WHERE x > 2 AND y < 10",
+		},
+		{
+			"SELECT x, y FROM T WHERE x BETWEEN 1 AND 2",
+			"SELECT y, x FROM T WHERE x >= 1 AND x <= 2",
+		},
+		{
+			"SELECT x FROM T WHERE x IN (1, 2, 3)",
+			"SELECT x FROM T WHERE x = 3 OR x = 1 OR x = 2",
+		},
+		{
+			// Duplicate needed columns collapse.
+			"SELECT x, x, y FROM T WHERE x > 0",
+			"SELECT y, x FROM T WHERE x > 0",
+		},
+		{
+			// Residual-only predicates share a plan: the OR across two
+			// attributes constrains neither, so the range sets agree.
+			"SELECT x, y FROM T WHERE x = 1 OR y = 2",
+			"SELECT x, y FROM T",
+		},
+	}
+	for _, pair := range equal {
+		a, b := fpFromSQL(t, pair[0]), fpFromSQL(t, pair[1])
+		if a != b {
+			t.Errorf("Fingerprint(%q) = %q\n!= Fingerprint(%q) = %q", pair[0], a, pair[1], b)
+		}
+	}
+
+	distinct := [][2]string{
+		{
+			"SELECT x FROM T WHERE x > 2",
+			"SELECT x FROM T WHERE x >= 2",
+		},
+		{
+			"SELECT x FROM T WHERE x > 2",
+			"SELECT y FROM T WHERE x > 2", // needed columns differ
+		},
+		{
+			"SELECT x FROM T WHERE x > 2",
+			"SELECT x FROM U WHERE x > 2", // table differs
+		},
+		{
+			"SELECT x FROM T WHERE x > 2 AND y < 1",
+			"SELECT x FROM T WHERE x > 2",
+		},
+	}
+	for _, pair := range distinct {
+		a, b := fpFromSQL(t, pair[0]), fpFromSQL(t, pair[1])
+		if a == b {
+			t.Errorf("Fingerprint(%q) == Fingerprint(%q) = %q; want distinct", pair[0], pair[1], a)
+		}
+	}
+}
+
+func TestFingerprintInjectiveOnBoundaries(t *testing.T) {
+	// Length prefixes must keep table/column boundaries unambiguous.
+	r := query.Ranges{}
+	if a, b := Fingerprint("T", r, []string{"ab"}), Fingerprint("T", r, []string{"a", "b"}); a == b {
+		t.Errorf("column boundary ambiguous: %q", a)
+	}
+	if a, b := Fingerprint("Ta", r, []string{"b"}), Fingerprint("T", r, []string{"ab"}); a == b {
+		t.Errorf("table/column boundary ambiguous: %q", a)
+	}
+	if !strings.HasPrefix(Fingerprint("T", r, nil), "1:T|") {
+		t.Errorf("unexpected prefix: %q", Fingerprint("T", r, nil))
+	}
+}
+
+func TestFingerprintDoesNotMutateNeeded(t *testing.T) {
+	needed := []string{"z", "a", "z"}
+	Fingerprint("T", query.Ranges{}, needed)
+	if needed[0] != "z" || needed[1] != "a" || needed[2] != "z" {
+		t.Errorf("needed slice mutated: %v", needed)
+	}
+}

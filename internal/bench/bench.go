@@ -140,6 +140,7 @@ func Experiments() []Experiment {
 		{"ablation-chunk", "Ablation: chunked vs monolithic Titan storage (ours)", RunAblationChunks},
 		{"ablation-coalesce", "Ablation: chunk coalescing on vs off (ours)", RunAblationCoalesce},
 		{"cache", "Block cache cold vs warm on repeated-range queries (ours)", RunCache},
+		{"plancache", "Semantic plan cache cold vs warm prepare on a repeated query mix (ours)", RunPlanCache},
 	}
 }
 

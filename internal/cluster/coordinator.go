@@ -77,6 +77,17 @@ func NewCoordinator(d *metadata.Descriptor, addrs map[string]string) (*Coordinat
 // Schema returns the virtual table schema.
 func (c *Coordinator) Schema() interface{ Names() []string } { return c.svc.Schema() }
 
+// SetPlanCacheConfig replaces the coordinator's own semantic plan
+// cache (each node server's cache is configured on its service).
+func (c *Coordinator) SetPlanCacheConfig(cfg core.PlanCacheConfig) {
+	c.svc.SetPlanCacheConfig(cfg)
+}
+
+// PlanCacheStats snapshots the coordinator-side plan cache counters.
+func (c *Coordinator) PlanCacheStats() core.PlanCacheStats {
+	return c.svc.PlanCacheStats()
+}
+
 // Result carries the merged outcome of a distributed query.
 type Result struct {
 	// Stats aggregates extraction statistics over all nodes.
@@ -221,6 +232,7 @@ func (c *Coordinator) run(ctx context.Context, sql string, spec storm.PartitionS
 		}
 	}
 	var slowestExtract int64
+	var pcHits, pcMisses int64
 	for range nodes {
 		d := <-donec
 		if d.err != nil && firstErr == nil {
@@ -232,6 +244,8 @@ func (c *Coordinator) run(ctx context.Context, sql string, spec storm.PartitionS
 		if d.trailer.ExtractNS > slowestExtract {
 			slowestExtract = d.trailer.ExtractNS
 		}
+		pcHits += d.trailer.PlanCacheHits
+		pcMisses += d.trailer.PlanCacheMisses
 	}
 	if firstErr != nil {
 		if ctx.Err() != nil {
@@ -240,6 +254,7 @@ func (c *Coordinator) run(ctx context.Context, sql string, spec storm.PartitionS
 		return nil, firstErr
 	}
 	plan, index := prep.PrepareStats()
+	ownHits, ownMisses := prep.PlanCacheCounters()
 	res.QueryStats = obs.QueryStats{
 		ChunksPlanned: len(prep.AFCs),
 		ChunksRead:    res.Stats.AFCs,
@@ -252,6 +267,10 @@ func (c *Coordinator) run(ctx context.Context, sql string, spec storm.PartitionS
 		CacheMisses:      res.Stats.CacheMisses,
 		FSBytesRead:      res.Stats.FSBytesRead,
 		CacheBytesServed: res.Stats.CacheBytesServed,
+
+		// The coordinator's own prepare plus every node leg's.
+		PlanCacheHits:   ownHits + pcHits,
+		PlanCacheMisses: ownMisses + pcMisses,
 
 		PlanTime:    plan,
 		IndexTime:   index,

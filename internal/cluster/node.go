@@ -3,7 +3,6 @@ package cluster
 import (
 	"bufio"
 	"context"
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -35,14 +34,6 @@ type Node struct {
 	conns  map[net.Conn]bool
 	wg     sync.WaitGroup
 
-	// prepared caches query plans by SQL text: repeated remote queries
-	// skip parsing, range extraction and chunk generation (the paper's
-	// "no code generation or expensive runtime processing is required
-	// when a new query is submitted" applies a fortiori to repeats).
-	prepMu   sync.Mutex
-	prepared map[string]*core.Prepared
-	prepFIFO []string
-
 	// Logf receives diagnostics; defaults to log.Printf. Set before
 	// Serve traffic arrives.
 	Logf func(format string, args ...any)
@@ -54,41 +45,6 @@ type Node struct {
 	Tracer obs.Tracer
 }
 
-// prepCacheCap bounds the per-node prepared-plan cache.
-const prepCacheCap = 64
-
-// prepare returns a cached plan or builds and caches one.
-func (n *Node) prepare(ctx context.Context, sql string) (*core.Prepared, error) {
-	n.prepMu.Lock()
-	if p, ok := n.prepared[sql]; ok {
-		n.prepMu.Unlock()
-		return p, nil
-	}
-	n.prepMu.Unlock()
-	p, err := n.svc.PrepareContext(ctx, sql)
-	if err != nil {
-		return nil, err
-	}
-	n.prepMu.Lock()
-	defer n.prepMu.Unlock()
-	if _, dup := n.prepared[sql]; !dup {
-		if len(n.prepFIFO) >= prepCacheCap {
-			delete(n.prepared, n.prepFIFO[0])
-			n.prepFIFO = n.prepFIFO[1:]
-		}
-		n.prepared[sql] = p
-		n.prepFIFO = append(n.prepFIFO, sql)
-	}
-	return p, nil
-}
-
-// PreparedCacheLen reports the number of cached plans (for tests).
-func (n *Node) PreparedCacheLen() int {
-	n.prepMu.Lock()
-	defer n.prepMu.Unlock()
-	return len(n.prepared)
-}
-
 // StartNode launches a node server for the given cluster node name on
 // addr (use "127.0.0.1:0" to pick a free port).
 func StartNode(name string, svc *core.Service, addr string) (*Node, error) {
@@ -98,14 +54,13 @@ func StartNode(name string, svc *core.Service, addr string) (*Node, error) {
 	}
 	baseCtx, cancel := context.WithCancel(context.Background())
 	n := &Node{
-		name:     name,
-		svc:      svc,
-		ln:       ln,
-		baseCtx:  baseCtx,
-		cancel:   cancel,
-		conns:    map[net.Conn]bool{},
-		prepared: map[string]*core.Prepared{},
-		Logf:     log.Printf,
+		name:    name,
+		svc:     svc,
+		ln:      ln,
+		baseCtx: baseCtx,
+		cancel:  cancel,
+		conns:   map[net.Conn]bool{},
+		Logf:    log.Printf,
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
@@ -215,7 +170,13 @@ func (n *Node) runQuery(bw *bufio.Writer, req *Request) error {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
-	prep, err := n.prepare(ctx, req.SQL)
+	// Repeated remote queries are served by the service's semantic plan
+	// cache: the AFC list is memoized by (table, ranges, needed columns)
+	// fingerprint rather than SQL text, so textually distinct but
+	// range-equal queries share one plan (the paper's "no code
+	// generation or expensive runtime processing is required when a new
+	// query is submitted" applies a fortiori to repeats).
+	prep, err := n.svc.PrepareContext(ctx, req.SQL)
 	if err != nil {
 		return err
 	}
@@ -243,18 +204,19 @@ func (n *Node) runQuery(bw *bufio.Writer, req *Request) error {
 		buf  []byte
 	}
 	batches := make([]batch, numDests)
+	// The batch buffer doubles as the frame body and the encoder reuses
+	// one header buffer for the connection, so flushing a full batch
+	// allocates nothing.
+	var enc rowsFrameEncoder
 	flush := func(d int) error {
 		b := &batches[d]
 		if b.rows == 0 {
 			return nil
 		}
-		payload := make([]byte, 8+len(b.buf))
-		binary.LittleEndian.PutUint32(payload[0:], uint32(d))
-		binary.LittleEndian.PutUint32(payload[4:], uint32(b.rows))
-		copy(payload[8:], b.buf)
+		err := enc.writeRowsFrame(bw, uint32(d), uint32(b.rows), b.buf)
 		b.rows = 0
 		b.buf = b.buf[:0]
-		return writeFrame(bw, frameRows, payload)
+		return err
 	}
 
 	var rows int64
@@ -292,5 +254,9 @@ func (n *Node) runQuery(bw *bufio.Writer, req *Request) error {
 			return err
 		}
 	}
-	return writeJSONFrame(bw, frameDone, Trailer{Stats: stats, Rows: rows, ExtractNS: extractNS})
+	pcHits, pcMisses := prep.PlanCacheCounters()
+	return writeJSONFrame(bw, frameDone, Trailer{
+		Stats: stats, Rows: rows, ExtractNS: extractNS,
+		PlanCacheHits: pcHits, PlanCacheMisses: pcMisses,
+	})
 }

@@ -69,6 +69,11 @@ type Trailer struct {
 	// ExtractNS is the node's extraction wall time in nanoseconds; the
 	// coordinator keeps the maximum across nodes (the straggler).
 	ExtractNS int64 `json:",omitempty"`
+	// PlanCacheHits/Misses report whether this leg's prepare hit the
+	// node's semantic plan cache; the coordinator sums them into the
+	// query's stats alongside its own prepare.
+	PlanCacheHits   int64 `json:",omitempty"`
+	PlanCacheMisses int64 `json:",omitempty"`
 }
 
 // writeFrame writes one frame.
@@ -83,6 +88,32 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 		return err
 	}
 	_, err := w.Write(payload)
+	return err
+}
+
+// rowsFrameEncoder writes 'R' frames — destID | rowCount | rows —
+// without assembling the payload in a temporary: the 13-byte header
+// (length prefix, type, destination, count) is encoded into the
+// reused per-connection buffer and the row body is written straight
+// from the caller's batch buffer, so steady-state row streaming
+// allocates nothing per frame (the old path copied every batch into a
+// fresh payload slice).
+type rowsFrameEncoder struct {
+	hdr [13]byte
+}
+
+func (e *rowsFrameEncoder) writeRowsFrame(w io.Writer, dest, count uint32, body []byte) error {
+	if 8+len(body) > maxFrame {
+		return fmt.Errorf("cluster: frame of %d bytes exceeds limit", 8+len(body))
+	}
+	binary.LittleEndian.PutUint32(e.hdr[0:4], uint32(8+len(body)))
+	e.hdr[4] = frameRows
+	binary.LittleEndian.PutUint32(e.hdr[5:9], dest)
+	binary.LittleEndian.PutUint32(e.hdr[9:13], count)
+	if _, err := w.Write(e.hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
 	return err
 }
 

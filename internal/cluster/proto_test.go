@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"encoding/binary"
+	"io"
 	"strings"
 	"testing"
 )
@@ -32,6 +33,75 @@ func TestFrameBufferReuse(t *testing.T) {
 	if err != nil || string(p2) != "bb" {
 		t.Fatalf("second frame: %q %v", p2, err)
 	}
+}
+
+func TestRowsFrameWireFormat(t *testing.T) {
+	// writeRowsFrame must emit exactly the bytes of writeFrame over an
+	// assembled destID|rowCount|body payload — the coordinator's reader
+	// cannot tell them apart.
+	body := []byte("0123456789abcdef0123456789abcdef")
+	var want bytes.Buffer
+	payload := make([]byte, 8+len(body))
+	binary.LittleEndian.PutUint32(payload[0:], 3)
+	binary.LittleEndian.PutUint32(payload[4:], 2)
+	copy(payload[8:], body)
+	if err := writeFrame(&want, frameRows, payload); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	var enc rowsFrameEncoder
+	if err := enc.writeRowsFrame(&got, 3, 2, body); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("wire bytes differ:\n got %x\nwant %x", got.Bytes(), want.Bytes())
+	}
+	if err := enc.writeRowsFrame(io.Discard, 0, 0, make([]byte, maxFrame)); err == nil {
+		t.Error("oversized rows frame accepted")
+	}
+}
+
+func TestRowsFrameNoAllocs(t *testing.T) {
+	body := make([]byte, 512*64)
+	enc := &rowsFrameEncoder{}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := enc.writeRowsFrame(io.Discard, 1, 512, body); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("writeRowsFrame allocates %.1f objects per frame, want 0", allocs)
+	}
+}
+
+// BenchmarkRowsFrame compares the zero-copy 'R' frame writer against
+// the old assemble-then-write path; run with -benchmem to see the
+// per-batch allocation drop (one payload-sized allocation per frame).
+func BenchmarkRowsFrame(b *testing.B) {
+	body := make([]byte, 512*64) // one full batch of 64-byte rows
+	b.Run("direct", func(b *testing.B) {
+		enc := &rowsFrameEncoder{}
+		b.ReportAllocs()
+		b.SetBytes(int64(len(body)))
+		for i := 0; i < b.N; i++ {
+			if err := enc.writeRowsFrame(io.Discard, 1, 512, body); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("assemble", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(body)))
+		for i := 0; i < b.N; i++ {
+			payload := make([]byte, 8+len(body))
+			binary.LittleEndian.PutUint32(payload[0:], 1)
+			binary.LittleEndian.PutUint32(payload[4:], 512)
+			copy(payload[8:], body)
+			if err := writeFrame(io.Discard, frameRows, payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func TestFrameLimits(t *testing.T) {

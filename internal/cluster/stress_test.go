@@ -39,8 +39,10 @@ func TestConcurrentQueries(t *testing.T) {
 	}
 }
 
-// TestPreparedPlanCache confirms repeated remote queries reuse the
-// node-side plan and that the cache stays bounded.
+// TestPreparedPlanCache confirms remote queries share the node's
+// semantic plan cache — two textually different but range-equal
+// queries produce one plan construction and one hit — and that the
+// cache stays bounded under distinct queries.
 func TestPreparedPlanCache(t *testing.T) {
 	spec := gen.IparsSpec{
 		Realizations: 1, TimeSteps: 4, GridPoints: 8, Partitions: 1,
@@ -68,23 +70,45 @@ func TestPreparedPlanCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < 5; i++ {
-		if _, _, err := coord.CollectQuery("SELECT TIME FROM IparsData WHERE TIME = 2"); err != nil {
-			t.Fatal(err)
-		}
+
+	// Two textually different queries with equal normalized ranges and
+	// needed columns: the second must hit the plan built by the first.
+	rowsA, resA, err := coord.CollectQuery("SELECT TIME FROM IparsData WHERE TIME >= 1 AND TIME <= 2")
+	if err != nil {
+		t.Fatal(err)
 	}
-	if got := node.PreparedCacheLen(); got != 1 {
-		t.Errorf("cache holds %d plans after 5 identical queries, want 1", got)
+	if resA.QueryStats.PlanCacheHits != 0 || resA.QueryStats.PlanCacheMisses != 2 {
+		t.Errorf("cold query plan cache = %d hits / %d misses, want 0/2 (coordinator + node)",
+			resA.QueryStats.PlanCacheHits, resA.QueryStats.PlanCacheMisses)
 	}
-	// Distinct queries beyond the cap evict FIFO-style without error.
-	for i := 0; i < prepCacheCap+10; i++ {
+	rowsB, resB, err := coord.CollectQuery("SELECT TIME FROM IparsData WHERE TIME BETWEEN 1 AND 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB.QueryStats.PlanCacheHits != 2 || resB.QueryStats.PlanCacheMisses != 0 {
+		t.Errorf("range-equal query plan cache = %d hits / %d misses, want 2/0 (coordinator + node)",
+			resB.QueryStats.PlanCacheHits, resB.QueryStats.PlanCacheMisses)
+	}
+	if len(rowsA) == 0 || len(rowsA) != len(rowsB) {
+		t.Errorf("cached plan returned %d rows, fresh plan %d", len(rowsB), len(rowsA))
+	}
+	// Node-side proof of a single plan construction: one miss built the
+	// entry, the range-equal repeat hit it.
+	st := svc.PlanCacheStats()
+	if st.Misses != 1 || st.Hits != 1 || st.Entries != 1 {
+		t.Errorf("node plan cache stats = %+v, want 1 miss / 1 hit / 1 entry", st)
+	}
+
+	// Distinct queries beyond a tiny cap evict instead of growing.
+	svc.SetPlanCacheConfig(core.PlanCacheConfig{MaxEntries: 2, Shards: 1})
+	for i := 0; i < 10; i++ {
 		sql := "SELECT TIME FROM IparsData WHERE TIME = " + string(rune('0'+i%4))
 		if _, _, err := coord.CollectQuery(sql); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if got := node.PreparedCacheLen(); got > prepCacheCap {
-		t.Errorf("cache grew to %d, cap %d", got, prepCacheCap)
+	if st := svc.PlanCacheStats(); st.Entries > 2 {
+		t.Errorf("plan cache grew to %d entries, cap 2", st.Entries)
 	}
 }
 

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"datavirt/internal/afc"
+)
+
+// Defaults applied by newPlanCache for zero PlanCacheConfig fields.
+const (
+	DefaultPlanCacheEntries = 256
+	DefaultPlanCacheBytes   = 32 << 20
+	defaultPlanShards       = 8
+)
+
+// PlanCacheConfig sizes the service's semantic plan cache. The zero
+// value gives a 256-entry, 32 MiB cache over 8 shards.
+type PlanCacheConfig struct {
+	// MaxEntries bounds the number of cached plans (approximate: the
+	// budget is split evenly across shards and each shard keeps at
+	// least one entry).
+	MaxEntries int
+	// MaxBytes bounds the estimated resident bytes of cached AFC lists
+	// (approximate, like MaxEntries).
+	MaxBytes int64
+	// Shards is the number of lock domains (default 8).
+	Shards int
+	// Disabled turns plan caching off: every prepare rebuilds its AFC
+	// list and no plan-cache counters are recorded.
+	Disabled bool
+}
+
+// PlanCacheStats snapshots the plan cache's counters.
+type PlanCacheStats struct {
+	// Hits and Misses count prepares served from / built into the
+	// cache. A prepare that waits on another query's in-flight build
+	// counts as a hit: it skipped the index stage.
+	Hits   int64
+	Misses int64
+	// Evictions counts plans dropped under entry or byte pressure.
+	Evictions int64
+	// Entries and Bytes are the current residency (Bytes estimated).
+	Entries int64
+	Bytes   int64
+}
+
+// planEntry is one resident plan: the aligned-file-chunk list produced
+// by the index stage for one semantic fingerprint. afcs is shared by
+// every query that hits the entry and must be treated as immutable
+// (RunContext only ever derives new slices via FilterByNode/Coalesce).
+type planEntry struct {
+	key   string
+	afcs  []afc.AFC
+	bytes int64
+	gen   uint64 // descriptor generation at install time
+	elem  *list.Element
+}
+
+// planFlight is one in-progress plan construction; concurrent prepares
+// of the same fingerprint wait on done instead of regenerating.
+type planFlight struct {
+	done chan struct{}
+	afcs []afc.AFC
+	err  error
+}
+
+// planShard is one lock domain of the plan cache.
+type planShard struct {
+	mu         sync.Mutex
+	entries    map[string]*planEntry
+	flights    map[string]*planFlight
+	lru        *list.List // front = most recent
+	bytes      int64
+	maxBytes   int64
+	maxEntries int
+}
+
+// planCache memoizes AFC lists across queries, keyed by the semantic
+// fingerprint of (table, needed columns, normalized WHERE ranges). It
+// follows internal/cache's sharded-LRU + single-flight design; entries
+// carry the generation counter current at install time and are dropped
+// lazily when it no longer matches (InvalidatePlans bumps it, so
+// descriptor-level changes can never serve stale chunks even to
+// prepares racing an in-flight build).
+type planCache struct {
+	cfg    PlanCacheConfig
+	shards []planShard
+	gen    atomic.Uint64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+func newPlanCache(cfg PlanCacheConfig) *planCache {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = DefaultPlanCacheEntries
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = DefaultPlanCacheBytes
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = defaultPlanShards
+	}
+	c := &planCache{cfg: cfg, shards: make([]planShard, cfg.Shards)}
+	perBytes := cfg.MaxBytes / int64(cfg.Shards)
+	if perBytes < 1 {
+		perBytes = 1
+	}
+	perEntries := cfg.MaxEntries / cfg.Shards
+	if perEntries < 1 {
+		perEntries = 1
+	}
+	for i := range c.shards {
+		c.shards[i].entries = map[string]*planEntry{}
+		c.shards[i].flights = map[string]*planFlight{}
+		c.shards[i].lru = list.New()
+		c.shards[i].maxBytes = perBytes
+		c.shards[i].maxEntries = perEntries
+	}
+	return c
+}
+
+func (c *planCache) shard(key string) *planShard {
+	h := uint64(14695981039346656037) // FNV-1a
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return &c.shards[h%uint64(len(c.shards))]
+}
+
+// getOrBuild returns the AFC list for key, building it at most once
+// across concurrent prepares. hit reports whether the index stage was
+// skipped (resident entry or another prepare's completed build).
+func (c *planCache) getOrBuild(key string, build func() ([]afc.AFC, error)) (afcs []afc.AFC, hit bool, err error) {
+	if c.cfg.Disabled {
+		afcs, err = build()
+		return afcs, false, err
+	}
+	s := c.shard(key)
+	gen := c.gen.Load()
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		if e.gen == gen {
+			s.lru.MoveToFront(e.elem)
+			s.mu.Unlock()
+			c.hits.Add(1)
+			return e.afcs, true, nil
+		}
+		// Stale generation: drop and rebuild.
+		s.removeLocked(e)
+	}
+	if f, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			c.misses.Add(1)
+			return nil, false, f.err
+		}
+		c.hits.Add(1)
+		return f.afcs, true, nil
+	}
+	f := &planFlight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.mu.Unlock()
+
+	f.afcs, f.err = build()
+	c.misses.Add(1)
+
+	s.mu.Lock()
+	delete(s.flights, key)
+	if f.err == nil {
+		e := &planEntry{key: key, afcs: f.afcs, bytes: planBytes(key, f.afcs), gen: gen}
+		if old, ok := s.entries[key]; ok {
+			s.removeLocked(old)
+		}
+		e.elem = s.lru.PushFront(e)
+		s.entries[key] = e
+		s.bytes += e.bytes
+		for (s.bytes > s.maxBytes || len(s.entries) > s.maxEntries) && s.lru.Len() > 1 {
+			victim := s.lru.Back().Value.(*planEntry)
+			s.removeLocked(victim)
+			c.evictions.Add(1)
+		}
+	}
+	s.mu.Unlock()
+	close(f.done)
+	return f.afcs, false, f.err
+}
+
+// removeLocked unlinks e from the shard; callers hold s.mu.
+func (s *planShard) removeLocked(e *planEntry) {
+	delete(s.entries, e.key)
+	s.lru.Remove(e.elem)
+	s.bytes -= e.bytes
+}
+
+// invalidate bumps the generation counter (so racing builds install
+// already-stale entries) and drops every resident plan.
+func (c *planCache) invalidate() {
+	c.gen.Add(1)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.entries = map[string]*planEntry{}
+		s.lru.Init()
+		s.bytes = 0
+		s.mu.Unlock()
+	}
+}
+
+func (c *planCache) stats() PlanCacheStats {
+	st := PlanCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += int64(len(s.entries))
+		st.Bytes += s.bytes
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// planBytes estimates the resident size of one cached plan for the
+// byte budget: struct headers rounded up generously plus every string
+// the AFC list pins.
+func planBytes(key string, afcs []afc.AFC) int64 {
+	n := int64(len(key)) + 96
+	for i := range afcs {
+		a := &afcs[i]
+		n += 64 + int64(len(a.Node))
+		for j := range a.Segments {
+			seg := &a.Segments[j]
+			n += 96 + int64(len(seg.Node)+len(seg.File))
+			for _, at := range seg.Attrs {
+				n += 40 + int64(len(at.Name))
+			}
+		}
+		for _, im := range a.Implicits {
+			n += 48 + int64(len(im.Name))
+		}
+		for _, rd := range a.RowDims {
+			n += 64 + int64(len(rd.Name))
+		}
+	}
+	return n
+}

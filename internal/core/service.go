@@ -47,6 +47,9 @@ type Service struct {
 
 	cmu        sync.Mutex
 	blockCache *cache.Cache
+
+	pmu   sync.Mutex
+	plans *planCache
 }
 
 // Open loads the descriptor at descPath and compiles a service whose
@@ -85,6 +88,9 @@ func Compile(d *metadata.Descriptor, resolver extractor.Resolver) (*Service, err
 		// boundary). Defaults: 64 MiB, 256 KiB blocks, no readahead — so
 		// compiling a service starts no goroutines.
 		blockCache: cache.New(cache.Config{}),
+		// The semantic plan cache memoizes AFC lists across queries,
+		// keyed by fingerprint rather than SQL text (see afc.Fingerprint).
+		plans: newPlanCache(PlanCacheConfig{}),
 	}, nil
 }
 
@@ -101,6 +107,42 @@ func (s *Service) SetCacheConfig(cfg cache.Config) {
 	if old != nil {
 		old.Close()
 	}
+	// A cache swap marks a configuration boundary; drop memoized plans
+	// and chunk indexes along with the blocks so no layer can serve
+	// state from before the swap.
+	s.InvalidatePlans()
+}
+
+// SetPlanCacheConfig replaces the service's semantic plan cache. Call
+// it before running queries (typically right after Compile/Open, from
+// CLI flags); previously cached plans are discarded.
+func (s *Service) SetPlanCacheConfig(cfg PlanCacheConfig) {
+	s.pmu.Lock()
+	s.plans = newPlanCache(cfg)
+	s.pmu.Unlock()
+}
+
+// PlanCacheStats snapshots the plan cache's counters.
+func (s *Service) PlanCacheStats() PlanCacheStats {
+	return s.planCacheRef().stats()
+}
+
+// InvalidatePlans drops every memoized plan and chunk index and bumps
+// the plan cache's generation counter, so in-flight plan builds cannot
+// install entries that survive the invalidation. Call it when the data
+// under the descriptor changes.
+func (s *Service) InvalidatePlans() {
+	s.mu.Lock()
+	s.idxCache = make(map[string]*index.ChunkIndex)
+	s.mu.Unlock()
+	s.planCacheRef().invalidate()
+}
+
+// planCacheRef returns the current plan cache.
+func (s *Service) planCacheRef() *planCache {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	return s.plans
 }
 
 // CacheStats snapshots the shared block cache's counters.
@@ -184,7 +226,10 @@ type Prepared struct {
 
 	sqlText   string        // query text reported to tracers
 	planTime  time.Duration // wall time of the plan stage
-	indexTime time.Duration // wall time of the index stage
+	indexTime time.Duration // wall time of the index stage (0 on a plan-cache hit)
+
+	planCacheHits   int64 // 1 when the AFC list came from the plan cache
+	planCacheMisses int64 // 1 when this prepare built (or waited on a failed build of) the AFC list
 }
 
 // Prepare parses, validates and plans a SQL query with a background
@@ -265,18 +310,37 @@ func (s *Service) PrepareParsedContext(ctx context.Context, q *sqlparser.Query) 
 		endPlan(err)
 		return nil, err
 	}
+	// Range extraction is part of the plan's semantic identity (it
+	// feeds the cache key), so it belongs to the plan stage; the index
+	// stage below is pure AFC generation and is skipped entirely on a
+	// plan-cache hit.
+	p.Ranges = query.ExtractRanges(q.Where)
 	p.planTime = endPlan(nil)
 
-	// Index stage: range extraction plus aligned-file-chunk generation
-	// (the run-time analogue of the paper's generated index functions).
-	endIndex := obs.Begin(tracer, sqlText, obs.StageIndex)
-	p.Ranges = query.ExtractRanges(q.Where)
-	p.AFCs, err = s.plan.Generate(p.Ranges, neededNames, s.loadIndex)
+	// Index stage: aligned-file-chunk generation (the run-time analogue
+	// of the paper's generated index functions), memoized across queries
+	// by semantic fingerprint. Hits and single-flight waiters skip the
+	// stage and leave indexTime at zero; the builder times it as usual.
+	key := afc.Fingerprint(s.TableName(), p.Ranges, neededNames)
+	pc := s.planCacheRef()
+	var hit bool
+	p.AFCs, hit, err = pc.getOrBuild(key, func() ([]afc.AFC, error) {
+		endIndex := obs.Begin(tracer, sqlText, obs.StageIndex)
+		afcs, gerr := s.plan.Generate(p.Ranges, neededNames, s.loadIndex)
+		p.indexTime = endIndex(gerr)
+		return afcs, gerr
+	})
 	if err != nil {
-		endIndex(err)
 		return nil, err
 	}
-	p.indexTime = endIndex(nil)
+	if !pc.cfg.Disabled {
+		if hit {
+			p.planCacheHits = 1
+		} else {
+			p.planCacheMisses = 1
+		}
+		obs.ReportPlanCache(tracer, sqlText, p.planCacheHits, p.planCacheMisses)
+	}
 	return p, nil
 }
 
@@ -379,6 +443,12 @@ func (p *Prepared) PrepareStats() (plan, index time.Duration) {
 	return p.planTime, p.indexTime
 }
 
+// PlanCacheCounters reports whether this prepare hit or missed the
+// semantic plan cache (each is 0 or 1; both 0 when caching is off).
+func (p *Prepared) PlanCacheCounters() (hits, misses int64) {
+	return p.planCacheHits, p.planCacheMisses
+}
+
 // queryStats assembles the per-query observability record from the
 // prepare-time timings and one execution's extractor counters.
 func (p *Prepared) queryStats(x extractor.Stats, extract time.Duration) obs.QueryStats {
@@ -394,6 +464,9 @@ func (p *Prepared) queryStats(x extractor.Stats, extract time.Duration) obs.Quer
 		CacheMisses:      x.CacheMisses,
 		FSBytesRead:      x.FSBytesRead,
 		CacheBytesServed: x.CacheBytesServed,
+
+		PlanCacheHits:   p.planCacheHits,
+		PlanCacheMisses: p.planCacheMisses,
 
 		PlanTime:    p.planTime,
 		IndexTime:   p.indexTime,

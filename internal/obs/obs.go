@@ -26,8 +26,10 @@ type Stage string
 const (
 	// StagePlan covers SQL parsing, validation and predicate compilation.
 	StagePlan Stage = "plan"
-	// StageIndex covers range extraction and aligned-file-chunk
-	// generation (chunk-index lookups included).
+	// StageIndex covers aligned-file-chunk generation (chunk-index
+	// lookups included); it is skipped entirely when the plan cache
+	// serves a memoized AFC list. Range extraction belongs to StagePlan:
+	// it is part of the plan's semantic identity.
 	StageIndex Stage = "index"
 	// StageExtract covers chunk reads and row assembly.
 	StageExtract Stage = "extract"
@@ -70,6 +72,13 @@ type QueryStats struct {
 	// CacheBytesServed is the bytes copied out of cached blocks.
 	CacheBytesServed int64
 
+	// PlanCacheHits counts prepares whose AFC list came from the
+	// semantic plan cache (the index stage was skipped); PlanCacheMisses
+	// counts prepares that had to generate it. Both stay zero when plan
+	// caching is disabled.
+	PlanCacheHits   int64
+	PlanCacheMisses int64
+
 	// PlanTime is the wall time of StagePlan; likewise below.
 	PlanTime    time.Duration
 	IndexTime   time.Duration
@@ -107,6 +116,8 @@ func (s *QueryStats) Add(o QueryStats) {
 	s.CacheMisses += o.CacheMisses
 	s.FSBytesRead += o.FSBytesRead
 	s.CacheBytesServed += o.CacheBytesServed
+	s.PlanCacheHits += o.PlanCacheHits
+	s.PlanCacheMisses += o.PlanCacheMisses
 	s.PlanTime += o.PlanTime
 	s.IndexTime += o.IndexTime
 	s.ExtractTime += o.ExtractTime
@@ -134,14 +145,17 @@ func (s *QueryStats) CacheBytesSaved() int64 {
 }
 
 // String renders counters plus per-stage times on one line each. When
-// the block cache saw any traffic a cache summary line is appended;
-// Counters stays byte-stable for golden tests either way.
+// the block or plan cache saw any traffic a summary line for it is
+// appended; Counters stays byte-stable for golden tests either way.
 func (s *QueryStats) String() string {
 	var b strings.Builder
 	b.WriteString(s.Counters())
 	if s.CacheHits+s.CacheMisses > 0 {
 		fmt.Fprintf(&b, "\ncache: %d hits / %d misses, %d fs bytes, %d bytes saved",
 			s.CacheHits, s.CacheMisses, s.FSBytesRead, s.CacheBytesSaved())
+	}
+	if s.PlanCacheHits+s.PlanCacheMisses > 0 {
+		fmt.Fprintf(&b, "\nplans: %d hits / %d misses", s.PlanCacheHits, s.PlanCacheMisses)
 	}
 	for _, st := range Stages {
 		fmt.Fprintf(&b, "\n%-7s %s", st+":", s.StageTime(st).Round(time.Microsecond))
@@ -177,6 +191,27 @@ func ReportCache(t Tracer, query string, hits, misses, bytesSaved int64) {
 	}
 	if cr, ok := t.(CacheReporter); ok {
 		cr.CacheReport(query, hits, misses, bytesSaved)
+	}
+}
+
+// PlanCacheReporter is an optional Tracer extension: tracers
+// implementing it additionally receive each prepare's plan-cache
+// outcome. hits and misses are each 0 or 1 per prepare (the aggregate
+// lives in QueryStats); the engine only calls it when plan caching is
+// enabled.
+type PlanCacheReporter interface {
+	PlanCacheReport(query string, hits, misses int64)
+}
+
+// ReportPlanCache forwards a prepare's plan-cache outcome to t if it
+// implements PlanCacheReporter; no-op otherwise or when caching saw no
+// traffic.
+func ReportPlanCache(t Tracer, query string, hits, misses int64) {
+	if hits+misses == 0 {
+		return
+	}
+	if pr, ok := t.(PlanCacheReporter); ok {
+		pr.PlanCacheReport(query, hits, misses)
 	}
 }
 
@@ -230,6 +265,19 @@ func (t *LogTracer) CacheReport(query string, hits, misses, bytesSaved int64) {
 	logf("obs: cache %s: %d hits / %d misses, %d bytes saved", truncateQuery(query), hits, misses, bytesSaved)
 }
 
+// PlanCacheReport implements PlanCacheReporter; like CacheReport it
+// logs only when Slow is zero (full logging).
+func (t *LogTracer) PlanCacheReport(query string, hits, misses int64) {
+	if t.Slow > 0 {
+		return
+	}
+	logf := t.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	logf("obs: plans %s: %d hits / %d misses", truncateQuery(query), hits, misses)
+}
+
 // maxLoggedQuery bounds the SQL text echoed into logs.
 const maxLoggedQuery = 120
 
@@ -263,6 +311,16 @@ func (m MultiTracer) CacheReport(query string, hits, misses, bytesSaved int64) {
 	for _, t := range m {
 		if cr, ok := t.(CacheReporter); ok {
 			cr.CacheReport(query, hits, misses, bytesSaved)
+		}
+	}
+}
+
+// PlanCacheReport implements PlanCacheReporter, forwarding to every
+// member tracer that implements it.
+func (m MultiTracer) PlanCacheReport(query string, hits, misses int64) {
+	for _, t := range m {
+		if pr, ok := t.(PlanCacheReporter); ok {
+			pr.PlanCacheReport(query, hits, misses)
 		}
 	}
 }

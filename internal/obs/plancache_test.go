@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPlanCacheCounters(t *testing.T) {
+	s := QueryStats{PlanCacheHits: 3, PlanCacheMisses: 1}
+	b := s
+	s.Add(b)
+	if s.PlanCacheHits != 6 || s.PlanCacheMisses != 2 {
+		t.Errorf("Add plan-cache counters: %+v", s)
+	}
+	// Counters stays byte-stable (golden form) even with plan-cache
+	// traffic; String gains the plans line only when the cache was
+	// consulted.
+	if strings.Contains(s.Counters(), "plans") {
+		t.Errorf("Counters leaked plan-cache fields: %q", s.Counters())
+	}
+	if !strings.Contains(s.String(), "plans: 6 hits / 2 misses") {
+		t.Errorf("String missing plans line: %q", s.String())
+	}
+	var cold QueryStats
+	if strings.Contains(cold.String(), "plans") {
+		t.Errorf("untouched plan cache rendered: %q", cold.String())
+	}
+}
+
+func TestPlanCacheReporter(t *testing.T) {
+	var lines []string
+	tr := &LogTracer{Logf: func(f string, a ...any) {
+		lines = append(lines, fmt.Sprintf(f, a...))
+	}}
+	ReportPlanCache(tr, "SELECT 1", 1, 0)
+	if len(lines) != 1 || !strings.Contains(lines[0], "1 hits / 0 misses") {
+		t.Fatalf("PlanCacheReport lines: %v", lines)
+	}
+	// Slow>0 suppresses plan-cache reports like fast stages.
+	lines = nil
+	tr.Slow = time.Second
+	ReportPlanCache(tr, "SELECT 1", 1, 0)
+	if len(lines) != 0 {
+		t.Fatalf("suppressed tracer logged: %v", lines)
+	}
+	// Zero traffic never reports; non-implementors are ignored.
+	tr.Slow = 0
+	ReportPlanCache(tr, "SELECT 1", 0, 0)
+	if len(lines) != 0 {
+		t.Fatalf("zero-traffic report logged: %v", lines)
+	}
+	ReportPlanCache(NopTracer{}, "SELECT 1", 0, 1)
+
+	// MultiTracer forwards to implementing members only.
+	lines = nil
+	mt := MultiTracer{NopTracer{}, tr}
+	ReportPlanCache(mt, "SELECT 2", 0, 1)
+	if len(lines) != 1 {
+		t.Fatalf("MultiTracer forwarded %d reports, want 1", len(lines))
+	}
+}

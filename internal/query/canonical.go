@@ -1,0 +1,95 @@
+package query
+
+import (
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Canonical encoding of constraint sets. Plan caching keys prepared
+// queries by the *semantics* of their WHERE clause, not its text: two
+// queries whose per-attribute constraint sets are pointwise equal must
+// produce identical encodings, and two queries whose sets differ must
+// not collide. normalize() already gives every Set a unique interval
+// list (sorted, disjoint, merged); the encoding adds the remaining
+// float-level identifications:
+//
+//   - -0 and +0 are the same point, so both encode as +0;
+//   - an infinite endpoint is open whether or not the flag says so
+//     (±Inf is never a member), so it always encodes as open;
+//   - finite endpoints encode as raw IEEE-754 bits, which is injective
+//     where it must be (distinct values → distinct bits).
+//
+// Attribute and interval boundaries are length-prefixed or delimited
+// with characters that cannot appear inside a hex float encoding, so
+// the overall encoding is injective regardless of attribute names.
+
+// AppendCanonical appends the interval's canonical encoding to b:
+// bracket characters carry the (normalized) open flags and endpoints
+// are hex-encoded IEEE-754 bit patterns.
+func (iv Interval) AppendCanonical(b []byte) []byte {
+	lo, hi := iv.Lo, iv.Hi
+	loOpen, hiOpen := iv.LoOpen, iv.HiOpen
+	if lo == 0 {
+		lo = 0 // collapse -0 to +0
+	}
+	if hi == 0 {
+		hi = 0
+	}
+	if math.IsInf(lo, -1) {
+		loOpen = true
+	}
+	if math.IsInf(hi, 1) {
+		hiOpen = true
+	}
+	if loOpen {
+		b = append(b, '(')
+	} else {
+		b = append(b, '[')
+	}
+	b = strconv.AppendUint(b, math.Float64bits(lo), 16)
+	b = append(b, ',')
+	b = strconv.AppendUint(b, math.Float64bits(hi), 16)
+	if hiOpen {
+		b = append(b, ')')
+	} else {
+		b = append(b, ']')
+	}
+	return b
+}
+
+// AppendCanonical appends the set's canonical encoding: its normalized
+// intervals in order. The empty (unsatisfiable) set encodes as nothing,
+// distinct from every non-empty set by the surrounding delimiters.
+func (s Set) AppendCanonical(b []byte) []byte {
+	for _, iv := range s.ivs {
+		b = iv.AppendCanonical(b)
+	}
+	return b
+}
+
+// AppendCanonical appends the constraint map's canonical encoding:
+// attributes sorted by name, each as a length-prefixed name followed by
+// its set. Attributes whose set is full are dropped — an unconstrained
+// attribute is semantically identical to an absent one (Ranges.Get
+// returns FullSet either way), so "x > 2 AND (y < 5 OR y >= 5)" and
+// "x > 2" encode identically.
+func (r Ranges) AppendCanonical(b []byte) []byte {
+	names := make([]string, 0, len(r))
+	for n, s := range r {
+		if s.IsFull() {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		b = strconv.AppendInt(b, int64(len(n)), 10)
+		b = append(b, ':')
+		b = append(b, n...)
+		b = append(b, '=')
+		b = r[n].AppendCanonical(b)
+		b = append(b, ';')
+	}
+	return b
+}
