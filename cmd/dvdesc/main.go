@@ -10,6 +10,13 @@
 //	dvdesc -in dataset.dvd -to xml          # convert to XML (stdout)
 //	dvdesc -in dataset.xml -to text         # convert back
 //	dvdesc -in dataset.dvd -print           # canonical text form
+//	dvdesc check [-json] FILE...            # compile-time checker
+//
+// The check subcommand runs the descriptor static checker
+// (internal/metadata/lint): positioned file:line:col diagnostics for
+// layout/schema problems, without touching any data file. It exits 1
+// when any error-severity diagnostic is reported, 0 otherwise (warnings
+// alone do not fail the check).
 package main
 
 import (
@@ -19,9 +26,14 @@ import (
 
 	"datavirt/internal/afc"
 	"datavirt/internal/metadata"
+	desclint "datavirt/internal/metadata/lint"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "check" {
+		runCheck(os.Args[2:])
+		return
+	}
 	in := flag.String("in", "", "descriptor file (text or XML; auto-detected)")
 	to := flag.String("to", "", "convert: text or xml (to stdout)")
 	print := flag.Bool("print", false, "print the canonical text form")
@@ -88,6 +100,37 @@ func main() {
 		fmt.Printf("alignment:  %d file groups\n", len(groups))
 	}
 	fmt.Printf("available:  %v\n", plan.AvailableAttrs())
+}
+
+// runCheck implements `dvdesc check [-json] FILE...`.
+func runCheck(args []string) {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	fs.Parse(args) //nolint:errcheck — ExitOnError
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: dvdesc check [-json] FILE...")
+		os.Exit(2)
+	}
+	var all []desclint.Diagnostic
+	for _, path := range fs.Args() {
+		ds, err := desclint.CheckFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		all = append(all, ds...)
+	}
+	if *asJSON {
+		if err := desclint.WriteJSON(os.Stdout, all); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range all {
+			fmt.Println(d)
+		}
+	}
+	if desclint.HasErrors(all) {
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -62,7 +63,7 @@ func main() {
 		MaxEntries: *planCacheEntries,
 		Disabled:   !*planCache,
 	})
-	node, err := cluster.StartNode(*nodeName, svc, *addr)
+	node, err := cluster.StartNode(context.Background(), *nodeName, svc, *addr)
 	if err != nil {
 		fatal(err)
 	}

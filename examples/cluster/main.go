@@ -59,7 +59,7 @@ func main() {
 			log.Fatal(err)
 		}
 		name := fmt.Sprintf("node%d", i)
-		node, err := cluster.StartNode(name, svc, "127.0.0.1:0")
+		node, err := cluster.StartNode(context.Background(), name, svc, "127.0.0.1:0")
 		if err != nil {
 			log.Fatal(err)
 		}

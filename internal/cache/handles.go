@@ -10,12 +10,20 @@ import (
 // prefetch worker) currently using it; a handle evicted or closed
 // while referenced is marked dead and closed by the last release, so
 // no ReadAt ever races a Close.
+//
+// A handle is inserted before its file is opened: ready is closed when
+// the open completes (f or err set), so concurrent acquires of the
+// same path wait on the channel — outside the cache lock — instead of
+// opening a duplicate.
 type handle struct {
 	path string
 	f    File
+	err  error
 	refs int
 	dead bool
 	elem *list.Element
+
+	ready chan struct{}
 }
 
 // handleCache is a bounded LRU over open files. The map and list hold
@@ -43,25 +51,30 @@ func newHandleCache(max int, open func(path string) (File, error)) *handleCache 
 
 // acquire returns a referenced handle for path, opening it on a miss
 // and evicting the least recently used unreferenced handle when over
-// budget. The open happens under the lock: handle churn is rare by
-// design (the point of the cache), and this gives single-flight opens
-// for free.
+// budget. All blocking work — the open and the victims' closes —
+// happens outside the lock; a placeholder handle inserted before the
+// open keeps misses single-flight (racing acquires wait on ready).
 func (c *handleCache) acquire(path string) (*handle, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if h, ok := c.m[path]; ok {
 		h.refs++
 		c.lru.MoveToFront(h.elem)
+		c.mu.Unlock()
+		<-h.ready
+		if h.err != nil {
+			c.release(h)
+			return nil, fmt.Errorf("cache: %w", h.err)
+		}
 		return h, nil
 	}
-	f, err := c.open(path)
-	if err != nil {
-		return nil, fmt.Errorf("cache: %w", err)
-	}
+
 	c.opens++
-	h := &handle{path: path, f: f, refs: 1}
+	h := &handle{path: path, refs: 1, ready: make(chan struct{})}
 	h.elem = c.lru.PushFront(h)
 	c.m[path] = h
+	// The placeholder counts toward the budget, so evict now; victims
+	// are closed after unlocking.
+	var victims []File
 	for c.lru.Len() > c.max {
 		tail := c.lru.Back()
 		if tail == nil || tail == h.elem {
@@ -72,38 +85,78 @@ func (c *handleCache) acquire(path string) (*handle, error) {
 		delete(c.m, victim.path)
 		c.evicts++
 		if victim.refs == 0 {
-			victim.f.Close() //nolint:errcheck — read-only handle
+			if victim.f != nil {
+				victims = append(victims, victim.f)
+				victim.f = nil
+			}
 		} else {
 			victim.dead = true // last release closes it
 		}
 	}
+	c.mu.Unlock()
+
+	for _, f := range victims {
+		f.Close() //nolint:errcheck — read-only handle
+	}
+	f, err := c.open(path)
+
+	c.mu.Lock()
+	h.f, h.err = f, err
+	if err != nil {
+		// Withdraw the placeholder so a later acquire retries the open
+		// (unless it was evicted meanwhile, or the slot re-used).
+		h.dead = true
+		h.refs--
+		c.lru.Remove(h.elem) // no-op if already evicted
+		if c.m[path] == h {
+			delete(c.m, path)
+		}
+	}
+	c.mu.Unlock()
+	close(h.ready)
+	if err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
 	return h, nil
 }
 
-// release drops one reference; a dead handle is closed when the last
-// reference goes away.
+// release drops one reference; a dead handle is closed — outside the
+// lock — when the last reference goes away.
 func (c *handleCache) release(h *handle) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	h.refs--
-	if h.dead && h.refs == 0 {
-		h.f.Close() //nolint:errcheck
+	var toClose File
+	if h.dead && h.refs == 0 && h.f != nil {
+		toClose = h.f
+		h.f = nil
+	}
+	c.mu.Unlock()
+	if toClose != nil {
+		toClose.Close() //nolint:errcheck
 	}
 }
 
 // closeAll closes every unreferenced handle and marks the rest dead.
+// The closes happen after the lock is dropped.
 func (c *handleCache) closeAll() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	var toClose []File
 	for _, h := range c.m {
 		if h.refs == 0 {
-			h.f.Close() //nolint:errcheck
+			if h.f != nil {
+				toClose = append(toClose, h.f)
+				h.f = nil
+			}
 		} else {
 			h.dead = true
 		}
 	}
 	c.m = map[string]*handle{}
 	c.lru.Init()
+	c.mu.Unlock()
+	for _, f := range toClose {
+		f.Close() //nolint:errcheck
+	}
 }
 
 // stats reports open/evict totals.

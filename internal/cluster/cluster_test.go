@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"net"
 	"sort"
 	"strings"
@@ -36,7 +37,7 @@ func startCluster(t *testing.T, s gen.IparsSpec) (*Coordinator, gen.IparsSpec) {
 			t.Fatal(err)
 		}
 		name := svc.Nodes()[i]
-		node, err := StartNode(name, svc, "127.0.0.1:0")
+		node, err := StartNode(context.Background(), name, svc, "127.0.0.1:0")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -247,7 +248,7 @@ func TestNodeRejectsBadFrames(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	node, err := StartNode("node0", svc, "127.0.0.1:0")
+	node, err := StartNode(context.Background(), "node0", svc, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +313,7 @@ func TestNodeCloseIdempotent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	node, err := StartNode("node0", svc, "127.0.0.1:0")
+	node, err := StartNode(context.Background(), "node0", svc, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}

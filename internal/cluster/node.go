@@ -46,13 +46,16 @@ type Node struct {
 }
 
 // StartNode launches a node server for the given cluster node name on
-// addr (use "127.0.0.1:0" to pick a free port).
-func StartNode(name string, svc *core.Service, addr string) (*Node, error) {
-	ln, err := net.Listen("tcp", addr)
+// addr (use "127.0.0.1:0" to pick a free port). ctx parents every
+// query this node executes: cancelling it stops in-flight extractions,
+// and Close does the same for the node's lifetime.
+func StartNode(ctx context.Context, name string, svc *core.Service, addr string) (*Node, error) {
+	var lc net.ListenConfig
+	ln, err := lc.Listen(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: node %s: %w", name, err)
 	}
-	baseCtx, cancel := context.WithCancel(context.Background())
+	baseCtx, cancel := context.WithCancel(ctx)
 	n := &Node{
 		name:    name,
 		svc:     svc,

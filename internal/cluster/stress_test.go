@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -61,7 +62,7 @@ func TestPreparedPlanCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	node, err := StartNode("node0", svc, "127.0.0.1:0")
+	node, err := StartNode(context.Background(), "node0", svc, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestNodeDiesMidStream(t *testing.T) {
 			t.Fatal(err)
 		}
 		name := svc.Nodes()[i]
-		node, err := StartNode(name, svc, "127.0.0.1:0")
+		node, err := StartNode(context.Background(), name, svc, "127.0.0.1:0")
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -44,6 +44,7 @@ type Service struct {
 
 	mu       sync.Mutex
 	idxCache map[string]*index.ChunkIndex
+	idxGen   uint64 // bumped by InvalidatePlans; fences stale installs
 
 	cmu        sync.Mutex
 	blockCache *cache.Cache
@@ -134,6 +135,7 @@ func (s *Service) PlanCacheStats() PlanCacheStats {
 func (s *Service) InvalidatePlans() {
 	s.mu.Lock()
 	s.idxCache = make(map[string]*index.ChunkIndex)
+	s.idxGen++
 	s.mu.Unlock()
 	s.planCacheRef().invalidate()
 }
@@ -161,10 +163,13 @@ func (s *Service) blockSource() cache.Source {
 
 // Close releases the service's pooled file handles and cached blocks
 // and stops its readahead worker, if any. Queries must have finished.
+// The cache shutdown (which joins the readahead worker) runs outside
+// s.cmu so a concurrent CacheStats cannot deadlock against it.
 func (s *Service) Close() error {
 	s.cmu.Lock()
-	defer s.cmu.Unlock()
-	s.blockCache.Close()
+	bc := s.blockCache
+	s.cmu.Unlock()
+	bc.Close()
 	return nil
 }
 
@@ -184,23 +189,34 @@ func (s *Service) TableName() string { return s.desc.Storage.DatasetName }
 // additional user-defined filters before querying.
 func (s *Service) Filters() *filter.Registry { return s.registry }
 
-// loadIndex memoizes chunk-index files across queries.
+// loadIndex memoizes chunk-index files across queries. The disk read
+// happens outside s.mu (which also guards every other index lookup);
+// two queries racing on the same cold key may both read the file, and
+// the second install wins — identical content, so that is benign. A
+// read that straddles InvalidatePlans is fenced by the generation
+// counter: its result is returned but not installed.
 func (s *Service) loadIndex(fi metadata.FileInstance) (*index.ChunkIndex, error) {
 	key := fi.Node() + "\x00" + fi.Path()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if ix, ok := s.idxCache[key]; ok {
+	ix, ok := s.idxCache[key]
+	gen := s.idxGen
+	s.mu.Unlock()
+	if ok {
 		return ix, nil
 	}
 	path, err := s.resolver(fi.Node(), fi.Path())
 	if err != nil {
 		return nil, err
 	}
-	ix, err := index.ReadFile(path)
+	ix, err = index.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	s.idxCache[key] = ix
+	s.mu.Lock()
+	if gen == s.idxGen {
+		s.idxCache[key] = ix
+	}
+	s.mu.Unlock()
 	return ix, nil
 }
 

@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CloseCheck flags acquisitions of the project's closable resources —
+// core.Rows (a streaming query), cache.File (a pinned handle) and net
+// connections — that are provably neither closed nor handed off within
+// the acquiring function. The analysis is deliberately conservative:
+// returning the value, passing it to another call, sending it on a
+// channel or storing it into a structure all count as ownership
+// transfer, so only the unambiguous leak — a local that dies without
+// Close — is reported.
+var CloseCheck = &Analyzer{
+	Name: "closecheck",
+	Doc:  "core.Rows, cache.File and net conns are closed or ownership-transferred on all paths",
+	Run:  runCloseCheck,
+}
+
+func runCloseCheck(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkCloses(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// trackedClosable reports whether t is one of the resource types the
+// analyzer follows. Types declared under a testdata tree are tracked
+// by shape (name + Close method) so the golden tests can define their
+// own stand-ins.
+func trackedClosable(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	path, name := obj.Pkg().Path(), obj.Name()
+	switch {
+	case path == "datavirt/internal/core" && name == "Rows":
+	case path == "datavirt/internal/cache" && name == "File":
+	case path == "net" && (name == "Conn" || name == "TCPConn" || name == "UDPConn" || name == "UnixConn"):
+	case strings.Contains(path, "testdata") && (name == "Rows" || name == "File" || name == "Conn"):
+	default:
+		return false
+	}
+	return true
+}
+
+func checkCloses(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	// Acquisitions: v := <call>, where v's type is tracked.
+	type acquisition struct {
+		v   *types.Var
+		at  *ast.Ident
+		src string
+	}
+	var acqs []acquisition
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id] // plain = assignment
+			}
+			v, ok := obj.(*types.Var)
+			if !ok || !trackedClosable(v.Type()) {
+				continue
+			}
+			src := "call"
+			if fn := calleeFunc(info, call); fn != nil {
+				src = fn.Name()
+			}
+			acqs = append(acqs, acquisition{v: v, at: id, src: src})
+		}
+		return true
+	})
+
+	for _, a := range acqs {
+		if !leaks(info, fd, a.v, a.at) {
+			continue
+		}
+		pass.Reportf(a.at.Pos(),
+			"%s acquired from %s is never closed — add defer %s.Close() or transfer ownership",
+			a.v.Name(), a.src, a.v.Name())
+	}
+}
+
+// leaks reports whether v is neither closed nor transferred anywhere
+// in the function after its defining identifier.
+func leaks(info *types.Info, fd *ast.FuncDecl, v *types.Var, def *ast.Ident) bool {
+	escaped := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// v.Close() — including deferred.
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && info.Uses[id] == v {
+					escaped = true
+					return false
+				}
+			}
+			// v passed (possibly wrapped) as an argument.
+			for _, arg := range n.Args {
+				if usesVarExpr(info, arg, v) {
+					escaped = true
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if usesVarExpr(info, res, v) {
+					escaped = true
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			if usesVarExpr(info, n.Value, v) {
+				escaped = true
+				return false
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if usesVarExpr(info, el, v) {
+					escaped = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			// Stored into a field, map or slice element, or reassigned
+			// to another variable that takes over ownership. (The
+			// acquisition itself never trips this: its RHS is the call,
+			// which cannot mention the variable it defines.)
+			for _, rhs := range n.Rhs {
+				if usesVarExpr(info, rhs, v) {
+					escaped = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return !escaped
+}
+
+// usesVarExpr reports whether expr mentions v, but not when expr IS
+// the defining use inside its own acquisition (handled by caller
+// ordering: acquisitions are RHS calls, which cannot mention v).
+func usesVarExpr(info *types.Info, expr ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && (info.Uses[id] == v) {
+			found = true
+		}
+		return true
+	})
+	return found
+}

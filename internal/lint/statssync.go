@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StatsSync keeps obs.QueryStats honest: a counter added to the struct
+// but forgotten in Add silently under-merges parallel extraction; one
+// forgotten in Counters AND String is invisible to golden tests and
+// logs; a duration missing from StageTime AND String can never be
+// attributed. The cluster side has the same drift risk: the
+// coordinator's trailer merge must set every field, or remote stats
+// silently drop on the floor. The analyzer checks, in the obs package:
+//
+//   - every QueryStats field is referenced in Add;
+//   - every counter (integer) field is referenced in Counters or
+//     String;
+//   - every duration field is referenced in StageTime or String;
+//
+// and in the cluster package: at least one obs.QueryStats composite
+// literal (the trailer merge) sets every field.
+var StatsSync = &Analyzer{
+	Name: "statssync",
+	Doc:  "obs.QueryStats fields appear in Add, Counters/String (or StageTime), and the cluster trailer merge",
+	Run:  runStatsSync,
+}
+
+func runStatsSync(pass *Pass) error {
+	switch pass.Pkg.Name {
+	case "obs":
+		checkObsMethods(pass)
+	case "cluster":
+		checkClusterMerge(pass)
+	}
+	return nil
+}
+
+// queryStatsType finds the QueryStats named type in scope (obs side) or
+// returns nil.
+func queryStatsType(pkg *types.Package) (*types.Named, *types.Struct) {
+	obj := pkg.Scope().Lookup("QueryStats")
+	if obj == nil {
+		return nil, nil
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	return named, st
+}
+
+func isDurationType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Duration" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}
+
+func checkObsMethods(pass *Pass) {
+	named, st := queryStatsType(pass.Pkg.Types)
+	if named == nil {
+		return
+	}
+	// Which fields does each method body touch?
+	refs := map[string]map[*types.Var]bool{}
+	for name := range map[string]bool{"Add": true, "Counters": true, "String": true, "StageTime": true} {
+		refs[name] = map[*types.Var]bool{}
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		set, ok := refs[m.Name()]
+		if !ok {
+			continue
+		}
+		src := pass.Loader.FuncSource(m)
+		if src.Decl == nil || src.Decl.Body == nil {
+			continue
+		}
+		ast.Inspect(src.Decl.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if s := src.Pkg.Info.Selections[sel]; s != nil && s.Kind() == types.FieldVal {
+				if v, ok := s.Obj().(*types.Var); ok {
+					set[v] = true
+				}
+			}
+			return true
+		})
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		if !refs["Add"][f] {
+			pass.Reportf(f.Pos(), "QueryStats field %s is not merged in Add — parallel extraction drops it", f.Name())
+		}
+		if isDurationType(f.Type()) {
+			if !refs["StageTime"][f] && !refs["String"][f] {
+				pass.Reportf(f.Pos(), "QueryStats duration %s appears in neither StageTime nor String", f.Name())
+			}
+		} else if !refs["Counters"][f] && !refs["String"][f] {
+			pass.Reportf(f.Pos(), "QueryStats counter %s appears in neither Counters nor String — invisible to tests and logs", f.Name())
+		}
+	}
+}
+
+// checkClusterMerge requires one QueryStats composite literal in the
+// cluster package — the coordinator's trailer merge — to set every
+// field. The most complete literal is the merge; smaller literals
+// (zero values, tests' partial fixtures) are ignored.
+func checkClusterMerge(pass *Pass) {
+	type lit struct {
+		node *ast.CompositeLit
+		keys map[string]bool
+	}
+	var lits []lit
+	var statsStruct *types.Struct
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Pkg.Info.Types[cl]
+			if !ok {
+				return true
+			}
+			named, ok := tv.Type.(*types.Named)
+			if !ok || named.Obj().Name() != "QueryStats" ||
+				named.Obj().Pkg() == nil || named.Obj().Pkg().Name() != "obs" {
+				return true
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			statsStruct = st
+			keys := map[string]bool{}
+			for _, el := range cl.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						keys[id.Name] = true
+					}
+				}
+			}
+			if len(cl.Elts) > 0 && len(keys) == 0 {
+				// Positional literal sets everything.
+				for i := 0; i < st.NumFields(); i++ {
+					keys[st.Field(i).Name()] = true
+				}
+			}
+			lits = append(lits, lit{cl, keys})
+			return true
+		})
+	}
+	if len(lits) == 0 || statsStruct == nil {
+		return
+	}
+	best := lits[0]
+	for _, l := range lits[1:] {
+		if len(l.keys) > len(best.keys) {
+			best = l
+		}
+	}
+	for i := 0; i < statsStruct.NumFields(); i++ {
+		f := statsStruct.Field(i)
+		if f.Exported() && !best.keys[f.Name()] {
+			pass.Reportf(best.node.Pos(),
+				"trailer merge does not set QueryStats field %s — remote stats for it are dropped", f.Name())
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// suppression is one parsed //dvlint:ignore directive.
+type suppression struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+}
+
+const ignorePrefix = "//dvlint:ignore"
+
+// parseSuppressions collects every //dvlint:ignore directive in the
+// package, well-formed or not (the reason may be empty; ignorereason
+// flags that separately, while the suppression still applies so a
+// missing reason produces exactly one diagnostic, not two).
+func parseSuppressions(fset *token.FileSet, pkg *Package) []suppression {
+	var out []suppression
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				s := suppression{
+					file: fset.Position(c.Pos()).Filename,
+					line: fset.Position(c.Pos()).Line,
+				}
+				if len(fields) > 0 {
+					s.analyzer = fields[0]
+					s.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+				}
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// filterSuppressed drops diagnostics covered by a //dvlint:ignore for
+// the same analyzer on the diagnostic's line or the line above.
+// ignorereason findings are never suppressible: a suppression must not
+// be able to excuse its own missing reason.
+func filterSuppressed(fset *token.FileSet, pkg *Package, diags []Diagnostic) []Diagnostic {
+	sups := parseSuppressions(fset, pkg)
+	if len(sups) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer != IgnoreReason.Name && suppressed(sups, d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+func suppressed(sups []suppression, d Diagnostic) bool {
+	for _, s := range sups {
+		if s.file != d.Pos.Filename || s.analyzer != d.Analyzer {
+			continue
+		}
+		if s.line == d.Pos.Line || s.line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// IgnoreReason lints the suppression comments themselves: each must
+// name a known analyzer and carry a non-empty reason, so every
+// exception to an invariant is attributable.
+var IgnoreReason = &Analyzer{
+	Name: "ignorereason",
+	Doc:  "every //dvlint:ignore names a known analyzer and carries a non-empty reason",
+}
+
+// Run is attached in init: runIgnoreReason validates analyzer names
+// via ByName → All → IgnoreReason, which would otherwise be an
+// initialization cycle.
+func init() { IgnoreReason.Run = runIgnoreReason }
+
+func runIgnoreReason(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				checkIgnoreComment(pass, c)
+			}
+		}
+	}
+	return nil
+}
+
+func checkIgnoreComment(pass *Pass, c *ast.Comment) {
+	if !strings.HasPrefix(c.Text, ignorePrefix) {
+		return
+	}
+	fields := strings.Fields(strings.TrimPrefix(c.Text, ignorePrefix))
+	switch {
+	case len(fields) == 0:
+		pass.Reportf(c.Pos(), "dvlint:ignore names no analyzer (want //dvlint:ignore <analyzer> <reason>)")
+	case ByName(fields[0]) == nil:
+		pass.Reportf(c.Pos(), "dvlint:ignore names unknown analyzer %q", fields[0])
+	case len(fields) == 1:
+		pass.Reportf(c.Pos(), "dvlint:ignore %s has no reason — every suppression must say why", fields[0])
+	}
+}

@@ -1,0 +1,74 @@
+// Package client seeds the closecheck golden tests. Closecheck runs on
+// every package and, under testdata, tracks types named Rows/File/Conn
+// by shape, so these local stand-ins behave like core.Rows/cache.File.
+package client
+
+import "errors"
+
+// Rows is a closable result cursor, shaped like core.Rows.
+type Rows struct{ done bool }
+
+// Next advances the cursor.
+func (r *Rows) Next() bool { return !r.done }
+
+// Close releases the cursor.
+func (r *Rows) Close() error { return nil }
+
+func query(ok bool) (*Rows, error) {
+	if !ok {
+		return nil, errors.New("no rows")
+	}
+	return &Rows{}, nil
+}
+
+// BadLeak drops the rows without closing them on any path.
+func BadLeak(ok bool) error {
+	rows, err := query(ok) // want "never closed"
+	if err != nil {
+		return err
+	}
+	for rows.Next() {
+	}
+	return nil
+}
+
+// GoodDefer closes via defer.
+func GoodDefer(ok bool) error {
+	rows, err := query(ok)
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	for rows.Next() {
+	}
+	return nil
+}
+
+// GoodReturn transfers ownership to the caller.
+func GoodReturn(ok bool) (*Rows, error) {
+	rows, err := query(ok)
+	return rows, err
+}
+
+// GoodHandoff transfers ownership to a consumer that closes.
+func GoodHandoff(ok bool) error {
+	rows, err := query(ok)
+	if err != nil {
+		return err
+	}
+	return drain(rows)
+}
+
+func drain(r *Rows) error {
+	defer r.Close()
+	for r.Next() {
+	}
+	return nil
+}
+
+type holder struct{ r *Rows }
+
+// GoodStore parks the rows in a struct; ownership moved, not leaked.
+func GoodStore(h *holder, ok bool) {
+	h.r, _ = query(ok)
+}

@@ -1,0 +1,124 @@
+// Package cache seeds the lockio golden tests: the analyzer applies to
+// packages named cache/core, so this stand-in exercises direct,
+// interprocedural, dynamic and interface-typed blocking under a lock.
+package cache
+
+import (
+	"os"
+	"sync"
+)
+
+// File mirrors the real handle cache's file-like interface.
+type File interface {
+	ReadAt(p []byte, off int64) (int, error)
+	Close() error
+}
+
+type shard struct {
+	mu   sync.Mutex
+	m    map[string][]byte
+	f    File
+	open func(path string) (File, error)
+	ch   chan int
+}
+
+// BadOpenUnderLock opens a file while the shard lock is held.
+func (s *shard) BadOpenUnderLock(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := os.Open(path) // want "call to os.Open while holding s.mu"
+	if err != nil {
+		return err
+	}
+	return f.Close() // want "call to (*os.File).Close while holding s.mu"
+}
+
+// BadRecvUnderLock waits on a channel while the shard lock is held.
+func (s *shard) BadRecvUnderLock() int {
+	s.mu.Lock()
+	v := <-s.ch // want "channel receive while holding s.mu"
+	s.mu.Unlock()
+	return v
+}
+
+// readAll is the module-internal hop for the interprocedural case.
+func readAll(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// BadInterproc blocks two call levels down.
+func (s *shard) BadInterproc(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := readAll(path) // want "which blocks"
+	s.m[path] = b
+	return err
+}
+
+// BadDynamicOpen calls an injected open callback under the lock; the
+// callee is unresolvable statically and presumed blocking by name.
+func (s *shard) BadDynamicOpen(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.open(path) // want "presumed blocking by name"
+	s.f = f
+	return err
+}
+
+// BadIfaceClose closes a file-like interface under the lock.
+func (s *shard) BadIfaceClose() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close() // want "file-like interface File"
+}
+
+// BadFallthrough releases the lock only on the hit path; the miss path
+// reaches the read with the lock still (possibly) held.
+func (s *shard) BadFallthrough(path string) ([]byte, error) {
+	s.mu.Lock()
+	if b, ok := s.m[path]; ok {
+		s.mu.Unlock()
+		return b, nil
+	}
+	return os.ReadFile(path) // want "call to os.ReadFile while holding s.mu"
+}
+
+// GoodHoist does the blocking work outside the critical section.
+func (s *shard) GoodHoist(path string) ([]byte, error) {
+	s.mu.Lock()
+	b, ok := s.m[path]
+	s.mu.Unlock()
+	if ok {
+		return b, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.m[path] = data
+	s.mu.Unlock()
+	return data, nil
+}
+
+// GoodBranches unlocks on every path before blocking.
+func (s *shard) GoodBranches(path string) ([]byte, error) {
+	s.mu.Lock()
+	if b, ok := s.m[path]; ok {
+		s.mu.Unlock()
+		return b, nil
+	}
+	s.mu.Unlock()
+	return os.ReadFile(path)
+}
+
+// GoodGoroutine blocks only inside a spawned goroutine, which does not
+// hold the caller's lock.
+func (s *shard) GoodGoroutine(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		b, _ := os.ReadFile(path)
+		_ = b
+	}()
+}

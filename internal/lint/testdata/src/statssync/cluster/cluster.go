@@ -1,0 +1,19 @@
+// Package cluster seeds the cluster side of the statssync golden
+// tests: the most complete obs.QueryStats literal stands in for the
+// coordinator's trailer merge and forgets one field.
+package cluster
+
+import obs "datavirt/internal/lint/testdata/src/statssync/obs"
+
+// merge rebuilds remote stats from a trailer, dropping BadTime.
+func merge(rows, skew int64) obs.QueryStats {
+	return obs.QueryStats{ // want "does not set QueryStats field BadTime"
+		RowsRead: rows,
+		BadSkew:  skew,
+		WaitTime: 0,
+	}
+}
+
+// zero is a smaller literal the analyzer must ignore when picking the
+// merge site.
+func zero() obs.QueryStats { return obs.QueryStats{} }

@@ -1,0 +1,34 @@
+// Package obs seeds the statssync golden tests: a QueryStats stand-in
+// with two drifted fields (one counter, one duration) and two healthy
+// ones.
+package obs
+
+import "time"
+
+// QueryStats mirrors the real per-query stats struct.
+type QueryStats struct {
+	RowsRead int64         // merged and surfaced: healthy
+	BadSkew  int64         // want "not merged in Add" "appears in neither Counters nor String"
+	WaitTime time.Duration // merged and attributed: healthy
+	BadTime  time.Duration // want "not merged in Add" "appears in neither StageTime nor String"
+
+	hidden int64 // unexported: out of scope
+}
+
+// Add merges another stats block into s.
+func (s *QueryStats) Add(o *QueryStats) {
+	s.RowsRead += o.RowsRead
+	s.WaitTime += o.WaitTime
+	s.hidden += o.hidden
+}
+
+// Counters exposes the integer counters.
+func (s *QueryStats) Counters() map[string]int64 {
+	return map[string]int64{"rows_read": s.RowsRead}
+}
+
+// String renders the stats for logs.
+func (s *QueryStats) String() string { return "stats" }
+
+// StageTime attributes time to pipeline stages.
+func (s *QueryStats) StageTime() time.Duration { return s.WaitTime }

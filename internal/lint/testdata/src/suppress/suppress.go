@@ -1,0 +1,33 @@
+// Package cache seeds the suppression golden tests: one legitimate
+// //dvlint:ignore silencing a lockio finding, plus the three malformed
+// directive shapes ignorereason flags. A "// want-below" comment pins
+// the expectation to the directive line beneath it (the directive
+// comment itself would swallow an inline want).
+package cache
+
+import (
+	"os"
+	"sync"
+)
+
+type box struct {
+	mu sync.Mutex
+}
+
+// Warm reads the seed file under the lock on purpose: it runs during
+// construction, before any concurrent reader exists.
+func (b *box) Warm(path string) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//dvlint:ignore lockio warm runs before any reader can contend
+	return os.ReadFile(path)
+}
+
+// want-below "names no analyzer"
+//dvlint:ignore
+
+// want-below "unknown analyzer \"nosuch\""
+//dvlint:ignore nosuch the analyzer name is misspelled here
+
+// want-below "has no reason"
+//dvlint:ignore lockio

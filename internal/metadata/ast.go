@@ -7,6 +7,26 @@ import (
 	"datavirt/internal/schema"
 )
 
+// Pos locates a construct in the descriptor source (1-based line and
+// column). The zero Pos means "position unknown" — descriptors built
+// from the XML or BinX embeddings, or constructed programmatically,
+// carry no positions. The pretty-printer ignores positions, so the
+// print/re-parse fixpoint is unaffected by them.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// IsValid reports whether the position was recorded.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
 // Descriptor is a complete parsed meta-data descriptor: the three
 // components of the description language.
 type Descriptor struct {
@@ -44,6 +64,9 @@ type Storage struct {
 	DatasetName string // bracket header, e.g. [IparsData]
 	SchemaName  string // DatasetDescription = IPARS
 	Dirs        []DirEntry
+
+	// Pos is the bracket header's source position (zero when unknown).
+	Pos Pos
 }
 
 // DirEntry is one DIR[i] = node/path line.
@@ -51,6 +74,9 @@ type DirEntry struct {
 	Index int
 	Node  string // first path component: the cluster node name
 	Path  string // remainder: directory on that node
+
+	// Pos is the DIR line's source position (zero when unknown).
+	Pos Pos
 }
 
 // Raw renders the entry's right-hand side.
@@ -100,6 +126,9 @@ type DatasetNode struct {
 	// IndexFiles lists INDEXFILE clauses pairing index files with data
 	// files of a chunked leaf.
 	IndexFiles []FileClause
+
+	// Pos is the Dataset keyword's source position (zero when unknown).
+	Pos Pos
 }
 
 // IsLeaf reports whether the node holds files rather than children.
@@ -123,6 +152,9 @@ type Loop struct {
 	Var          string
 	Lo, Hi, Step Expr
 	Body         []SpaceItem
+
+	// Pos is the LOOP keyword's source position (zero when unknown).
+	Pos Pos
 }
 
 func (*Loop) spaceItem() {}
@@ -138,6 +170,9 @@ func (l *Loop) printTo(b *strings.Builder, indent string) {
 // AttrRef names an attribute stored at this position of the loop body.
 type AttrRef struct {
 	Name string
+
+	// Pos is the reference's source position (zero when unknown).
+	Pos Pos
 }
 
 func (AttrRef) spaceItem() {}
@@ -158,6 +193,9 @@ type FileClause struct {
 	Dir      Expr
 	Name     []NamePart
 	Bindings []Binding
+
+	// Pos is the DIR keyword's source position (zero when unknown).
+	Pos Pos
 }
 
 // NamePart is a literal or variable piece of a file-name template.
@@ -170,6 +208,9 @@ type NamePart struct {
 type Binding struct {
 	Var          string
 	Lo, Hi, Step Expr
+
+	// Pos is the variable's source position (zero when unknown).
+	Pos Pos
 }
 
 // Vars returns the distinct free variables of the clause's templates, in

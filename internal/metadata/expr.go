@@ -130,7 +130,7 @@ func ConstExpr(e Expr) Expr {
 // ParseExpr parses a stand-alone bound expression (used by tests and by
 // generated-code templates).
 func ParseExpr(src string) (Expr, error) {
-	toks, err := lex(src)
+	toks, err := lex(src, 1)
 	if err != nil {
 		return nil, err
 	}

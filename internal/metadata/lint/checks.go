@@ -1,0 +1,483 @@
+package lint
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+
+	"datavirt/internal/metadata"
+	"datavirt/internal/schema"
+)
+
+// checker carries one Check invocation's state.
+type checker struct {
+	file  string
+	src   string
+	desc  *metadata.Descriptor
+	diags []Diagnostic
+
+	// usedDirs marks storage-directory indexes some clause expands to.
+	usedDirs map[int]bool
+	// dirsUnknowable is set when any clause failed to expand or was
+	// truncated at the cap, making dir-unused undecidable.
+	dirsUnknowable bool
+	// dims collects, per variable, every distinct iteration extent seen
+	// (from LOOPs and clause bindings) with the position declaring it.
+	dims map[string][]dimRec
+	// bound collects every attribute/variable name some leaf lays out.
+	bound map[string]bool
+	// referenced additionally includes DATAINDEX names (counts as a use
+	// for attr-unused, but not as a binding for attr-unbound).
+	referenced map[string]bool
+}
+
+// dimRec is one observed iteration extent of a variable.
+type dimRec struct {
+	extent int64
+	pos    metadata.Pos
+	where  string // "LOOP X in dataset \"d\"" / "binding X in dataset \"d\""
+}
+
+func (c *checker) report(pos metadata.Pos, sev Severity, code, format string, args ...any) {
+	c.diags = append(c.diags, Diagnostic{
+		File: c.file, Line: pos.Line, Col: pos.Col,
+		Severity: sev, Code: code, Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func (c *checker) run() {
+	c.usedDirs = map[int]bool{}
+	c.dims = map[string][]dimRec{}
+	c.bound = map[string]bool{}
+	c.referenced = map[string]bool{}
+
+	st := c.desc.Storage
+	// seenFiles maps concrete node:path → position of the clause that
+	// first produced it, kept separately for data and index files.
+	seenData := map[string]metadata.Pos{}
+	seenIndex := map[string]metadata.Pos{}
+
+	if c.desc.Layout != nil {
+		base := ""
+		if st != nil {
+			base = st.SchemaName
+		}
+		c.walkNode(c.desc.Layout, base, nil, seenData, seenIndex)
+	}
+	c.checkDims()
+	c.checkUnboundSchemaAttrs()
+	c.checkUnusedDirs()
+}
+
+// walkNode descends the layout tree carrying the effective type name
+// and the attribute table accumulated so far (nil when unresolvable).
+func (c *checker) walkNode(n *metadata.DatasetNode, typeName string, inherited []schema.Attribute, seenData, seenIndex map[string]metadata.Pos) {
+	if n.TypeName != "" {
+		typeName = n.TypeName
+	}
+	sch := c.desc.Schema(typeName)
+
+	// type-conflict: an extra redeclaring a known attribute with a
+	// different kind changes the attribute's on-disk width mid-tree.
+	table := map[string]schema.Kind{}
+	declaredBy := map[string]string{}
+	if sch != nil {
+		for _, a := range sch.Attrs() {
+			table[a.Name] = a.Kind
+			declaredBy[a.Name] = fmt.Sprintf("schema [%s]", sch.Name())
+		}
+	}
+	for _, a := range inherited {
+		table[a.Name] = a.Kind
+		declaredBy[a.Name] = "an enclosing DATATYPE"
+	}
+	for _, a := range n.ExtraAttrs {
+		if prev, ok := table[a.Name]; ok && prev != a.Kind {
+			c.report(n.Pos, SevError, "type-conflict",
+				"dataset %q: DATATYPE redeclares %q as %s (%d bytes) but %s declares it as %s (%d bytes)",
+				n.Name, a.Name, a.Kind, a.Kind.Size(), declaredBy[a.Name], prev, prev.Size())
+		}
+		table[a.Name] = a.Kind
+		declaredBy[a.Name] = fmt.Sprintf("DATATYPE of dataset %q", n.Name)
+	}
+	if sch == nil {
+		table = nil // attribute names unresolvable below here
+	}
+
+	for _, a := range n.IndexAttrs {
+		c.referenced[a] = true
+	}
+
+	if !n.IsLeaf() {
+		extras := append(append([]schema.Attribute(nil), inherited...), n.ExtraAttrs...)
+		for _, ch := range n.Children {
+			c.walkNode(ch, typeName, extras, seenData, seenIndex)
+		}
+		c.checkUnusedExtras(n)
+		return
+	}
+	c.checkLeaf(n, table, seenData, seenIndex)
+	c.checkUnusedExtras(n)
+}
+
+// checkLeaf runs every per-leaf pass: clause expansion (dir-range,
+// file-clause, file-overlap, dims), span overlap, and loop checks.
+func (c *checker) checkLeaf(n *metadata.DatasetNode, table map[string]schema.Kind, seenData, seenIndex map[string]metadata.Pos) {
+	st := c.desc.Storage
+
+	// Expand the clauses (bounded; no file I/O) and detect two clauses
+	// materializing the same concrete file.
+	bindingVars := map[string]metadata.Pos{}
+	var envs []metadata.Env
+	for i := range n.Files {
+		fc := &n.Files[i]
+		insts, _ := c.expandClause(st, n, fc, bindingVars)
+		for _, inst := range insts {
+			if prev, ok := seenData[inst.key]; ok {
+				c.report(fc.Pos, SevError, "file-overlap",
+					"dataset %q: DATA clause produces file %s already produced by the clause at %s",
+					n.Name, inst.key, prev)
+				break // one report per clause pair
+			}
+			seenData[inst.key] = fc.Pos
+			envs = append(envs, inst.env)
+		}
+	}
+	for i := range n.IndexFiles {
+		fc := &n.IndexFiles[i]
+		insts, _ := c.expandClause(st, n, fc, bindingVars)
+		for _, inst := range insts {
+			if prev, ok := seenIndex[inst.key]; ok {
+				c.report(fc.Pos, SevError, "file-overlap",
+					"dataset %q: INDEXFILE clause produces file %s already produced by the clause at %s",
+					n.Name, inst.key, prev)
+				break
+			}
+			seenIndex[inst.key] = fc.Pos
+		}
+	}
+	if len(envs) == 0 {
+		envs = []metadata.Env{{}}
+	}
+	for v := range bindingVars {
+		c.bound[v] = true
+	}
+
+	// span-overlap / attr-unknown over the dataspace.
+	if n.Space != nil {
+		seenAttr := map[string]metadata.Pos{}
+		c.checkSpaceItems(n, n.Space.Items, table, bindingVars, envs, seenAttr)
+	}
+	for _, a := range n.Chunked {
+		c.bound[a] = true
+		if table != nil {
+			if _, ok := table[a]; !ok {
+				c.report(n.Pos, SevError, "attr-unknown",
+					"dataset %q: CHUNKED names unknown attribute %q", n.Name, a)
+			}
+		}
+	}
+	if dup := firstDup(n.Chunked); dup != "" {
+		c.report(n.Pos, SevError, "span-overlap",
+			"dataset %q: CHUNKED lists attribute %q twice", n.Name, dup)
+	}
+}
+
+// checkSpaceItems walks one dataspace level: records bound attributes,
+// flags duplicates (overlapping spans), unknown attributes, loop/binding
+// variable collisions, and evaluates loop extents under the leaf's
+// file-clause environments.
+func (c *checker) checkSpaceItems(n *metadata.DatasetNode, items []metadata.SpaceItem, table map[string]schema.Kind, bindingVars map[string]metadata.Pos, envs []metadata.Env, seenAttr map[string]metadata.Pos) {
+	for _, it := range items {
+		switch item := it.(type) {
+		case metadata.AttrRef:
+			c.bound[item.Name] = true
+			if prev, ok := seenAttr[item.Name]; ok {
+				c.report(item.Pos, SevError, "span-overlap",
+					"dataset %q: attribute %q laid out twice in DATASPACE (first at %s) — overlapping DATA spans",
+					n.Name, item.Name, prev)
+			} else {
+				seenAttr[item.Name] = item.Pos
+			}
+			if table != nil {
+				if _, ok := table[item.Name]; !ok {
+					c.report(item.Pos, SevError, "attr-unknown",
+						"dataset %q: DATASPACE names unknown attribute %q", n.Name, item.Name)
+				}
+			}
+		case *metadata.Loop:
+			c.bound[item.Var] = true
+			if bpos, ok := bindingVars[item.Var]; ok {
+				c.report(item.Pos, SevError, "loop-extent",
+					"dataset %q: LOOP variable %q is also bound by the file clause at %s — the loop and the binding would iterate it independently",
+					n.Name, item.Var, bpos)
+			}
+			c.checkLoopExtent(n, item, envs)
+			c.checkSpaceItems(n, item.Body, table, bindingVars, envs, seenAttr)
+		}
+	}
+}
+
+// checkLoopExtent evaluates the loop bounds under each file-clause
+// environment. Bounds that reference enclosing loop variables cannot be
+// evaluated here and are skipped; everything evaluable must give a
+// positive step and a non-empty range, and its extent is recorded for
+// the cross-leaf dimension-consistency pass.
+func (c *checker) checkLoopExtent(n *metadata.DatasetNode, l *metadata.Loop, envs []metadata.Env) {
+	reported := false
+	for _, env := range envs {
+		lo, err1 := l.Lo.Eval(env)
+		hi, err2 := l.Hi.Eval(env)
+		step, err3 := l.Step.Eval(env)
+		if err1 != nil || err2 != nil || err3 != nil {
+			continue // depends on an enclosing loop variable
+		}
+		if reported {
+			continue
+		}
+		switch {
+		case step <= 0:
+			c.report(l.Pos, SevError, "loop-extent",
+				"dataset %q: LOOP %s has non-positive step %d", n.Name, l.Var, step)
+			reported = true
+		case lo > hi:
+			c.report(l.Pos, SevError, "loop-extent",
+				"dataset %q: LOOP %s has empty range %d:%d (zero extent)", n.Name, l.Var, lo, hi)
+			reported = true
+		default:
+			c.addDim(l.Var, (hi-lo)/step+1, l.Pos,
+				fmt.Sprintf("LOOP %s in dataset %q", l.Var, n.Name))
+		}
+	}
+}
+
+// addDim records one observed iteration extent for a variable.
+func (c *checker) addDim(v string, extent int64, pos metadata.Pos, where string) {
+	for _, r := range c.dims[v] {
+		if r.extent == extent && r.pos == pos {
+			return
+		}
+	}
+	c.dims[v] = append(c.dims[v], dimRec{extent, pos, where})
+}
+
+// checkDims reports variables whose iteration extent differs between
+// declarations: the dataspace dimensions of aligned leaves disagree.
+func (c *checker) checkDims() {
+	vars := make([]string, 0, len(c.dims))
+	for v := range c.dims {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	for _, v := range vars {
+		recs := c.dims[v]
+		for _, r := range recs[1:] {
+			if r.extent != recs[0].extent {
+				c.report(r.pos, SevWarning, "dim-mismatch",
+					"variable %q iterates %d values here (%s) but %d values at %s (%s)",
+					v, r.extent, r.where, recs[0].extent, recs[0].pos, recs[0].where)
+				break
+			}
+		}
+	}
+}
+
+// checkUnusedExtras warns about DATATYPE extras nothing ever references.
+// Called post-order, so by the time the root is checked every leaf has
+// populated bound/referenced.
+func (c *checker) checkUnusedExtras(n *metadata.DatasetNode) {
+	for _, a := range n.ExtraAttrs {
+		if !c.bound[a.Name] && !c.referenced[a.Name] {
+			c.report(n.Pos, SevWarning, "attr-unused",
+				"dataset %q: DATATYPE extra attribute %q is never laid out or indexed", n.Name, a.Name)
+		}
+	}
+}
+
+// checkUnboundSchemaAttrs warns about virtual-table attributes no leaf
+// ever lays out: a query selecting them could never be answered — the
+// layout leaves a gap.
+func (c *checker) checkUnboundSchemaAttrs() {
+	sch := c.desc.TableSchema()
+	if sch == nil || c.desc.Layout == nil {
+		return
+	}
+	for _, a := range sch.Attrs() {
+		if c.bound[a.Name] {
+			continue
+		}
+		c.report(c.findSchemaAttrPos(sch.Name(), a.Name), SevWarning, "attr-unbound",
+			"schema [%s] attribute %q is never bound by any DATA clause, DATASPACE or LOOP — no file provides it",
+			sch.Name(), a.Name)
+	}
+}
+
+// checkUnusedDirs warns about storage directories no clause selects.
+// Suppressed when any clause failed to expand (usage is unknowable).
+func (c *checker) checkUnusedDirs() {
+	st := c.desc.Storage
+	if st == nil || c.desc.Layout == nil || c.dirsUnknowable {
+		return
+	}
+	for i, e := range st.Dirs {
+		if !c.usedDirs[i] {
+			c.report(e.Pos, SevWarning, "dir-unused",
+				"storage directory DIR[%d] = %s is referenced by no layout block", i, e.Raw())
+		}
+	}
+}
+
+// findSchemaAttrPos locates "NAME =" inside the "[Schema]" section by
+// scanning the raw source (the schema parser does not record positions).
+func (c *checker) findSchemaAttrPos(schemaName, attr string) metadata.Pos {
+	inSection := false
+	for i, line := range strings.Split(c.src, "\n") {
+		t := strings.TrimSpace(line)
+		if strings.HasPrefix(t, "[") && strings.HasSuffix(t, "]") {
+			inSection = strings.TrimSpace(t[1:len(t)-1]) == schemaName
+			continue
+		}
+		if !inSection {
+			continue
+		}
+		if name, _, ok := strings.Cut(t, "="); ok && strings.TrimSpace(name) == attr {
+			return metadata.Pos{Line: i + 1, Col: strings.Index(line, attr) + 1}
+		}
+	}
+	return metadata.Pos{}
+}
+
+// firstDup returns the first string appearing twice in the list.
+func firstDup(list []string) string {
+	seen := map[string]bool{}
+	for _, s := range list {
+		if seen[s] {
+			return s
+		}
+		seen[s] = true
+	}
+	return ""
+}
+
+// expandCap bounds clause expansion: the checker inspects at most this
+// many concrete files per clause, so huge binding ranges cannot make
+// checking (or fuzzing) explode. Past the cap, dir-unused is suppressed.
+const expandCap = 512
+
+// fileInst is one concrete file a clause expands to.
+type fileInst struct {
+	key string // node:path — the file's identity for overlap detection
+	env metadata.Env
+}
+
+// expandClause enumerates a clause's files up to expandCap, reporting
+// file-clause and dir-range diagnostics and recording used directories,
+// binding variables and binding extents. It performs no file I/O.
+func (c *checker) expandClause(st *metadata.Storage, n *metadata.DatasetNode, fc *metadata.FileClause, bindingVars map[string]metadata.Pos) ([]fileInst, bool) {
+	var insts []fileInst
+	failed := false
+	truncated := false
+	var rec func(i int, env metadata.Env) bool
+	rec = func(i int, env metadata.Env) bool {
+		if len(insts) >= expandCap {
+			truncated = true
+			return false
+		}
+		if i == len(fc.Bindings) {
+			if st == nil {
+				return false
+			}
+			dv, err := fc.Dir.Eval(env)
+			if err != nil {
+				failed = true
+				c.report(fc.Pos, SevError, "file-clause",
+					"dataset %q: directory expression: %v", n.Name, err)
+				return false
+			}
+			if dv < 0 || int(dv) >= len(st.Dirs) {
+				failed = true
+				c.report(fc.Pos, SevError, "dir-range",
+					"dataset %q: DIR[%d] out of range (storage declares %d directories)",
+					n.Name, dv, len(st.Dirs))
+				return false
+			}
+			c.usedDirs[int(dv)] = true
+			var b strings.Builder
+			for _, p := range fc.Name {
+				if p.Var == "" {
+					b.WriteString(p.Lit)
+					continue
+				}
+				v, ok := env[p.Var]
+				if !ok {
+					failed = true
+					c.report(fc.Pos, SevError, "file-clause",
+						"dataset %q: file name uses unbound variable $%s", n.Name, p.Var)
+					return false
+				}
+				b.WriteString(strconv.FormatInt(v, 10))
+			}
+			e := st.Dirs[dv]
+			frozen := make(metadata.Env, len(env))
+			for k, v := range env {
+				frozen[k] = v
+			}
+			insts = append(insts, fileInst{key: e.Node + ":" + path.Join(e.Path, b.String()), env: frozen})
+			return true
+		}
+		bind := fc.Bindings[i]
+		if _, ok := bindingVars[bind.Var]; !ok {
+			bindingVars[bind.Var] = bind.Pos
+		}
+		lo, err1 := bind.Lo.Eval(env)
+		hi, err2 := bind.Hi.Eval(env)
+		step, err3 := bind.Step.Eval(env)
+		if err := firstErr(err1, err2, err3); err != nil {
+			failed = true
+			c.report(bind.Pos, SevError, "file-clause",
+				"dataset %q: binding %s: %v", n.Name, bind.Var, err)
+			return false
+		}
+		switch {
+		case step <= 0:
+			failed = true
+			c.report(bind.Pos, SevError, "file-clause",
+				"dataset %q: binding %s has non-positive step %d", n.Name, bind.Var, step)
+			return false
+		case lo > hi:
+			failed = true
+			c.report(bind.Pos, SevError, "file-clause",
+				"dataset %q: binding %s has empty range %d:%d", n.Name, bind.Var, lo, hi)
+			return false
+		}
+		c.addDim(bind.Var, (hi-lo)/step+1, bind.Pos,
+			fmt.Sprintf("binding %s in dataset %q", bind.Var, n.Name))
+		for v := lo; v <= hi; v += step {
+			env2 := make(metadata.Env, len(env)+1)
+			for k, vv := range env {
+				env2[k] = vv
+			}
+			env2[bind.Var] = v
+			if !rec(i+1, env2) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, metadata.Env{})
+	if failed || truncated || st == nil {
+		c.dirsUnknowable = true
+	}
+	return insts, truncated
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"datavirt/internal/metadata"
+)
+
+// FuzzCheck fuzzes the descriptor parser with the checker as the
+// oracle: Check must never panic, must report a syntax diagnostic
+// exactly when parsing fails, and — by construction — must report at
+// least one error for any descriptor Validate rejects. The seed corpus
+// mixes the shipped descriptors with one seed per diagnostic class.
+func FuzzCheck(f *testing.F) {
+	shipped, _ := filepath.Glob("../../codegen/testdata/*.dvd")
+	for _, p := range shipped {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	for _, seed := range []string{
+		// syntax
+		"Dataset \"x\" {",
+		// span-overlap
+		header + "Dataset \"d\" {\n DATATYPE { S }\n DATASPACE { LOOP I 0:5:1 { A A } }\n DATA { DIR[0]/f }\n}\n",
+		// loop-extent
+		header + "Dataset \"d\" {\n DATATYPE { S }\n DATASPACE { LOOP I 5:1:1 { A } }\n DATA { DIR[0]/f }\n}\n",
+		// type-conflict
+		header + "Dataset \"d\" {\n DATATYPE { S A = int }\n DATASPACE { LOOP I 0:5:1 { A } }\n DATA { DIR[0]/f }\n}\n",
+		// attr-unknown
+		header + "Dataset \"d\" {\n DATATYPE { S }\n DATASPACE { NOPE }\n DATA { DIR[0]/f }\n}\n",
+		// dir-range
+		header + "Dataset \"d\" {\n DATATYPE { S }\n DATASPACE { A }\n DATA { DIR[9]/f }\n}\n",
+		// file-overlap
+		header + "Dataset \"d\" {\n DATATYPE { S }\n DATASPACE { A }\n DATA { DIR[0]/f DIR[0]/f }\n}\n",
+		// huge ranges must hit the expansion cap, not hang
+		header + "Dataset \"d\" {\n DATATYPE { S }\n DATASPACE { A }\n DATA { DIR[0]/f$I.$J I = 0:99999:1 J = 0:99999:1 }\n}\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		ds := Check("fuzz.dvd", src) // must not panic
+		_, perr := metadata.ParseUnvalidated(src)
+		hasSyntax := false
+		for _, d := range ds {
+			if d.Code == "syntax" {
+				hasSyntax = true
+			}
+		}
+		if (perr != nil) != hasSyntax {
+			t.Fatalf("parse err = %v but syntax diagnostic = %v (%v)", perr, hasSyntax, ds)
+		}
+		if perr != nil {
+			return
+		}
+		if _, err := metadata.Parse(src); err != nil {
+			// Validate rejects: the checker must too, either with a
+			// positioned error or the coarse validate fallback.
+			if !HasErrors(ds) {
+				t.Fatalf("Validate rejects (%v) but checker reports no error: %v", err, ds)
+			}
+		} else {
+			for _, d := range ds {
+				if d.Code == "validate" {
+					t.Fatalf("valid descriptor got validate diagnostic: %v", d)
+				}
+			}
+		}
+	})
+}

@@ -9,7 +9,7 @@ import (
 )
 
 func TestLexBasics(t *testing.T) {
-	toks, err := lex(`Dataset "ipars1" { LOOP GRID ($DIRID*100+1):500 }`)
+	toks, err := lex(`Dataset "ipars1" { LOOP GRID ($DIRID*100+1):500 }`, 1)
 	if err != nil {
 		t.Fatalf("lex: %v", err)
 	}
@@ -35,10 +35,10 @@ func TestLexBasics(t *testing.T) {
 }
 
 func TestLexErrors(t *testing.T) {
-	if _, err := lex(`"unterminated`); err == nil {
+	if _, err := lex(`"unterminated`, 1); err == nil {
 		t.Error("unterminated string accepted")
 	}
-	if _, err := lex("a ; b"); err == nil {
+	if _, err := lex("a ; b", 1); err == nil {
 		t.Error("unknown character accepted")
 	}
 }

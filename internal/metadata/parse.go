@@ -15,6 +15,22 @@ import (
 // layout description (the root "Dataset" block). The result is
 // validated; see Validate for the rules enforced.
 func Parse(src string) (*Descriptor, error) {
+	d, err := ParseUnvalidated(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Validate(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ParseUnvalidated parses the descriptor syntax without running
+// Validate. The static checker (internal/metadata/lint) uses it to
+// analyze descriptors whose structural rules it wants to diagnose with
+// positions instead of failing at the first violation. Everyone else
+// should call Parse.
+func ParseUnvalidated(src string) (*Descriptor, error) {
 	clean := schema.StripComments(src)
 	head, tail := splitLayout(clean)
 
@@ -25,7 +41,8 @@ func Parse(src string) (*Descriptor, error) {
 	if strings.TrimSpace(tail) == "" {
 		return nil, fmt.Errorf("metadata: missing Component III (no Dataset block found)")
 	}
-	toks, err := lex(tail)
+	// The tail starts mid-file: keep token positions absolute.
+	toks, err := lex(tail, 1+strings.Count(head, "\n"))
 	if err != nil {
 		return nil, err
 	}
@@ -38,9 +55,6 @@ func Parse(src string) (*Descriptor, error) {
 		return nil, p.errf("unexpected input after root Dataset block: %s", p.peek())
 	}
 	d.Layout = root
-	if err := Validate(d); err != nil {
-		return nil, err
-	}
 	return d, nil
 }
 
@@ -114,13 +128,19 @@ func splitLayout(src string) (head, tail string) {
 	return src, ""
 }
 
+// headLine is one non-empty section line plus its 1-based file line.
+type headLine struct {
+	text string
+	line int
+}
+
 // parseHeadSections parses the bracket-headed sections before the layout
 // block. A section containing a DatasetDescription key is the storage
 // description; all others are schema sections.
 func parseHeadSections(head string, d *Descriptor) error {
 	type section struct {
 		name  string
-		lines []string
+		lines []headLine
 		line  int
 	}
 	var secs []section
@@ -136,14 +156,14 @@ func parseHeadSections(head string, d *Descriptor) error {
 		if len(secs) == 0 {
 			return fmt.Errorf("metadata: line %d: content before first [section]", lineno+1)
 		}
-		secs[len(secs)-1].lines = append(secs[len(secs)-1].lines, line)
+		secs[len(secs)-1].lines = append(secs[len(secs)-1].lines, headLine{text: line, line: lineno + 1})
 	}
 	for _, sec := range secs {
 		if isStorageSection(sec.lines) {
 			if d.Storage != nil {
 				return fmt.Errorf("metadata: duplicate storage description [%s]", sec.name)
 			}
-			st, err := parseStorage(sec.name, sec.lines)
+			st, err := parseStorage(sec.name, sec.line, sec.lines)
 			if err != nil {
 				return err
 			}
@@ -153,7 +173,7 @@ func parseHeadSections(head string, d *Descriptor) error {
 		var b strings.Builder
 		fmt.Fprintf(&b, "[%s]\n", sec.name)
 		for _, l := range sec.lines {
-			b.WriteString(l)
+			b.WriteString(l.text)
 			b.WriteByte('\n')
 		}
 		ss, err := schema.ParseSchemas(b.String())
@@ -165,9 +185,9 @@ func parseHeadSections(head string, d *Descriptor) error {
 	return nil
 }
 
-func isStorageSection(lines []string) bool {
+func isStorageSection(lines []headLine) bool {
 	for _, l := range lines {
-		key, _, ok := strings.Cut(l, "=")
+		key, _, ok := strings.Cut(l.text, "=")
 		if ok && strings.EqualFold(strings.TrimSpace(key), "DatasetDescription") {
 			return true
 		}
@@ -175,10 +195,11 @@ func isStorageSection(lines []string) bool {
 	return false
 }
 
-func parseStorage(name string, lines []string) (*Storage, error) {
-	st := &Storage{DatasetName: name}
+func parseStorage(name string, headerLine int, lines []headLine) (*Storage, error) {
+	st := &Storage{DatasetName: name, Pos: Pos{Line: headerLine, Col: 1}}
 	seen := map[int]bool{}
-	for _, l := range lines {
+	for _, hl := range lines {
+		l := hl.text
 		key, val, ok := strings.Cut(l, "=")
 		if !ok {
 			return nil, fmt.Errorf("metadata: storage [%s]: malformed line %q", name, l)
@@ -206,7 +227,7 @@ func parseStorage(name string, lines []string) (*Storage, error) {
 			if node == "" {
 				return nil, fmt.Errorf("metadata: storage [%s]: DIR[%d] has empty node", name, idx)
 			}
-			st.Dirs = append(st.Dirs, DirEntry{Index: idx, Node: node, Path: path})
+			st.Dirs = append(st.Dirs, DirEntry{Index: idx, Node: node, Path: path, Pos: Pos{Line: hl.line, Col: 1}})
 			continue
 		}
 		return nil, fmt.Errorf("metadata: storage [%s]: unknown key %q", name, key)
@@ -282,6 +303,7 @@ func (p *parser) expectKeyword(kw string) error {
 // parseDataset parses Dataset "name" { clauses } and resolves
 // child-by-reference DATA clauses.
 func (p *parser) parseDataset() (*DatasetNode, error) {
+	kwPos := p.peek().pos()
 	if err := p.expectKeyword("Dataset"); err != nil {
 		return nil, err
 	}
@@ -289,7 +311,7 @@ func (p *parser) parseDataset() (*DatasetNode, error) {
 	if nameTok.Kind != tokString {
 		return nil, p.errf("expected quoted dataset name, got %s", nameTok)
 	}
-	n := &DatasetNode{Name: nameTok.Text}
+	n := &DatasetNode{Name: nameTok.Text, Pos: kwPos}
 	if err := p.expectPunct("{"); err != nil {
 		return nil, err
 	}
@@ -480,6 +502,7 @@ func (p *parser) parseSpaceItems() ([]SpaceItem, error) {
 		t := p.peek()
 		switch {
 		case t.isKeyword("LOOP"):
+			loopPos := t.pos()
 			p.next()
 			v := p.next()
 			if v.Kind != tokIdent {
@@ -514,10 +537,10 @@ func (p *parser) parseSpaceItems() ([]SpaceItem, error) {
 			if err := p.expectPunct("}"); err != nil {
 				return nil, err
 			}
-			items = append(items, &Loop{Var: v.Text, Lo: lo, Hi: hi, Step: step, Body: body})
+			items = append(items, &Loop{Var: v.Text, Lo: lo, Hi: hi, Step: step, Body: body, Pos: loopPos})
 		case t.Kind == tokIdent:
 			p.next()
-			items = append(items, AttrRef{Name: t.Text})
+			items = append(items, AttrRef{Name: t.Text, Pos: t.pos()})
 		case t.isEOF():
 			return nil, p.errf("unterminated dataspace body")
 		default:
@@ -571,6 +594,7 @@ func (p *parser) parseDataBlock() (refs []string, clauses []FileClause, inline [
 // parseFileClause parses DIR[expr]/NAME-template followed by zero or more
 // VAR = lo:hi:step bindings.
 func (p *parser) parseFileClause() (*FileClause, error) {
+	dirPos := p.peek().pos()
 	if err := p.expectKeyword("DIR"); err != nil {
 		return nil, err
 	}
@@ -587,7 +611,7 @@ func (p *parser) parseFileClause() (*FileClause, error) {
 	if err := p.expectPunct("/"); err != nil {
 		return nil, err
 	}
-	fc := &FileClause{Dir: dir}
+	fc := &FileClause{Dir: dir, Pos: dirPos}
 	// Name template: adjacent IDENT / NUMBER / '.' / '$'IDENT tokens.
 	first := true
 	for {
@@ -653,7 +677,7 @@ nameDone:
 				return nil, err
 			}
 		}
-		fc.Bindings = append(fc.Bindings, Binding{Var: t.Text, Lo: lo, Hi: hi, Step: step})
+		fc.Bindings = append(fc.Bindings, Binding{Var: t.Text, Lo: lo, Hi: hi, Step: step, Pos: t.pos()})
 	}
 	return fc, nil
 }

@@ -31,15 +31,21 @@ const (
 	tokPunct  // one of { } ( ) [ ] : = $ , . / * + - %
 )
 
-// token is one lexical token. Adjacent reports that the token directly
-// follows the previous token with no intervening whitespace; the path-
-// template parser uses it to know where a file name ends.
+// token is one lexical token. Line and Col (both 1-based) locate its
+// first character in the descriptor source. Adjacent reports that the
+// token directly follows the previous token with no intervening
+// whitespace; the path-template parser uses it to know where a file
+// name ends.
 type token struct {
 	Kind     tokKind
 	Text     string
 	Line     int
+	Col      int
 	Adjacent bool
 }
+
+// pos returns the token's source position.
+func (t token) pos() Pos { return Pos{Line: t.Line, Col: t.Col} }
 
 func (t token) String() string {
 	switch t.Kind {
@@ -64,10 +70,15 @@ func (t token) isKeyword(kw string) bool {
 const punctChars = "{}()[]:=$,./*+-%"
 
 // lex tokenizes src (which must already have comments stripped).
-func lex(src string) ([]token, error) {
+// baseLine is the 1-based file line of src's first character, so token
+// positions stay absolute when lexing the layout tail of a larger
+// descriptor.
+func lex(src string, baseLine int) ([]token, error) {
 	var toks []token
-	line := 1
+	line := baseLine
+	lineStart := 0 // byte offset of the current line's first character
 	sawSpace := true
+	col := func(i int) int { return i - lineStart + 1 }
 	for i := 0; i < len(src); {
 		c := src[i]
 		switch {
@@ -75,6 +86,7 @@ func lex(src string) ([]token, error) {
 			line++
 			sawSpace = true
 			i++
+			lineStart = i
 		case c == ' ' || c == '\t' || c == '\r':
 			sawSpace = true
 			i++
@@ -86,7 +98,7 @@ func lex(src string) ([]token, error) {
 			if j >= len(src) || src[j] != '"' {
 				return nil, fmt.Errorf("metadata: line %d: unterminated string", line)
 			}
-			toks = append(toks, token{tokString, src[i+1 : j], line, !sawSpace})
+			toks = append(toks, token{tokString, src[i+1 : j], line, col(i), !sawSpace})
 			sawSpace = false
 			i = j + 1
 		case c >= '0' && c <= '9':
@@ -94,7 +106,7 @@ func lex(src string) ([]token, error) {
 			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
 				j++
 			}
-			toks = append(toks, token{tokNumber, src[i:j], line, !sawSpace})
+			toks = append(toks, token{tokNumber, src[i:j], line, col(i), !sawSpace})
 			sawSpace = false
 			i = j
 		case isIdentStart(c):
@@ -102,18 +114,18 @@ func lex(src string) ([]token, error) {
 			for j < len(src) && isIdentPart(src[j]) {
 				j++
 			}
-			toks = append(toks, token{tokIdent, src[i:j], line, !sawSpace})
+			toks = append(toks, token{tokIdent, src[i:j], line, col(i), !sawSpace})
 			sawSpace = false
 			i = j
 		case strings.IndexByte(punctChars, c) >= 0:
-			toks = append(toks, token{tokPunct, string(c), line, !sawSpace})
+			toks = append(toks, token{tokPunct, string(c), line, col(i), !sawSpace})
 			sawSpace = false
 			i++
 		default:
 			return nil, fmt.Errorf("metadata: line %d: unexpected character %q", line, c)
 		}
 	}
-	toks = append(toks, token{tokEOF, "", line, false})
+	toks = append(toks, token{tokEOF, "", line, 1, false})
 	return toks, nil
 }
 

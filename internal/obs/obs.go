@@ -151,8 +151,8 @@ func (s *QueryStats) String() string {
 	var b strings.Builder
 	b.WriteString(s.Counters())
 	if s.CacheHits+s.CacheMisses > 0 {
-		fmt.Fprintf(&b, "\ncache: %d hits / %d misses, %d fs bytes, %d bytes saved",
-			s.CacheHits, s.CacheMisses, s.FSBytesRead, s.CacheBytesSaved())
+		fmt.Fprintf(&b, "\ncache: %d hits / %d misses, %d fs bytes, %d bytes served, %d bytes saved",
+			s.CacheHits, s.CacheMisses, s.FSBytesRead, s.CacheBytesServed, s.CacheBytesSaved())
 	}
 	if s.PlanCacheHits+s.PlanCacheMisses > 0 {
 		fmt.Fprintf(&b, "\nplans: %d hits / %d misses", s.PlanCacheHits, s.PlanCacheMisses)
