@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"datavirt/internal/bench"
+	"datavirt/internal/cache"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and the paper queries, then exit")
 	verify := flag.Bool("verify", false, "cross-check systems on a small sample before timing")
 	jsonPath := flag.String("json", "", "also write the result tables as JSON to this file")
+	cacheBackend := flag.String("cache-backend", "", "block cache backend for experiments that do not compare backends themselves: pread, mmap or auto")
 	flag.Parse()
 
 	if *list {
@@ -40,9 +42,13 @@ func main() {
 		return
 	}
 
+	if _, err := cache.ResolveBackend(*cacheBackend); err != nil {
+		fatal(err)
+	}
 	cfg := bench.Config{
 		WorkDir: *workdir, Scale: *scale, Quick: *quick,
 		Trials: *trials, Verbose: *verbose,
+		CacheBackend: *cacheBackend,
 	}
 	if err := os.MkdirAll(*workdir, 0o755); err != nil {
 		fatal(err)

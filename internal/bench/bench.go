@@ -30,6 +30,11 @@ type Config struct {
 	Trials int
 	// Verbose echoes progress to stderr.
 	Verbose bool
+	// CacheBackend is the block-cache backend experiments use where
+	// they do not compare backends themselves (cache.BackendPread,
+	// cache.BackendMmap or cache.BackendAuto; empty follows the cache
+	// package default). The mmap experiment always measures both.
+	CacheBackend string
 }
 
 func (c Config) trials() int {
@@ -141,6 +146,7 @@ func Experiments() []Experiment {
 		{"ablation-coalesce", "Ablation: chunk coalescing on vs off (ours)", RunAblationCoalesce},
 		{"cache", "Block cache cold vs warm on repeated-range queries (ours)", RunCache},
 		{"plancache", "Semantic plan cache cold vs warm prepare on a repeated query mix (ours)", RunPlanCache},
+		{"mmap", "Cache backends pread vs mmap, cold and warm (ours)", RunMmap},
 	}
 }
 

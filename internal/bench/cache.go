@@ -128,7 +128,7 @@ func RunCache(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	onCold, onWarm, err := run("cache-on", cache.Config{BlockBytes: 256 << 10, Readahead: 2})
+	onCold, onWarm, err := run("cache-on", cache.Config{BlockBytes: 256 << 10, Readahead: 2, Backend: cfg.CacheBackend})
 	if err != nil {
 		return nil, err
 	}

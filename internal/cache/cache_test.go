@@ -1,7 +1,8 @@
-package cache
+package cache_test
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -9,82 +10,15 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"testing"
 	"time"
+
+	"datavirt/internal/cache"
+	"datavirt/internal/cache/cachetest"
 )
 
-// fakeFS is an in-memory filesystem that counts physical opens, reads
-// and closes — the observability the leak and single-flight tests need.
-type fakeFS struct {
-	mu    sync.Mutex
-	files map[string][]byte
-
-	opens  atomic.Int64
-	reads  atomic.Int64
-	closes atomic.Int64
-	// readDelay makes loads slow enough for concurrent callers to pile
-	// onto the single-flight path.
-	readDelay time.Duration
-}
-
-func newFakeFS() *fakeFS { return &fakeFS{files: map[string][]byte{}} }
-
-func (fs *fakeFS) put(path string, n int, seed int64) []byte {
-	data := make([]byte, n)
-	rng := rand.New(rand.NewSource(seed))
-	rng.Read(data)
-	fs.mu.Lock()
-	fs.files[path] = data
-	fs.mu.Unlock()
-	return data
-}
-
-func (fs *fakeFS) open(path string) (File, error) {
-	fs.mu.Lock()
-	data, ok := fs.files[path]
-	fs.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("fakeFS: no file %q", path)
-	}
-	fs.opens.Add(1)
-	return &fakeFile{fs: fs, data: data}, nil
-}
-
-type fakeFile struct {
-	fs     *fakeFS
-	data   []byte
-	closed atomic.Int64
-}
-
-func (f *fakeFile) ReadAt(p []byte, off int64) (int, error) {
-	if f.closed.Load() > 0 {
-		return 0, fmt.Errorf("fakeFS: read of closed file")
-	}
-	f.fs.reads.Add(1)
-	if f.fs.readDelay > 0 {
-		time.Sleep(f.fs.readDelay)
-	}
-	if off >= int64(len(f.data)) {
-		return 0, io.EOF
-	}
-	n := copy(p, f.data[off:])
-	if n < len(p) {
-		return n, io.EOF
-	}
-	return n, nil
-}
-
-func (f *fakeFile) Close() error {
-	if f.closed.Add(1) > 1 {
-		panic("fakeFS: double close")
-	}
-	f.fs.closes.Add(1)
-	return nil
-}
-
 // readAll pulls [off, off+n) through a fresh reader.
-func readAll(t *testing.T, c *Cache, path string, off int64, n int) []byte {
+func readAll(t *testing.T, c *cache.Cache, path string, off int64, n int) []byte {
 	t.Helper()
 	r, err := c.Open(path)
 	if err != nil {
@@ -99,9 +33,9 @@ func readAll(t *testing.T, c *Cache, path string, off int64, n int) []byte {
 }
 
 func TestReadThroughMatchesFile(t *testing.T) {
-	fs := newFakeFS()
-	want := fs.put("a", 10_000, 1)
-	c := New(Config{BlockBytes: 64, MaxBytes: 1 << 20, OpenFile: fs.open})
+	fs := cachetest.NewFS()
+	want := fs.Put("a", 10_000, 1)
+	c := cache.New(cache.Config{BlockBytes: 64, MaxBytes: 1 << 20, OpenFile: fs.Open})
 	defer c.Close()
 
 	r, err := c.Open("a")
@@ -134,9 +68,9 @@ func TestReadThroughMatchesFile(t *testing.T) {
 }
 
 func TestReadAtEOFSemantics(t *testing.T) {
-	fs := newFakeFS()
-	want := fs.put("a", 100, 3)
-	c := New(Config{BlockBytes: 64, OpenFile: fs.open})
+	fs := cachetest.NewFS()
+	want := fs.Put("a", 100, 3)
+	c := cache.New(cache.Config{BlockBytes: 64, OpenFile: fs.Open})
 	defer c.Close()
 	r, err := c.Open("a")
 	if err != nil {
@@ -174,10 +108,10 @@ func TestReadAtEOFSemantics(t *testing.T) {
 // TestSingleFlight proves N concurrent callers for the same cold block
 // trigger exactly one underlying read.
 func TestSingleFlight(t *testing.T) {
-	fs := newFakeFS()
-	want := fs.put("a", 4096, 4)
-	fs.readDelay = 20 * time.Millisecond
-	c := New(Config{BlockBytes: 4096, OpenFile: fs.open})
+	fs := cachetest.NewFS()
+	want := fs.Put("a", 4096, 4)
+	fs.SetReadDelay(20 * time.Millisecond)
+	c := cache.New(cache.Config{BlockBytes: 4096, OpenFile: fs.Open})
 	defer c.Close()
 
 	const callers = 16
@@ -208,7 +142,7 @@ func TestSingleFlight(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
-	if got := fs.reads.Load(); got != 1 {
+	if got := fs.Reads.Load(); got != 1 {
 		t.Errorf("underlying reads = %d, want 1 (single-flight)", got)
 	}
 	st := c.Stats()
@@ -221,10 +155,10 @@ func TestSingleFlight(t *testing.T) {
 }
 
 func TestEvictionRespectsByteBudget(t *testing.T) {
-	fs := newFakeFS()
-	fs.put("a", 1<<20, 5)
+	fs := cachetest.NewFS()
+	fs.Put("a", 1<<20, 5)
 	// 4 KiB budget over one shard of 1 KiB blocks → at most ~4 resident.
-	c := New(Config{BlockBytes: 1024, MaxBytes: 4096, Shards: 1, OpenFile: fs.open})
+	c := cache.New(cache.Config{BlockBytes: 1024, MaxBytes: 4096, Shards: 1, OpenFile: fs.Open})
 	defer c.Close()
 	r, err := c.Open("a")
 	if err != nil {
@@ -255,11 +189,11 @@ func TestEvictionRespectsByteBudget(t *testing.T) {
 }
 
 func TestHandleLRUBoundsOpenFiles(t *testing.T) {
-	fs := newFakeFS()
+	fs := cachetest.NewFS()
 	for i := 0; i < 10; i++ {
-		fs.put(fmt.Sprintf("f%d", i), 512, int64(i))
+		fs.Put(fmt.Sprintf("f%d", i), 512, int64(i))
 	}
-	c := New(Config{MaxHandles: 4, BlockBytes: 256, OpenFile: fs.open})
+	c := cache.New(cache.Config{MaxHandles: 4, BlockBytes: 256, OpenFile: fs.Open})
 	// Sweep all ten files once, then re-touch the four most recent —
 	// those must be served from the pool without reopening.
 	for i := 0; i < 10; i++ {
@@ -268,7 +202,8 @@ func TestHandleLRUBoundsOpenFiles(t *testing.T) {
 	for i := 6; i < 10; i++ {
 		readAll(t, c, fmt.Sprintf("f%d", i), 0, 256)
 	}
-	if got := c.handles.len(); got > 4 {
+	// No reader is live, so opens minus closes is the resident pool.
+	if got := fs.Opens.Load() - fs.Closes.Load(); got > 4 {
 		t.Errorf("resident handles = %d, want <= 4", got)
 	}
 	st := c.Stats()
@@ -278,12 +213,12 @@ func TestHandleLRUBoundsOpenFiles(t *testing.T) {
 	if err := c.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if fs.opens.Load() != fs.closes.Load() {
-		t.Errorf("fd leak: %d opens, %d closes", fs.opens.Load(), fs.closes.Load())
+	if fs.Opens.Load() != fs.Closes.Load() {
+		t.Errorf("fd leak: %d opens, %d closes", fs.Opens.Load(), fs.Closes.Load())
 	}
 	// The re-touched files were resident: 10 opens for 14 acquires.
-	if fs.opens.Load() != 10 {
-		t.Errorf("opens = %d, want 10 (4 acquires served from the pool)", fs.opens.Load())
+	if fs.Opens.Load() != 10 {
+		t.Errorf("opens = %d, want 10 (4 acquires served from the pool)", fs.Opens.Load())
 	}
 }
 
@@ -291,12 +226,12 @@ func TestHandleLRUBoundsOpenFiles(t *testing.T) {
 // forces its eviction, and checks the reader keeps working and the
 // file is closed exactly once — on the final release.
 func TestHandleEvictedWhileReferenced(t *testing.T) {
-	fs := newFakeFS()
-	want := fs.put("pinned", 512, 42)
+	fs := cachetest.NewFS()
+	want := fs.Put("pinned", 512, 42)
 	for i := 0; i < 4; i++ {
-		fs.put(fmt.Sprintf("f%d", i), 512, int64(i))
+		fs.Put(fmt.Sprintf("f%d", i), 512, int64(i))
 	}
-	c := New(Config{MaxHandles: 2, BlockBytes: 128, OpenFile: fs.open})
+	c := cache.New(cache.Config{MaxHandles: 2, BlockBytes: 128, OpenFile: fs.Open})
 	defer c.Close()
 
 	r, err := c.Open("pinned")
@@ -315,7 +250,7 @@ func TestHandleEvictedWhileReferenced(t *testing.T) {
 	}
 	r.Release()
 	r.Release() // idempotent
-	if fs.closes.Load() == 0 {
+	if fs.Closes.Load() == 0 {
 		t.Error("evicted handle never closed after release")
 	}
 }
@@ -324,15 +259,15 @@ func TestHandleEvictedWhileReferenced(t *testing.T) {
 // -race: hits, misses, evictions, handle churn and single-flight all
 // interleave. Correctness of every byte is asserted.
 func TestConcurrentStorm(t *testing.T) {
-	fs := newFakeFS()
+	fs := cachetest.NewFS()
 	const files, fileSize = 6, 64 * 1024
 	contents := make([][]byte, files)
 	for i := range contents {
-		contents[i] = fs.put(fmt.Sprintf("f%d", i), fileSize, int64(100+i))
+		contents[i] = fs.Put(fmt.Sprintf("f%d", i), fileSize, int64(100+i))
 	}
-	c := New(Config{
+	c := cache.New(cache.Config{
 		BlockBytes: 512, MaxBytes: 16 << 10, MaxHandles: 3,
-		Shards: 4, Readahead: 2, OpenFile: fs.open,
+		Shards: 4, Readahead: 2, OpenFile: fs.Open,
 	})
 
 	const workers = 12
@@ -382,8 +317,8 @@ func TestConcurrentStorm(t *testing.T) {
 	}
 	// Give lossy in-flight prefetch handle releases nothing to leak:
 	// every opened file must be closed after Close.
-	if fs.opens.Load() != fs.closes.Load() {
-		t.Errorf("fd leak after Close: %d opens, %d closes", fs.opens.Load(), fs.closes.Load())
+	if fs.Opens.Load() != fs.Closes.Load() {
+		t.Errorf("fd leak after Close: %d opens, %d closes", fs.Opens.Load(), fs.Closes.Load())
 	}
 }
 
@@ -391,10 +326,10 @@ func TestConcurrentStorm(t *testing.T) {
 // goroutine owner) and checks Close joins it — the goroutine-hygiene
 // style of internal/cluster/cancel_test.go.
 func TestCloseLeavesNoGoroutines(t *testing.T) {
-	fs := newFakeFS()
-	fs.put("a", 1<<20, 7)
+	fs := cachetest.NewFS()
+	fs.Put("a", 1<<20, 7)
 	before := runtime.NumGoroutine()
-	c := New(Config{BlockBytes: 4096, Readahead: 8, OpenFile: fs.open})
+	c := cache.New(cache.Config{BlockBytes: 4096, Readahead: 8, OpenFile: fs.Open})
 	r, err := c.Open("a")
 	if err != nil {
 		t.Fatal(err)
@@ -417,8 +352,8 @@ func TestCloseLeavesNoGoroutines(t *testing.T) {
 	if g := runtime.NumGoroutine(); g > before {
 		t.Errorf("goroutines leaked: %d before, %d after Close", before, g)
 	}
-	if fs.opens.Load() != fs.closes.Load() {
-		t.Errorf("fd leak after Close: %d opens, %d closes", fs.opens.Load(), fs.closes.Load())
+	if fs.Opens.Load() != fs.Closes.Load() {
+		t.Errorf("fd leak after Close: %d opens, %d closes", fs.Opens.Load(), fs.Closes.Load())
 	}
 }
 
@@ -426,9 +361,9 @@ func TestCloseLeavesNoGoroutines(t *testing.T) {
 // populates blocks ahead of it (prefetches happen, and later demand
 // reads hit prefetched blocks).
 func TestReadahead(t *testing.T) {
-	fs := newFakeFS()
-	want := fs.put("a", 1<<20, 8)
-	c := New(Config{BlockBytes: 4096, Readahead: 4, OpenFile: fs.open})
+	fs := cachetest.NewFS()
+	want := fs.Put("a", 1<<20, 8)
+	c := cache.New(cache.Config{BlockBytes: 4096, Readahead: 4, OpenFile: fs.Open})
 	defer c.Close()
 	r, err := c.Open("a")
 	if err != nil {
@@ -459,9 +394,9 @@ func TestReadahead(t *testing.T) {
 }
 
 func TestDisabledModePoolsHandlesAndCounts(t *testing.T) {
-	fs := newFakeFS()
-	want := fs.put("a", 8192, 9)
-	c := New(Config{Disabled: true, OpenFile: fs.open})
+	fs := cachetest.NewFS()
+	want := fs.Put("a", 8192, 9)
+	c := cache.New(cache.Config{Disabled: true, OpenFile: fs.Open})
 	for i := 0; i < 5; i++ {
 		got := readAll(t, c, "a", 128, 1024)
 		if !bytes.Equal(got, want[128:128+1024]) {
@@ -475,19 +410,19 @@ func TestDisabledModePoolsHandlesAndCounts(t *testing.T) {
 	if st.BytesRead != 5*1024 || st.BytesServed != 5*1024 {
 		t.Errorf("disabled mode byte counters: %+v", st)
 	}
-	if fs.opens.Load() != 1 {
-		t.Errorf("disabled mode reopened the file: %d opens for 5 readers", fs.opens.Load())
+	if fs.Opens.Load() != 1 {
+		t.Errorf("disabled mode reopened the file: %d opens for 5 readers", fs.Opens.Load())
 	}
 	if err := c.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if fs.closes.Load() != 1 {
-		t.Errorf("closes = %d, want 1", fs.closes.Load())
+	if fs.Closes.Load() != 1 {
+		t.Errorf("closes = %d, want 1", fs.Closes.Load())
 	}
 }
 
 func TestOpenMissingFile(t *testing.T) {
-	c := New(Config{})
+	c := cache.New(cache.Config{})
 	defer c.Close()
 	if _, err := c.Open(filepath.Join(t.TempDir(), "nope")); err == nil {
 		t.Error("Open of a missing file succeeded")
@@ -503,7 +438,7 @@ func TestRealFiles(t *testing.T) {
 	if err := os.WriteFile(path, want, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	c := New(Config{BlockBytes: 1 << 12, Readahead: 2})
+	c := cache.New(cache.Config{BlockBytes: 1 << 12, Readahead: 2})
 	defer c.Close()
 	for i := 0; i < 2; i++ {
 		got := readAll(t, c, path, 4000, 50_000)
@@ -521,9 +456,9 @@ func TestRealFiles(t *testing.T) {
 }
 
 func TestStatsSnapshotConsistency(t *testing.T) {
-	fs := newFakeFS()
-	fs.put("a", 4096, 11)
-	c := New(Config{BlockBytes: 1024, OpenFile: fs.open})
+	fs := cachetest.NewFS()
+	fs.Put("a", 4096, 11)
+	c := cache.New(cache.Config{BlockBytes: 1024, OpenFile: fs.Open})
 	defer c.Close()
 	readAll(t, c, "a", 0, 4096)
 	st := c.Stats()
@@ -537,5 +472,90 @@ func TestStatsSnapshotConsistency(t *testing.T) {
 	}
 	if st.BytesSaved() != 4096 {
 		t.Errorf("BytesSaved = %d, want 4096", st.BytesSaved())
+	}
+}
+
+// TestOpenFaultSurfaces arms an injected open failure and checks it
+// reaches the caller once, then clears.
+func TestOpenFaultSurfaces(t *testing.T) {
+	fs := cachetest.NewFS()
+	want := fs.Put("a", 1024, 20)
+	c := cache.New(cache.Config{BlockBytes: 256, OpenFile: fs.Open})
+	defer c.Close()
+
+	fs.FailNextOpens(1)
+	if _, err := c.Open("a"); !errors.Is(err, cachetest.ErrOpen) {
+		t.Fatalf("Open with injected fault: err=%v, want ErrOpen", err)
+	}
+	got := readAll(t, c, "a", 0, 1024)
+	if !bytes.Equal(got, want) {
+		t.Error("read after open fault: wrong bytes")
+	}
+}
+
+// TestReadFaultNotCached injects an I/O error on the first physical
+// read, checks the error surfaces (wrapped, errors.Is-able), and that
+// the failed block is NOT cached — the retry re-reads and succeeds.
+func TestReadFaultNotCached(t *testing.T) {
+	fs := cachetest.NewFS()
+	want := fs.Put("a", 4096, 21)
+	c := cache.New(cache.Config{BlockBytes: 1024, OpenFile: fs.Open})
+	defer c.Close()
+	r, err := c.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Release()
+
+	fs.FailReadNumber(1)
+	buf := make([]byte, 1024)
+	if _, err := r.ReadAt(buf, 0); !errors.Is(err, cachetest.ErrIO) {
+		t.Fatalf("faulted read: err=%v, want ErrIO", err)
+	}
+	st := c.Stats()
+	if st.Blocks != 0 {
+		t.Errorf("failed block was cached: %+v", st)
+	}
+	// The fault is spent (read #1 is past); the retry must succeed.
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		t.Fatalf("retry after fault: %v", err)
+	}
+	if !bytes.Equal(buf, want[:1024]) {
+		t.Error("retry after fault: wrong bytes")
+	}
+	if got := fs.Reads.Load(); got != 2 {
+		t.Errorf("physical reads = %d, want 2 (fault + retry)", got)
+	}
+}
+
+// TestShortReadSurfacesCleanError makes the file deliver fewer bytes
+// than asked (a lazy io.ReaderAt shape that is only legal at EOF). The
+// cache must not serve the missing range as data: the read returns the
+// delivered prefix and an error, never wrong bytes.
+func TestShortReadSurfacesCleanError(t *testing.T) {
+	fs := cachetest.NewFS()
+	want := fs.Put("a", 4096, 22)
+	c := cache.New(cache.Config{BlockBytes: 64, OpenFile: fs.Open})
+	defer c.Close()
+	r, err := c.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Release()
+
+	fs.LimitReadBytes(16)
+	buf := make([]byte, 64)
+	n, err := r.ReadAt(buf, 0)
+	if err == nil {
+		t.Fatalf("read over a truncated block returned n=%d with no error", n)
+	}
+	if !bytes.Equal(buf[:n], want[:n]) {
+		t.Errorf("truncated block served wrong bytes in its prefix")
+	}
+	// With the fault cleared, fresh blocks load whole again.
+	fs.LimitReadBytes(0)
+	got := readAll(t, c, "a", 1024, 512)
+	if !bytes.Equal(got, want[1024:1536]) {
+		t.Error("read after clearing short-read fault: wrong bytes")
 	}
 }

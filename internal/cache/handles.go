@@ -120,6 +120,17 @@ func (c *handleCache) acquire(path string) (*handle, error) {
 	return h, nil
 }
 
+// ref takes an additional reference on h. The caller must already hold
+// a live reference (block-cache entries ref the handle their views
+// alias while the loading reader's own reference is still held), so h
+// cannot be concurrently closed out from under the bump. A bare
+// counter update — safe to call with a block-cache shard lock held.
+func (c *handleCache) ref(h *handle) {
+	c.mu.Lock()
+	h.refs++
+	c.mu.Unlock()
+}
+
 // release drops one reference; a dead handle is closed — outside the
 // lock — when the last reference goes away.
 func (c *handleCache) release(h *handle) {

@@ -1,0 +1,19 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package cache
+
+// The portability gate's pread side: platforms without syscall.Mmap
+// (or where its semantics are unverified) run every backend — pread,
+// mmap, auto — over positional reads. The Backend knob stays accepted
+// so configurations are portable; only the zero-copy serving is lost.
+
+const mmapSupported = false
+
+// blockViews is never implemented here; the probe in getBlock simply
+// misses.
+type blockViews interface {
+	view(off, n int64) (data []byte, eof bool, remapped int64, err error)
+}
+
+// wrapMmap is the identity on platforms without mmap support.
+func wrapMmap(f File, window int64) File { return f }

@@ -1,0 +1,169 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package cache
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// mmapSupported gates the mmap backend: on these platforms BackendMmap
+// and BackendAuto map files; elsewhere they degrade to pread (see
+// mmap_other.go).
+const mmapSupported = true
+
+// mappable is the shape a File must have for the cache to memory-map
+// it — notably *os.File. Files without it (test fakes, wrappers) stay
+// on the pread path even under BackendMmap.
+type mappable interface {
+	Fd() uintptr
+	Stat() (os.FileInfo, error)
+}
+
+// blockViews is the optional File extension the block cache probes for
+// zero-copy loads: view returns a slice aliasing a read-only mapping
+// of [off, off+n), clipped at EOF, instead of copying through a read
+// call. remapped reports how many new mapping windows the call created
+// beyond the file's first (the MmapRemaps counter). A view error is
+// never fatal: the caller falls back to the pread path.
+type blockViews interface {
+	view(off, n int64) (data []byte, eof bool, remapped int64, err error)
+}
+
+// wrapMmap wraps f in an mmap-backed File when it can be mapped;
+// otherwise it returns f unchanged. window is the mapping-window size
+// in bytes (already normalized to a page multiple). Mapping itself is
+// lazy — a file that refuses to map at view time degrades to pread for
+// its remaining lifetime, so a refused mmap costs one failed syscall,
+// not the file.
+func wrapMmap(f File, window int64) File {
+	m, ok := f.(mappable)
+	if !ok {
+		return f
+	}
+	fi, err := m.Stat()
+	if err != nil || !fi.Mode().IsRegular() {
+		return f
+	}
+	return &mmapFile{inner: f, fd: m.Fd(), size: fi.Size(), window: window}
+}
+
+// mmapFile serves a file through chunked read-only mappings: the file
+// is split into window-sized segments, each mapped on first demand and
+// kept mapped until Close (address space, not memory — the pages stay
+// reclaimable and shared with every other process mapping the file,
+// which is the point: the OS page cache is the block store and resident
+// blocks cost no copy). Close unmaps everything; the cache's
+// refcounted handle LRU guarantees Close only runs once no reader and
+// no cached block still aliases a window.
+type mmapFile struct {
+	inner  File // pread fallback and the underlying Close
+	fd     uintptr
+	size   int64
+	window int64
+
+	mu     sync.Mutex
+	wins   map[int64][]byte // window index → mapping
+	mapped bool             // a window has been mapped (remap counting)
+	failed bool             // a map failed; all views degrade to pread
+	closed bool
+}
+
+// view implements blockViews.
+func (m *mmapFile) view(off, n int64) (data []byte, eof bool, remapped int64, err error) {
+	if off < 0 || n <= 0 {
+		return nil, false, 0, fmt.Errorf("cache: bad view [%d,+%d)", off, n)
+	}
+	if off >= m.size {
+		return nil, true, 0, nil // wholly past EOF: empty view, like a 0,EOF read
+	}
+	end := off + n
+	if end > m.size {
+		end = m.size
+	}
+	eof = end-off < n
+	if crossesChunk(off, end-off, m.window) {
+		return nil, false, 0, fmt.Errorf("cache: view [%d,+%d) crosses a %d-byte mapping window", off, n, m.window)
+	}
+	wi, woff := chunkAt(off, m.window)
+	win, created, err := m.ensureWindow(wi)
+	if err != nil {
+		return nil, false, 0, err
+	}
+	return win[woff : woff+(end-off)], eof, created, nil
+}
+
+// ensureWindow returns window wi's mapping, creating it on first use.
+// created reports whether this call mapped a window beyond the file's
+// first. The mmap syscall runs outside the lock; a racing duplicate is
+// unmapped and the first install wins.
+func (m *mmapFile) ensureWindow(wi int64) (win []byte, created int64, err error) {
+	m.mu.Lock()
+	if m.failed || m.closed {
+		m.mu.Unlock()
+		return nil, 0, fmt.Errorf("cache: mmap of %d-byte window unavailable", m.window)
+	}
+	if w, ok := m.wins[wi]; ok {
+		m.mu.Unlock()
+		return w, 0, nil
+	}
+	m.mu.Unlock()
+
+	base := wi * m.window
+	length := m.size - base
+	if length > m.window {
+		length = m.window
+	}
+	b, merr := syscall.Mmap(int(m.fd), base, int(length), syscall.PROT_READ, syscall.MAP_SHARED)
+
+	m.mu.Lock()
+	if merr != nil {
+		m.failed = true // degrade the whole file to pread, once
+		m.mu.Unlock()
+		return nil, 0, fmt.Errorf("cache: mmap window %d: %w", wi, merr)
+	}
+	if m.closed {
+		m.mu.Unlock()
+		syscall.Munmap(b) //nolint:errcheck
+		return nil, 0, fmt.Errorf("cache: mmap after close")
+	}
+	if w, ok := m.wins[wi]; ok { // racing mapper won
+		m.mu.Unlock()
+		syscall.Munmap(b) //nolint:errcheck
+		return w, 0, nil
+	}
+	if m.wins == nil {
+		m.wins = map[int64][]byte{}
+	}
+	m.wins[wi] = b
+	if m.mapped {
+		created = 1
+	}
+	m.mapped = true
+	m.mu.Unlock()
+	return b, created, nil
+}
+
+// ReadAt implements io.ReaderAt through the underlying file: the copy
+// path for disabled-mode readers, for blocks straddling a window
+// boundary, and for files whose mapping was refused.
+func (m *mmapFile) ReadAt(p []byte, off int64) (int, error) {
+	return m.inner.ReadAt(p, off)
+}
+
+// Close unmaps every window and closes the underlying file. The handle
+// cache calls it only after the last reference — reader or resident
+// block view — is gone, so no view ever outlives its mapping.
+func (m *mmapFile) Close() error {
+	m.mu.Lock()
+	wins := m.wins
+	m.wins = nil
+	m.closed = true
+	m.mu.Unlock()
+	for _, b := range wins {
+		syscall.Munmap(b) //nolint:errcheck — read-only mapping
+	}
+	return m.inner.Close()
+}

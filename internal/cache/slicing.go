@@ -1,0 +1,33 @@
+package cache
+
+// Block- and window-slicing math, factored out of the reader and the
+// mmap backend so the two layers agree by construction and the fuzz
+// suite (slicing_fuzz_test.go) can check them against a naive oracle.
+// Both layers partition a file into fixed-size aligned chunks — the
+// reader into cache blocks of Config.BlockBytes, the mmap backend into
+// mapping windows of Config.MmapWindowBytes — and both need the same
+// two answers: which chunk holds a byte, and whether a span stays
+// inside one chunk.
+
+// chunkAt returns the index of the fixed-size chunk containing pos and
+// the offset of pos within that chunk. pos must be non-negative and
+// size positive.
+func chunkAt(pos, size int64) (idx, off int64) {
+	idx = pos / size
+	return idx, pos - idx*size
+}
+
+// crossesChunk reports whether the span [off, off+n) straddles a chunk
+// boundary of the given chunk size — the condition under which a
+// single zero-copy view cannot serve it. Spans are never considered
+// in-chunk when they would overflow int64 arithmetic.
+func crossesChunk(off, n, size int64) bool {
+	if n <= 0 {
+		return false
+	}
+	_, coff := chunkAt(off, size)
+	if coff > size-n { // written to avoid coff+n overflow
+		return true
+	}
+	return false
+}

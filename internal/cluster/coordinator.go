@@ -253,6 +253,11 @@ func (c *Coordinator) run(ctx context.Context, sql string, spec storm.PartitionS
 		}
 		return nil, firstErr
 	}
+	// A cancellation that loses the race to stream completion still
+	// cancels the query: the caller asked for abandonment, not a result.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	plan, index := prep.PrepareStats()
 	ownHits, ownMisses := prep.PlanCacheCounters()
 	res.QueryStats = obs.QueryStats{
@@ -267,6 +272,8 @@ func (c *Coordinator) run(ctx context.Context, sql string, spec storm.PartitionS
 		CacheMisses:      res.Stats.CacheMisses,
 		FSBytesRead:      res.Stats.FSBytesRead,
 		CacheBytesServed: res.Stats.CacheBytesServed,
+		MmapBlocksServed: res.Stats.MmapBlocksServed,
+		MmapRemaps:       res.Stats.MmapRemaps,
 
 		// The coordinator's own prepare plus every node leg's.
 		PlanCacheHits:   ownHits + pcHits,

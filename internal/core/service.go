@@ -480,6 +480,8 @@ func (p *Prepared) queryStats(x extractor.Stats, extract time.Duration) obs.Quer
 		CacheMisses:      x.CacheMisses,
 		FSBytesRead:      x.FSBytesRead,
 		CacheBytesServed: x.CacheBytesServed,
+		MmapBlocksServed: x.MmapBlocksServed,
+		MmapRemaps:       x.MmapRemaps,
 
 		PlanCacheHits:   p.planCacheHits,
 		PlanCacheMisses: p.planCacheMisses,

@@ -82,6 +82,13 @@ type Stats struct {
 	// CacheBytesServed is the bytes delivered through the cache layer
 	// (hits and misses combined, including stride gaps within spans).
 	CacheBytesServed int64
+	// MmapBlocksServed counts block lookups served zero-copy from a
+	// file mapping by this run's demand reads (such blocks add nothing
+	// to FSBytesRead); MmapRemaps counts mapping windows those reads
+	// created beyond each file's first. Both stay zero under the pread
+	// cache backend.
+	MmapBlocksServed int64
+	MmapRemaps       int64
 }
 
 // Add merges other run's counters into s.
@@ -95,6 +102,8 @@ func (s *Stats) Add(o Stats) {
 	s.CacheMisses += o.CacheMisses
 	s.FSBytesRead += o.FSBytesRead
 	s.CacheBytesServed += o.CacheBytesServed
+	s.MmapBlocksServed += o.MmapBlocksServed
+	s.MmapRemaps += o.MmapRemaps
 }
 
 // EmitFunc receives each surviving row.
@@ -143,36 +152,101 @@ func runSource(opt Options) (cache.Source, func()) {
 	return local, func() { local.Close() }
 }
 
-// openSegments opens one reader per segment of the AFC. On error,
-// already-opened readers are released.
-func openSegments(a *afc.AFC, resolver Resolver, src cache.Source) ([]cache.Reader, error) {
-	readers := make([]cache.Reader, len(a.Segments))
+// segKey identifies one pooled segment reader. dup distinguishes
+// multiple segments of a single AFC that reference the same file, so
+// each keeps its own reader — its own block memo and its own forward
+// scan as seen by the cache's readahead.
+type segKey struct {
+	node, file string
+	dup        int
+}
+
+// segPool caches resolved paths and open readers across the AFCs of
+// one extraction goroutine. Datasets with thousands of chunk-sized
+// AFCs over a handful of files would otherwise pay a resolver call
+// and a reader allocation per segment per AFC — enough garbage that
+// GC frequency, not the serve path, dominates warm-scan timing.
+// Pooling opens each (node, file, dup) once and releases it when the
+// run (or worker) finishes. Demand counters are delta-folded into
+// Stats after each AFC, so totals match the unpooled accounting.
+type segPool struct {
+	src     cache.Source
+	resolve Resolver
+	readers map[segKey]*poolEntry
+	scratch []cache.Reader // per-AFC reader slice, reused across open calls
+	dups    map[segKey]int // per-AFC occurrence counts, reused (dup field zero)
+}
+
+type poolEntry struct {
+	r      cache.Reader
+	folded cache.Counters // counter values already folded into Stats
+}
+
+func newSegPool(src cache.Source, resolve Resolver) *segPool {
+	return &segPool{
+		src:     src,
+		resolve: resolve,
+		readers: make(map[segKey]*poolEntry),
+		dups:    make(map[segKey]int),
+	}
+}
+
+// open returns one reader per segment of the AFC, opening only
+// segments not seen before. The returned slice is valid until the
+// next open call. On error, already-pooled readers stay open for the
+// pool's release to reclaim.
+func (p *segPool) open(a *afc.AFC) ([]cache.Reader, error) {
+	if cap(p.scratch) < len(a.Segments) {
+		p.scratch = make([]cache.Reader, len(a.Segments))
+	}
+	readers := p.scratch[:len(a.Segments)]
+	clear(p.dups)
 	for i, s := range a.Segments {
-		path, err := resolver(s.Node, s.File)
-		if err == nil {
-			readers[i], err = src.Open(path)
-		}
-		if err != nil {
-			for _, r := range readers[:i] {
-				r.Release()
+		base := segKey{node: s.Node, file: s.File}
+		k := base
+		k.dup = p.dups[base]
+		p.dups[base] = k.dup + 1
+		e, ok := p.readers[k]
+		if !ok {
+			path, err := p.resolve(s.Node, s.File)
+			if err != nil {
+				return nil, fmt.Errorf("extractor: %s:%s: %w", s.Node, s.File, err)
 			}
-			return nil, fmt.Errorf("extractor: %s:%s: %w", s.Node, s.File, err)
+			r, err := p.src.Open(path)
+			if err != nil {
+				return nil, fmt.Errorf("extractor: %s:%s: %w", s.Node, s.File, err)
+			}
+			e = &poolEntry{r: r}
+			p.readers[k] = e
 		}
+		readers[i] = e.r
 	}
 	return readers, nil
 }
 
-// releaseSegments folds the readers' demand counters into stats and
-// returns them to the source.
-func releaseSegments(readers []cache.Reader, stats *Stats) {
-	for _, r := range readers {
-		c := r.Counters()
-		stats.CacheHits += c.Hits
-		stats.CacheMisses += c.Misses
-		stats.FSBytesRead += c.BytesRead
-		stats.CacheBytesServed += c.BytesServed
-		r.Release()
+// fold adds every pooled reader's demand-counter growth since the
+// last fold into stats, keeping per-run totals exact while readers
+// stay open across AFCs.
+func (p *segPool) fold(stats *Stats) {
+	for _, e := range p.readers {
+		c := e.r.Counters()
+		stats.CacheHits += c.Hits - e.folded.Hits
+		stats.CacheMisses += c.Misses - e.folded.Misses
+		stats.FSBytesRead += c.BytesRead - e.folded.BytesRead
+		stats.CacheBytesServed += c.BytesServed - e.folded.BytesServed
+		stats.MmapBlocksServed += c.MmapBlocksServed - e.folded.MmapBlocksServed
+		stats.MmapRemaps += c.MmapRemaps - e.folded.MmapRemaps
+		e.folded = c
 	}
+}
+
+// release returns every pooled reader to the source. Counters were
+// folded after each AFC, so no stats are lost here.
+func (p *segPool) release() {
+	for _, e := range p.readers {
+		e.r.Release()
+	}
+	clear(p.readers)
 }
 
 // Run extracts the AFCs sequentially with a background context; it is
@@ -188,9 +262,11 @@ func RunContext(ctx context.Context, afcs []afc.AFC, resolver Resolver, opt Opti
 	src, done := runSource(opt)
 	defer done()
 	var stats Stats
+	pool := newSegPool(src, resolver)
+	defer pool.release()
 	bb := &blockBuf{}
 	for i := range afcs {
-		if err := extractOne(ctx, &afcs[i], resolver, src, opt, bb, &stats, emit); err != nil {
+		if err := extractOne(ctx, &afcs[i], pool, opt, bb, &stats, emit); err != nil {
 			return stats, err
 		}
 	}
@@ -246,13 +322,15 @@ func RunParallelContext(ctx context.Context, afcs []afc.AFC, resolver Resolver, 
 		go func() {
 			defer wg.Done()
 			bb := &blockBuf{}
+			pool := newSegPool(src, resolver)
+			defer pool.release()
 			for a := range work {
 				var b batch
 				collect := func(r table.Row) error {
 					b.rows = append(b.rows, append(table.Row(nil), r...))
 					return nil
 				}
-				if err := extractOne(ctx, a, resolver, src, opt, bb, &b.stats, collect); err != nil {
+				if err := extractOne(ctx, a, pool, opt, bb, &b.stats, collect); err != nil {
 					fail(err)
 					return
 				}
@@ -333,9 +411,15 @@ type colSource struct {
 	rowDim *afc.RowDim
 }
 
-// bind resolves each working column to a source in the AFC.
-func bind(a *afc.AFC, cols []schema.Attribute) ([]colSource, error) {
-	out := make([]colSource, len(cols))
+// bind resolves each working column to a source in the AFC, filling
+// scratch when it has the capacity (the extraction loop re-binds per
+// AFC; reusing the slice keeps the warm path allocation-free).
+func bind(a *afc.AFC, cols []schema.Attribute, scratch []colSource) ([]colSource, error) {
+	out := scratch
+	if cap(out) < len(cols) {
+		out = make([]colSource, len(cols))
+	}
+	out = out[:len(cols)]
 Cols:
 	for i, c := range cols {
 		for si := range a.Segments {
@@ -369,10 +453,23 @@ const maxBlockRows = 512
 // blockBuf holds the reusable block-materialization state of one
 // extraction goroutine: a column-major-filled matrix of rows plus the
 // per-segment byte buffers.
+//
+// Buffer-ownership discipline (checked by the cross-backend
+// conformance tests): spans holds the bytes each decode loop reads
+// from, and may alias cache-owned memory — a block buffer or, under
+// the mmap backend, a file mapping — borrowed through
+// cache.Viewer.ViewAt. Borrowed spans are only valid while the
+// extraction's readers are open, so extractOne clears every spans slot
+// before it releases them; nothing may write into spans or retain one
+// across extractOne calls. own holds the goroutine-owned scratch
+// buffers the copying ReadAt path reuses — writes go there and nowhere
+// else.
 type blockBuf struct {
-	flat []schema.Value
-	rows []table.Row
-	segs [][]byte
+	flat  []schema.Value
+	rows  []table.Row
+	spans [][]byte
+	own   [][]byte
+	srcs  []colSource // bind scratch, reused across AFCs
 }
 
 func (bb *blockBuf) shape(rows, cols, segs int) {
@@ -383,8 +480,19 @@ func (bb *blockBuf) shape(rows, cols, segs int) {
 			bb.rows[i] = bb.flat[i*cols : (i+1)*cols]
 		}
 	}
-	if len(bb.segs) < segs {
-		bb.segs = make([][]byte, segs)
+	if len(bb.spans) < segs {
+		bb.spans = make([][]byte, segs)
+	}
+	if len(bb.own) < segs {
+		bb.own = make([][]byte, segs)
+	}
+}
+
+// dropSpans forgets every borrowed span; it runs before the segment
+// readers are released so no view outlives the mapping pinning it.
+func (bb *blockBuf) dropSpans() {
+	for i := range bb.spans {
+		bb.spans[i] = nil
 	}
 }
 
@@ -396,20 +504,22 @@ func (bb *blockBuf) shape(rows, cols, segs int) {
 // context is checked between blocks, bounding cancellation latency to
 // one block read (≤ maxBlockRows rows). One reader per segment means
 // the cache's readahead sees each segment as its own forward scan.
-func extractOne(ctx context.Context, a *afc.AFC, resolver Resolver, src cache.Source, opt Options, bb *blockBuf, stats *Stats, emit EmitFunc) error {
+func extractOne(ctx context.Context, a *afc.AFC, pool *segPool, opt Options, bb *blockBuf, stats *Stats, emit EmitFunc) error {
 	stats.AFCs++
 	if a.NumRows == 0 {
 		return nil
 	}
-	sources, err := bind(a, opt.Cols)
+	sources, err := bind(a, opt.Cols, bb.srcs)
 	if err != nil {
 		return err
 	}
-	files, err := openSegments(a, resolver, src)
+	bb.srcs = sources
+	files, err := pool.open(a)
 	if err != nil {
 		return err
 	}
-	defer releaseSegments(files, stats)
+	defer pool.fold(stats)
+	defer bb.dropSpans() // borrowed views must not be retained past this AFC
 
 	blockBytes := opt.BlockBytes
 	if blockBytes <= 0 {
@@ -434,7 +544,7 @@ func extractOne(ctx context.Context, a *afc.AFC, resolver Resolver, src cache.So
 		rowsPerBlock = maxBlockRows
 	}
 	bb.shape(int(rowsPerBlock), len(opt.Cols), len(a.Segments))
-	bufs := bb.segs
+	spans := bb.spans
 	pred := opt.Pred
 	constRead := false
 	for base := int64(0); base < a.NumRows; base += rowsPerBlock {
@@ -459,10 +569,20 @@ func extractOne(ctx context.Context, a *afc.AFC, resolver Resolver, src cache.So
 				span = (n-1)*s.RowStride + s.RowBytes
 				off = s.Offset + base*s.RowStride
 			}
-			if cap(bufs[si]) < int(span) {
-				bufs[si] = make([]byte, span)
+			// Zero-copy fast path: borrow the span straight from the
+			// cache (block buffer or file mapping) when it lies within
+			// one cache block. Borrowed spans are read-only and dropped
+			// before the readers are released.
+			if v, ok := files[si].(cache.Viewer); ok {
+				if data, ok := v.ViewAt(off, int(span)); ok {
+					spans[si] = data
+					continue
+				}
 			}
-			buf := bufs[si][:span]
+			if cap(bb.own[si]) < int(span) {
+				bb.own[si] = make([]byte, span)
+			}
+			buf := bb.own[si][:span]
 			if _, err := files[si].ReadAt(buf, off); err != nil {
 				if err == io.EOF || err == io.ErrUnexpectedEOF {
 					return fmt.Errorf("extractor: %s:%s: file shorter than layout requires (need %d bytes at offset %d)",
@@ -470,7 +590,8 @@ func extractOne(ctx context.Context, a *afc.AFC, resolver Resolver, src cache.So
 				}
 				return fmt.Errorf("extractor: reading %s:%s: %w", s.Node, s.File, err)
 			}
-			bufs[si] = buf
+			bb.own[si] = buf
+			spans[si] = buf
 		}
 		constRead = true
 
@@ -482,9 +603,9 @@ func extractOne(ctx context.Context, a *afc.AFC, resolver Resolver, src cache.So
 			case src.seg >= 0:
 				seg := &a.Segments[src.seg]
 				if seg.BigEndian {
-					fillColumnBE(rows, ci, src.kind, bufs[src.seg], src.attrOff, seg.RowStride)
+					fillColumnBE(rows, ci, src.kind, spans[src.seg], src.attrOff, seg.RowStride)
 				} else {
-					fillColumn(rows, ci, src.kind, bufs[src.seg], src.attrOff, seg.RowStride)
+					fillColumn(rows, ci, src.kind, spans[src.seg], src.attrOff, seg.RowStride)
 				}
 			case src.rowDim != nil:
 				rd := src.rowDim

@@ -7,11 +7,11 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
-	"sync/atomic"
 	"testing"
 
 	"datavirt/internal/afc"
 	"datavirt/internal/cache"
+	"datavirt/internal/cache/cachetest"
 	"datavirt/internal/filter"
 	"datavirt/internal/gen"
 	"datavirt/internal/index"
@@ -466,19 +466,6 @@ func TestDirResolverRejectsEscapes(t *testing.T) {
 	}
 }
 
-// countingSource wraps a disabled cache with an open-counting hook: the
-// handle-pooling regression test for per-AFC file churn.
-func countingSource(t *testing.T, opens *atomic.Int64) *cache.Cache {
-	t.Helper()
-	return cache.New(cache.Config{
-		Disabled: true,
-		OpenFile: func(path string) (cache.File, error) {
-			opens.Add(1)
-			return os.Open(path)
-		},
-	})
-}
-
 // TestHandleReuseAcrossAFCs: with the block cache disabled, a run over
 // many AFCs of the same files must open each file once, not once per
 // chunk (the pre-cache implementation's churn).
@@ -498,8 +485,10 @@ func TestHandleReuseAcrossAFCs(t *testing.T) {
 			distinct[seg.Node+"/"+seg.File] = true
 		}
 	}
-	var opens atomic.Int64
-	src := countingSource(t, &opens)
+	// The shared cachetest.Disk opener counts physical opens; the block
+	// cache is disabled so every open is the extractor's own demand.
+	disk := &cachetest.Disk{}
+	src := cache.New(cache.Config{Disabled: true, OpenFile: disk.Open})
 	defer src.Close()
 	var rows int64
 	_, err = Run(afcs, nodeResolver(root), Options{Cols: p.Schema.Attrs(), Source: src},
@@ -510,7 +499,7 @@ func TestHandleReuseAcrossAFCs(t *testing.T) {
 	if rows == 0 {
 		t.Fatal("no rows; test is vacuous")
 	}
-	if got := opens.Load(); got != int64(len(distinct)) {
+	if got := disk.Opens.Load(); got != int64(len(distinct)) {
 		t.Errorf("opened files %d times for %d distinct files across %d AFCs",
 			got, len(distinct), len(afcs))
 	}
@@ -560,7 +549,9 @@ func TestCachedRunMatchesUncached(t *testing.T) {
 	warm, warmStats := collect()
 	assertSameRows(t, "cold-vs-plain", cold, plain)
 	assertSameRows(t, "warm-vs-plain", warm, plain)
-	if coldStats.CacheMisses == 0 || coldStats.FSBytesRead == 0 {
+	// Under the mmap backend a cold pass serves blocks as mapping views
+	// instead of copying them through the read path.
+	if coldStats.CacheMisses == 0 || coldStats.FSBytesRead+coldStats.MmapBlocksServed == 0 {
 		t.Errorf("cold pass did not read: %+v", coldStats)
 	}
 	if warmStats.FSBytesRead != 0 {
@@ -581,5 +572,53 @@ func TestCachedRunMatchesUncached(t *testing.T) {
 	}
 	if pstats.FSBytesRead != 0 {
 		t.Errorf("parallel warm pass read %d fs bytes", pstats.FSBytesRead)
+	}
+}
+
+// TestMmapRefusalFallsBackToPread requests the mmap backend over files
+// whose descriptor cannot be mapped (cachetest.Disk's refusal fault):
+// every block must still arrive, byte-identical, through the pread
+// fallback, with zero blocks served from mappings.
+func TestMmapRefusalFallsBackToPread(t *testing.T) {
+	s := spec()
+	p, root := setupIpars(t, s, "CLUSTER")
+	sql := "SELECT * FROM IparsData WHERE TIME >= 2 AND TIME <= 5"
+	plain, _ := runQuery(t, p, root, sql, false)
+
+	q := sqlparser.MustParse(sql)
+	afcs, err := p.Generate(query.ExtractRanges(q.Where), p.Schema.Names(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := query.CompilePredicate(q.Where, func(name string) (int, bool) {
+		i := p.Schema.Index(name)
+		return i, i >= 0
+	}, filter.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk := &cachetest.Disk{RefuseMmap: true}
+	c := cache.New(cache.Config{BlockBytes: 4096, Backend: cache.BackendMmap, OpenFile: disk.Open})
+	defer c.Close()
+	var rows [][]float64
+	stats, err := Run(afcs, nodeResolver(root), Options{Cols: p.Schema.Attrs(), Pred: pred, Source: c},
+		func(r table.Row) error {
+			out := make([]float64, len(r))
+			for i := range r {
+				out[i] = r[i].AsFloat()
+			}
+			rows = append(rows, out)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, "mmap-refused-vs-plain", rows, plain)
+	if stats.MmapBlocksServed != 0 {
+		t.Errorf("refused mappings still served %d blocks", stats.MmapBlocksServed)
+	}
+	if stats.FSBytesRead == 0 || disk.Reads.Load() == 0 {
+		t.Errorf("fallback did not read through pread: %+v (%d physical reads)",
+			stats, disk.Reads.Load())
 	}
 }
