@@ -34,6 +34,8 @@ func main() {
 	readahead := flag.Int("readahead", 0, "blocks to prefetch ahead of sequential scans (0 = off)")
 	planCache := flag.Bool("plan-cache", true, "memoize query plans by semantic fingerprint (range-equal queries share one plan)")
 	planCacheEntries := flag.Int("plan-cache-entries", core.DefaultPlanCacheEntries, "plan cache capacity in entries")
+	maxConcurrent := flag.Int("max-concurrent", 0, "queries executing at once across all sessions (0 = 2x GOMAXPROCS, at least 4)")
+	maxQueue := flag.Int("max-queue", 0, "admission queue depth beyond which arrivals are shed busy (0 = 64, negative = no queue)")
 	flag.Parse()
 
 	if *desc == "" || *nodeName == "" {
@@ -72,6 +74,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	node.MaxConcurrent = *maxConcurrent
+	node.MaxQueue = *maxQueue
 	if *trace || *slow > 0 {
 		threshold := *slow
 		if *trace {
@@ -92,6 +96,9 @@ func main() {
 	if cs.Hits+cs.Misses > 0 {
 		fmt.Printf("dvnode: cache %d hits / %d misses, %d evictions, %.1f MB read, %.1f MB saved\n",
 			cs.Hits, cs.Misses, cs.Evictions, float64(cs.BytesRead)/1e6, float64(cs.BytesSaved())/1e6)
+	}
+	if q, shed := node.AdmissionCounters(); q+shed > 0 {
+		fmt.Printf("dvnode: admission %d queries queued, %d shed\n", q, shed)
 	}
 	ps := svc.PlanCacheStats()
 	if ps.Hits+ps.Misses > 0 {

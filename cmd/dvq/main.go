@@ -46,6 +46,9 @@ type config struct {
 
 	planCache        bool
 	planCacheEntries int
+
+	poolSize   int
+	hedgeAfter time.Duration
 }
 
 // cacheConfig translates the cache flags into a cache.Config.
@@ -86,6 +89,8 @@ func main() {
 	flag.BoolVar(&cfg.noCache, "no-cache", false, "bypass the block cache for this query")
 	flag.BoolVar(&cfg.planCache, "plan-cache", true, "memoize query plans by semantic fingerprint (range-equal queries share one plan)")
 	flag.IntVar(&cfg.planCacheEntries, "plan-cache-entries", core.DefaultPlanCacheEntries, "plan cache capacity in entries")
+	flag.IntVar(&cfg.poolSize, "pool", 0, "with -nodes: persistent sessions per node (0 = default 2, negative = one connection per query)")
+	flag.DurationVar(&cfg.hedgeAfter, "hedge", 0, "with -nodes: hedge a node leg that has not answered within this duration (0 = off)")
 	interactive := flag.Bool("i", false, "interactive mode: read queries from stdin, one per line")
 	flag.Parse()
 
@@ -238,6 +243,9 @@ func runCluster(ctx context.Context, descPath, nodeTable, sql string, cfg config
 		fatal(err)
 	}
 	coord.SetPlanCacheConfig(cfg.planCacheConfig())
+	coord.PoolSize = cfg.poolSize
+	coord.HedgeAfter = cfg.hedgeAfter
+	defer coord.Close()
 
 	ctx, cancel := queryCtx(ctx, cfg)
 	defer cancel()
@@ -248,23 +256,34 @@ func runCluster(ctx context.Context, descPath, nodeTable, sql string, cfg config
 	}
 
 	start := time.Now()
-	var rows int64
-	res, err := coord.QueryContext(ctx, sql, func(r table.Row) error {
-		rows++
-		if cfg.quiet {
-			return nil
-		}
-		_, err := fmt.Fprintln(out, table.FormatRow(r))
-		return err
-	})
+	rows, err := coord.QueryContext(ctx, sql)
 	if err != nil {
 		fatal(err)
 	}
+	defer rows.Close()
+	if cfg.header && !cfg.quiet {
+		fmt.Fprintln(out, strings.Join(rows.Columns(), "\t"))
+	}
+	var n int64
+	for rows.Next() {
+		n++
+		if cfg.quiet {
+			continue
+		}
+		if _, err := fmt.Fprintln(out, table.FormatRow(rows.Row())); err != nil {
+			fatal(err)
+		}
+	}
+	if err := rows.Err(); err != nil {
+		fatal(err)
+	}
+	rows.Close()
 	out.Flush()
-	fmt.Fprintf(os.Stderr, "%d rows in %s from %d nodes (%v)\n",
-		rows, time.Since(start).Round(time.Millisecond), len(res.PerNode), res.PerNode)
+	st := rows.Stats()
+	fmt.Fprintf(os.Stderr, "%d rows in %s from %d nodes\n",
+		n, time.Since(start).Round(time.Millisecond), len(coord.Nodes()))
 	if cfg.stats {
-		fmt.Fprintln(os.Stderr, indent(res.QueryStats.String()))
+		fmt.Fprintln(os.Stderr, indent(st.String()))
 	}
 }
 

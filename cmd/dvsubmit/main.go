@@ -61,6 +61,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	defer coord.Close()
 
 	// Ctrl-C cancels the in-flight query; -timeout bounds it.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -76,23 +77,30 @@ func main() {
 	defer out.Flush()
 
 	if *scheme == "" {
-		var rows int64
-		res, err := coord.QueryContext(ctx, sql, func(r table.Row) error {
-			rows++
-			if *quiet {
-				return nil
-			}
-			_, err := fmt.Fprintln(out, table.FormatRow(r))
-			return err
-		})
+		rows, err := coord.QueryContext(ctx, sql)
 		if err != nil {
 			fatal(err)
 		}
+		defer rows.Close()
+		var n int64
+		for rows.Next() {
+			n++
+			if *quiet {
+				continue
+			}
+			if _, err := fmt.Fprintln(out, table.FormatRow(rows.Row())); err != nil {
+				fatal(err)
+			}
+		}
+		if err := rows.Err(); err != nil {
+			fatal(err)
+		}
+		rows.Close()
 		out.Flush()
-		fmt.Fprintf(os.Stderr, "%d rows in %s from %d nodes (%v)\n",
-			rows, time.Since(start).Round(time.Millisecond), len(res.PerNode), res.PerNode)
+		fmt.Fprintf(os.Stderr, "%d rows in %s from %d nodes\n",
+			n, time.Since(start).Round(time.Millisecond), len(coord.Nodes()))
 		if *stats {
-			fmt.Fprintln(os.Stderr, "  "+strings.ReplaceAll(res.QueryStats.String(), "\n", "\n  "))
+			fmt.Fprintln(os.Stderr, "  "+strings.ReplaceAll(rows.Stats().String(), "\n", "\n  "))
 		}
 		return
 	}
@@ -128,7 +136,7 @@ func main() {
 			return err
 		})
 	}
-	res, err := coord.QueryPartitioned(sql, spec, sinks)
+	res, err := coord.QueryPartitionedContext(ctx, sql, spec, sinks)
 	if err != nil {
 		fatal(err)
 	}

@@ -27,7 +27,6 @@ import (
 	"datavirt/internal/gen"
 	"datavirt/internal/metadata"
 	"datavirt/internal/storm"
-	"datavirt/internal/table"
 )
 
 func main() {
@@ -68,11 +67,13 @@ func main() {
 		fmt.Printf("started node server %s on %s\n", name, node.Addr())
 	}
 
-	// The remote client.
+	// The remote client: a coordinator multiplexing queries over pooled
+	// node sessions. Close releases the persistent connections.
 	coord, err := cluster.NewCoordinator(d, addrs)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer coord.Close()
 
 	// Remote queries carry a context: the deadline is forwarded to every
 	// node server, which aborts its extraction if the client gives up.
@@ -81,27 +82,33 @@ func main() {
 
 	sql := "SELECT * FROM IparsData WHERE TIME > 50 AND TIME < 55"
 	fmt.Printf("\n> %s\n", sql)
-	var rows int64
-	res, err := coord.QueryContext(ctx, sql, func(r table.Row) error {
-		rows++
-		return nil
-	})
+	// The same streaming-cursor API as local execution (core.Service).
+	res, err := coord.QueryContext(ctx, sql)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("received %d tuples; per node: %v\n", rows, res.PerNode)
+	var rows int64
+	for res.Next() {
+		rows++
+	}
+	if err := res.Err(); err != nil {
+		log.Fatal(err)
+	}
+	res.Close()
+	st := res.Stats()
+	fmt.Printf("received %d tuples from %d nodes\n", rows, len(coord.Nodes()))
 	fmt.Printf("cluster-wide extraction stats: scanned %d rows, read %.1f MB\n",
-		res.Stats.RowsScanned, float64(res.Stats.BytesRead)/1e6)
+		st.RowsScanned, float64(st.BytesRead)/1e6)
 	fmt.Printf("per-stage times: plan %s, index %s, extract %s (slowest node), net %s\n",
-		res.QueryStats.PlanTime.Round(10e3), res.QueryStats.IndexTime.Round(10e3),
-		res.QueryStats.ExtractTime.Round(10e3), res.QueryStats.NetTime.Round(10e3))
+		st.PlanTime.Round(10e3), st.IndexTime.Round(10e3),
+		st.ExtractTime.Round(10e3), st.NetTime.Round(10e3))
 
 	// Partitioned delivery: the client program runs on two processors;
 	// the nodes tag each tuple with its destination (partition
 	// generation at the server), the data mover routes it.
 	fmt.Printf("\n> same query, hash-partitioned on TIME across 2 client processors\n")
 	sinks := []storm.Sink{&storm.SliceSink{}, &storm.SliceSink{}}
-	if _, err := coord.QueryPartitioned(sql, storm.PartitionSpec{
+	if _, err := coord.QueryPartitionedContext(ctx, sql, storm.PartitionSpec{
 		Scheme: storm.HashAttr, NumDests: 2, Attr: "TIME",
 	}, sinks); err != nil {
 		log.Fatal(err)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"strings"
@@ -250,16 +251,23 @@ func Verify(cfg Config) error {
 	}
 	defer db.Close()
 	for _, q := range titanQueries(spec.XMax, spec.YMax, spec.ZMax) {
-		dv, err := svc.Query(q.SQL("TitanData"))
+		cur, err := svc.QueryContext(context.Background(), q.SQL("TitanData"))
 		if err != nil {
+			return err
+		}
+		var dv int
+		for cur.Next() {
+			dv++
+		}
+		if err := cur.Close(); err != nil {
 			return err
 		}
 		pg, _, err := db.Query(q.SQL("TITAN"))
 		if err != nil {
 			return err
 		}
-		if len(dv) != len(pg) {
-			return fmt.Errorf("verify: Q%d: datavirt %d rows, rowstore %d", q.No, len(dv), len(pg))
+		if dv != len(pg) {
+			return fmt.Errorf("verify: Q%d: datavirt %d rows, rowstore %d", q.No, dv, len(pg))
 		}
 	}
 	return nil

@@ -147,6 +147,7 @@ func Experiments() []Experiment {
 		{"cache", "Block cache cold vs warm on repeated-range queries (ours)", RunCache},
 		{"plancache", "Semantic plan cache cold vs warm prepare on a repeated query mix (ours)", RunPlanCache},
 		{"mmap", "Cache backends pread vs mmap, cold and warm (ours)", RunMmap},
+		{"concurrency", "Closed-loop concurrent serving vs one-query-at-a-time (ours)", RunConcurrency},
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"datavirt/internal/core"
 	"datavirt/internal/gen"
 	"datavirt/internal/metadata"
 	"datavirt/internal/table"
@@ -39,7 +40,20 @@ func buildCoordinator(t *testing.T, addr string) *Coordinator {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { coord.Close() })
 	return coord
+}
+
+// collectRows drains a cursor into a slice, returning the iteration
+// error.
+func collectRows(rows *core.Rows) ([]table.Row, error) {
+	var out []table.Row
+	for rows.Next() {
+		out = append(out, rows.Row())
+	}
+	err := rows.Err()
+	rows.Close()
+	return out, err
 }
 
 // TestCoordinatorDeadlineAgainstStalledNode points the coordinator at
@@ -76,7 +90,11 @@ func TestCoordinatorDeadlineAgainstStalledNode(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	_, err = coord.QueryContext(ctx, "SELECT TIME FROM IparsData", func(table.Row) error { return nil })
+	rows, err := coord.QueryContext(ctx, "SELECT TIME FROM IparsData")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = collectRows(rows)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("stalled node: err = %v", err)
 	}
@@ -141,9 +159,9 @@ func TestNoConnLeakOnMisbehavingNode(t *testing.T) {
 			c.Close() // handshake write (or first read) fails
 		}},
 		{"garbage-frame", func(c net.Conn) {
-			readFrame(c, nil)                   //nolint:errcheck
-			writeFrame(c, 'X', []byte("bogus")) //nolint:errcheck
-			time.Sleep(100 * time.Millisecond)  // outlive the client
+			readFrame(c, nil)                      //nolint:errcheck
+			writeFrame(c, 'X', 1, []byte("bogus")) //nolint:errcheck
+			time.Sleep(100 * time.Millisecond)     // outlive the client
 			c.Close()
 		}},
 		{"corrupt-length", func(c net.Conn) {
@@ -174,10 +192,14 @@ func TestNoConnLeakOnMisbehavingNode(t *testing.T) {
 			coord.DialRetries = 0
 			dialer := &trackingDialer{}
 			coord.dialContext = dialer.dial
-			_, err = coord.Query("SELECT TIME FROM IparsData", func(table.Row) error { return nil })
+			rows, err := coord.QueryContext(context.Background(), "SELECT TIME FROM IparsData")
+			if err == nil {
+				_, err = collectRows(rows)
+			}
 			if err == nil {
 				t.Fatal("misbehaving node produced no error")
 			}
+			coord.Close()
 			dialer.assertAllClosed(t)
 		})
 	}
@@ -194,7 +216,10 @@ func TestDialRetryWithBackoff(t *testing.T) {
 		attempts.Add(1)
 		return nil, fmt.Errorf("connection refused (simulated)")
 	}
-	_, err := coord.Query("SELECT TIME FROM IparsData", func(table.Row) error { return nil })
+	rows, err := coord.QueryContext(context.Background(), "SELECT TIME FROM IparsData")
+	if err == nil {
+		_, err = collectRows(rows)
+	}
 	if err == nil || !strings.Contains(err.Error(), "after 3 attempts") {
 		t.Fatalf("err = %v", err)
 	}
@@ -212,7 +237,10 @@ func TestDialRetryWithBackoff(t *testing.T) {
 		cancel()
 	}()
 	start := time.Now()
-	_, err = coord.QueryContext(ctx, "SELECT TIME FROM IparsData", func(table.Row) error { return nil })
+	rows, err = coord.QueryContext(ctx, "SELECT TIME FROM IparsData")
+	if err == nil {
+		_, err = collectRows(rows)
+	}
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancel during backoff: err = %v", err)
 	}
@@ -232,18 +260,24 @@ func TestClusterQueryCancelledMidStream(t *testing.T) {
 	before := runtime.NumGoroutine()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	var n atomic.Int64
-	_, err := coord.QueryContext(ctx, "SELECT * FROM IparsData", func(table.Row) error {
-		if n.Add(1) == 100 {
+	rows, err := coord.QueryContext(ctx, "SELECT * FROM IparsData")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	for rows.Next() {
+		if n++; n == 100 {
 			cancel()
 		}
-		return nil
-	})
+	}
+	err = rows.Err()
+	rows.Close()
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("mid-stream cancel: err = %v", err)
 	}
-	// Coordinator-side goroutines must drain (node-side handlers close
-	// with their connections).
+	// Coordinator-side goroutines must drain once the pooled sessions
+	// are released (node-side handlers close with their connections).
+	coord.Close()
 	deadline := time.Now().Add(2 * time.Second)
 	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
 		time.Sleep(10 * time.Millisecond)
@@ -257,7 +291,7 @@ func TestClusterQueryCancelledMidStream(t *testing.T) {
 // successful distributed query.
 func TestClusterQueryStats(t *testing.T) {
 	coord, s := startCluster(t, defaultSpec())
-	_, res, err := coord.CollectQuery("SELECT TIME FROM IparsData")
+	_, res, err := coord.CollectQueryContext(context.Background(), "SELECT TIME FROM IparsData")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,15 +321,20 @@ func TestNodeHonoursForwardedDeadline(t *testing.T) {
 	})
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
 	defer cancel()
-	_, err := coord.QueryContext(ctx, "SELECT * FROM IparsData", func(table.Row) error {
+	rows, err := coord.QueryContext(ctx, "SELECT * FROM IparsData")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rows.Next() {
 		time.Sleep(100 * time.Microsecond) // slow client keeps the stream alive past the deadline
-		return nil
-	})
+	}
+	err = rows.Err()
+	rows.Close()
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("forwarded deadline: err = %v", err)
 	}
 	// The cluster still works afterwards.
-	if _, _, err := coord.CollectQuery("SELECT TIME FROM IparsData WHERE TIME = 1"); err != nil {
+	if _, _, err := coord.CollectQueryContext(context.Background(), "SELECT TIME FROM IparsData WHERE TIME = 1"); err != nil {
 		t.Fatalf("cluster unhealthy after timed-out query: %v", err)
 	}
 }

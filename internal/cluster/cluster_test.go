@@ -49,6 +49,7 @@ func startCluster(t *testing.T, s gen.IparsSpec) (*Coordinator, gen.IparsSpec) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { coord.Close() })
 	return coord, s
 }
 
@@ -61,7 +62,7 @@ func defaultSpec() gen.IparsSpec {
 
 func TestDistributedFullScan(t *testing.T) {
 	coord, s := startCluster(t, defaultSpec())
-	rows, res, err := coord.CollectQuery("SELECT * FROM IparsData")
+	rows, res, err := coord.CollectQueryContext(context.Background(), "SELECT * FROM IparsData")
 	if err != nil {
 		t.Fatalf("CollectQuery: %v", err)
 	}
@@ -103,11 +104,18 @@ func TestDistributedMatchesLocal(t *testing.T) {
 		"SELECT SOIL, TIME FROM IparsData WHERE SGAS > 0.5 AND REL = 1",
 		"SELECT * FROM IparsData WHERE TIME > 100", // empty
 	} {
-		want, err := local.Query(sql)
+		lrows, err := local.QueryContext(context.Background(), sql)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, _, err := coord.CollectQuery(sql)
+		var want []table.Row
+		for lrows.Next() {
+			want = append(want, lrows.Row())
+		}
+		if err := lrows.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := coord.CollectQueryContext(context.Background(), sql)
 		if err != nil {
 			t.Fatalf("%q: %v", sql, err)
 		}
@@ -137,7 +145,7 @@ func TestServerSidePartitioning(t *testing.T) {
 	coord, s := startCluster(t, defaultSpec())
 	sinks := []storm.Sink{&storm.SliceSink{}, &storm.SliceSink{}}
 	spec := storm.PartitionSpec{Scheme: storm.HashAttr, NumDests: 2, Attr: "TIME"}
-	res, err := coord.QueryPartitioned("SELECT TIME, SOIL FROM IparsData", spec, sinks)
+	res, err := coord.QueryPartitionedContext(context.Background(), "SELECT TIME, SOIL FROM IparsData", spec, sinks)
 	if err != nil {
 		t.Fatalf("QueryPartitioned: %v", err)
 	}
@@ -161,7 +169,7 @@ func TestServerSidePartitioning(t *testing.T) {
 		}
 	}
 	// Mismatched sink count is rejected.
-	if _, err := coord.QueryPartitioned("SELECT TIME FROM IparsData", spec, sinks[:1]); err == nil {
+	if _, err := coord.QueryPartitionedContext(context.Background(), "SELECT TIME FROM IparsData", spec, sinks[:1]); err == nil {
 		t.Error("sink count mismatch accepted")
 	}
 }
@@ -173,7 +181,7 @@ func TestRangePartitionedQuery(t *testing.T) {
 		Scheme: storm.RangeAttr, NumDests: 3, Attr: "TIME",
 		Bounds: []float64{2.5, 4.5},
 	}
-	if _, err := coord.QueryPartitioned("SELECT TIME FROM IparsData", spec, sinks); err != nil {
+	if _, err := coord.QueryPartitionedContext(context.Background(), "SELECT TIME FROM IparsData", spec, sinks); err != nil {
 		t.Fatal(err)
 	}
 	perTime := s.IparsTotalRows() / int64(s.TimeSteps)
@@ -188,10 +196,10 @@ func TestRangePartitionedQuery(t *testing.T) {
 
 func TestQueryErrorsPropagate(t *testing.T) {
 	coord, _ := startCluster(t, defaultSpec())
-	if _, _, err := coord.CollectQuery("SELECT NOPE FROM IparsData"); err == nil {
+	if _, _, err := coord.CollectQueryContext(context.Background(), "SELECT NOPE FROM IparsData"); err == nil {
 		t.Error("bad column accepted")
 	}
-	if _, _, err := coord.CollectQuery("garbage"); err == nil {
+	if _, _, err := coord.CollectQueryContext(context.Background(), "garbage"); err == nil {
 		t.Error("bad SQL accepted")
 	}
 }
@@ -232,7 +240,7 @@ func TestDeadNodeError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := coord.CollectQuery("SELECT TIME FROM IparsData"); err == nil {
+	if _, _, err := coord.CollectQueryContext(context.Background(), "SELECT TIME FROM IparsData"); err == nil {
 		t.Error("dead nodes accepted")
 	}
 }
@@ -255,17 +263,17 @@ func TestNodeRejectsBadFrames(t *testing.T) {
 	node.Logf = func(string, ...any) {}
 	defer node.Close()
 
-	// Garbage request JSON → 'E' frame.
+	// Garbage request JSON → 'E' frame tagged with the same query ID.
 	conn, err := net.Dial("tcp", node.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := writeFrame(conn, frameQuery, []byte("{not json")); err != nil {
+	if err := writeFrame(conn, frameQuery, 42, []byte("{not json")); err != nil {
 		t.Fatal(err)
 	}
-	typ, payload, err := readFrame(conn, nil)
-	if err != nil || typ != frameError {
-		t.Fatalf("frame = %q, %v", typ, err)
+	typ, qid, payload, err := readFrame(conn, nil)
+	if err != nil || typ != frameError || qid != 42 {
+		t.Fatalf("frame = %q qid=%d, %v", typ, qid, err)
 	}
 	if !strings.Contains(string(payload), "bad request") {
 		t.Errorf("error = %s", payload)
@@ -277,21 +285,21 @@ func TestNodeRejectsBadFrames(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := writeJSONFrame(conn2, frameQuery, Request{Version: 99, SQL: "SELECT TIME FROM IparsData"}); err != nil {
+	if err := writeJSONFrame(conn2, frameQuery, 1, Request{Version: 99, SQL: "SELECT TIME FROM IparsData"}); err != nil {
 		t.Fatal(err)
 	}
-	typ, payload, err = readFrame(conn2, nil)
+	typ, _, payload, err = readFrame(conn2, nil)
 	if err != nil || typ != frameError || !strings.Contains(string(payload), "version") {
 		t.Fatalf("version check: %q %s %v", typ, payload, err)
 	}
 	conn2.Close()
 
-	// Wrong frame type first.
+	// A frame type only servers send → the session is torn down.
 	conn3, err := net.Dial("tcp", node.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
-	writeFrame(conn3, frameRows, []byte{})
+	writeFrame(conn3, frameRows, 1, []byte{}) //nolint:errcheck
 	conn3.Close()
 
 	// Node still serves after bad clients.
@@ -329,7 +337,7 @@ func TestClusterCacheStatsCrossWire(t *testing.T) {
 	coord, _ := startCluster(t, defaultSpec())
 	sql := "SELECT * FROM IparsData WHERE TIME >= 1 AND TIME <= 3"
 
-	_, cold, err := coord.CollectQuery(sql)
+	_, cold, err := coord.CollectQueryContext(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,7 +351,7 @@ func TestClusterCacheStatsCrossWire(t *testing.T) {
 
 	// Node services keep their block caches across queries: a repeat of
 	// the same query is served warm on every node.
-	_, warm, err := coord.CollectQuery(sql)
+	_, warm, err := coord.CollectQueryContext(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}

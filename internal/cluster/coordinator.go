@@ -1,33 +1,37 @@
 package cluster
 
 import (
-	"bufio"
 	"context"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"datavirt/internal/core"
 	"datavirt/internal/extractor"
 	"datavirt/internal/metadata"
 	"datavirt/internal/obs"
+	"datavirt/internal/schema"
 	"datavirt/internal/sqlparser"
 	"datavirt/internal/storm"
 	"datavirt/internal/table"
 )
 
 // Coordinator is the client-side entry point of the distributed system:
-// it holds the descriptor (for planning and row decoding), knows the
-// address of every node server, fans each query out, and merges or
-// routes the returned tuple streams. It performs no file I/O.
+// it holds the descriptor (for planning and row decoding), keeps a pool
+// of persistent multiplexed sessions to every node server, fans each
+// query out, and merges or routes the returned tuple streams. It
+// performs no file I/O.
 //
-// The timeout fields may be adjusted after NewCoordinator and before
-// the first query; they tolerate slow or dead nodes in the spirit of
-// the paper's loosely coupled STORM services.
+// The knob fields may be adjusted after NewCoordinator and before the
+// first query; they tolerate slow, overloaded or dead nodes in the
+// spirit of the paper's loosely coupled STORM services. Call Close when
+// done to release the pooled connections.
 type Coordinator struct {
 	svc   *core.Service
 	addrs map[string]string // node name → host:port
@@ -40,10 +44,37 @@ type Coordinator struct {
 	// RetryBackoff is the first retry's delay, doubled per attempt
 	// (default 50ms).
 	RetryBackoff time.Duration
-	// IOTimeout, when positive, bounds every frame write and read on a
-	// node connection; a node that stalls longer mid-stream fails the
-	// query. Zero relies on context deadlines alone.
+	// IOTimeout, when positive, bounds every frame write and the gap
+	// between frames received while queries are in flight; a node that
+	// stalls longer mid-stream fails its session. Zero relies on
+	// context deadlines alone.
 	IOTimeout time.Duration
+
+	// PoolSize is how many persistent multiplexed sessions to keep per
+	// node; concurrent queries share them round-robin. Zero means 2; a
+	// negative value disables pooling entirely — every query leg dials
+	// its own connection and closes it afterwards (the one-query-per-
+	// connection shape of protocol v1, kept as a benchmark baseline).
+	PoolSize int
+	// HedgeAfter, when positive, hedges straggler legs: if a node has
+	// not produced a first frame within this duration, a duplicate leg
+	// is launched and the first stream to deliver wins while the loser
+	// is cancelled. Zero disables hedging.
+	HedgeAfter time.Duration
+	// OverloadRetries is how many times a leg shed by a node's
+	// admission control (ErrOverloaded) is retried with backoff before
+	// the error is surfaced (default 2; negative means none).
+	OverloadRetries int
+	// OverloadBackoff is the first overload retry's delay, doubled per
+	// attempt (default 25ms).
+	OverloadBackoff time.Duration
+	// WindowBytes is the per-query flow-control window granted to each
+	// node (how far a node may run ahead of the merging consumer).
+	// Zero means the protocol default (1 MiB).
+	WindowBytes int64
+
+	poolMu sync.Mutex
+	pools  map[string]*nodePool
 
 	// dialContext is the dial function; tests substitute it to inject
 	// misbehaving nodes and to observe connection lifecycles.
@@ -75,7 +106,7 @@ func NewCoordinator(d *metadata.Descriptor, addrs map[string]string) (*Coordinat
 }
 
 // Schema returns the virtual table schema.
-func (c *Coordinator) Schema() interface{ Names() []string } { return c.svc.Schema() }
+func (c *Coordinator) Schema() *schema.Schema { return c.svc.Schema() }
 
 // SetPlanCacheConfig replaces the coordinator's own semantic plan
 // cache (each node server's cache is configured on its service).
@@ -88,6 +119,46 @@ func (c *Coordinator) PlanCacheStats() core.PlanCacheStats {
 	return c.svc.PlanCacheStats()
 }
 
+// Close releases every pooled node session. In-flight queries fail;
+// the coordinator may be used again afterwards (pools re-form).
+func (c *Coordinator) Close() error {
+	c.poolMu.Lock()
+	pools := c.pools
+	c.pools = nil
+	c.poolMu.Unlock()
+	for _, p := range pools {
+		p.close()
+	}
+	return nil
+}
+
+// pool returns the session pool for node, creating it on first use
+// (freezing PoolSize and IOTimeout for that node at that point).
+func (c *Coordinator) pool(node string) *nodePool {
+	c.poolMu.Lock()
+	defer c.poolMu.Unlock()
+	if c.pools == nil {
+		c.pools = map[string]*nodePool{}
+	}
+	if p, ok := c.pools[node]; ok {
+		return p
+	}
+	size := c.PoolSize
+	if size == 0 {
+		size = 2
+	}
+	if size < 0 {
+		size = 0 // ephemeral: one conn per leg
+	}
+	p := &nodePool{
+		dial: func(ctx context.Context) (net.Conn, error) { return c.dialNode(ctx, node) },
+		size: size,
+		io:   c.IOTimeout,
+	}
+	c.pools[node] = p
+	return p
+}
+
 // Result carries the merged outcome of a distributed query.
 type Result struct {
 	// Stats aggregates extraction statistics over all nodes.
@@ -98,30 +169,69 @@ type Result struct {
 	PerNode map[string]int64
 	// QueryStats is the per-query observability record: plan and index
 	// times are the coordinator's, extract time is the slowest node's
-	// (the straggler), filter time sums over nodes, and net time is the
-	// fan-out wall time.
+	// (the straggler), filter time sums over nodes, net time is the
+	// fan-out wall time, and the serving counters report admission
+	// queueing, load shedding and hedging across the legs.
 	QueryStats obs.QueryStats
 }
 
-// Query runs sql on every node with a background context; it is the
-// convenience form of QueryContext.
-func (c *Coordinator) Query(sql string, emit func(row table.Row) error) (*Result, error) {
-	return c.QueryContext(context.Background(), sql, emit)
+// QueryContext runs sql on every node and returns a streaming cursor
+// over the merged rows — the same API shape as core.Service, so local
+// and distributed execution are interchangeable to clients. Columns
+// follow the SELECT list; rows arrive in a deterministic order only
+// within each node's stream. Cancelling ctx (or Close on the cursor)
+// abandons every node leg promptly, and a context deadline is
+// forwarded to the nodes so they stop extracting server-side. The
+// cursor's Stats include the serving counters (queued/shed/hedged).
+func (c *Coordinator) QueryContext(ctx context.Context, sql string) (*core.Rows, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Parse and plan locally before contacting any node; errors
+	// surface synchronously and cheaply.
+	q, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	prep, err := c.svc.PrepareParsedContext(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewRows(ctx, prep.Cols, func(runCtx context.Context, emit func(table.Row) error) (obs.QueryStats, error) {
+		res, err := c.runPrepared(runCtx, sql, prep, storm.PartitionSpec{}, func(dest int, row table.Row) error {
+			return emit(row)
+		})
+		if err != nil {
+			return obs.QueryStats{}, err
+		}
+		return res.QueryStats, nil
+	}), nil
 }
 
-// QueryContext runs sql on every node and calls emit for each returned
-// row (from a single goroutine; the row is only valid during the call,
-// per the extractor.EmitFunc reuse contract). Columns follow the
-// SELECT list. Cancelling ctx abandons every node leg promptly; a
-// context deadline is also forwarded to the nodes so they stop
-// extracting server-side.
-func (c *Coordinator) QueryContext(ctx context.Context, sql string, emit func(row table.Row) error) (*Result, error) {
+// Query runs sql on every node with a background context.
+//
+// Deprecated: use QueryContext, which returns a streaming cursor and
+// honours cancellation.
+func (c *Coordinator) Query(sql string, emit func(row table.Row) error) (*Result, error) {
+	return c.QueryFuncContext(context.Background(), sql, emit)
+}
+
+// QueryFuncContext runs sql on every node and calls emit for each
+// returned row (from a single goroutine; the row is only valid during
+// the call, per the extractor.EmitFunc reuse contract).
+//
+// Deprecated: use QueryContext, which returns a streaming cursor; this
+// callback shim remains for push-style clients and returns the full
+// per-node Result.
+func (c *Coordinator) QueryFuncContext(ctx context.Context, sql string, emit func(row table.Row) error) (*Result, error) {
 	return c.run(ctx, sql, storm.PartitionSpec{}, func(dest int, row table.Row) error {
 		return emit(row)
 	})
 }
 
-// QueryPartitioned is the convenience form of QueryPartitionedContext.
+// QueryPartitioned runs a partitioned query with a background context.
+//
+// Deprecated: use QueryPartitionedContext, which honours cancellation.
 func (c *Coordinator) QueryPartitioned(sql string, spec storm.PartitionSpec, sinks []storm.Sink) (*Result, error) {
 	return c.QueryPartitionedContext(context.Background(), sql, spec, sinks)
 }
@@ -154,6 +264,8 @@ func (c *Coordinator) QueryPartitionedContext(ctx context.Context, sql string, s
 
 // CollectQuery runs sql and returns all rows (copied), in a
 // deterministic order only within each node's stream.
+//
+// Deprecated: use QueryContext and iterate the cursor.
 func (c *Coordinator) CollectQuery(sql string) ([]table.Row, *Result, error) {
 	return c.CollectQueryContext(context.Background(), sql)
 }
@@ -161,19 +273,19 @@ func (c *Coordinator) CollectQuery(sql string) ([]table.Row, *Result, error) {
 // CollectQueryContext is CollectQuery under a context.
 func (c *Coordinator) CollectQueryContext(ctx context.Context, sql string) ([]table.Row, *Result, error) {
 	var rows []table.Row
-	res, err := c.QueryContext(ctx, sql, func(r table.Row) error {
+	res, err := c.run(ctx, sql, storm.PartitionSpec{}, func(dest int, r table.Row) error {
 		rows = append(rows, append(table.Row(nil), r...))
 		return nil
 	})
 	return rows, res, err
 }
 
+// run parses, plans and executes sql across the cluster, delivering
+// each row with its partition destination.
 func (c *Coordinator) run(ctx context.Context, sql string, spec storm.PartitionSpec, deliver func(dest int, row table.Row) error) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	// Validate and resolve the output schema locally before contacting
-	// any node; errors surface immediately and cheaply.
 	q, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -182,8 +294,40 @@ func (c *Coordinator) run(ctx context.Context, sql string, spec storm.PartitionS
 	if err != nil {
 		return nil, err
 	}
+	return c.runPrepared(ctx, sql, prep, spec, deliver)
+}
+
+// legCounters aggregates serving events across a query's legs.
+type legCounters struct {
+	shed   atomic.Int64
+	hedged atomic.Int64
+}
+
+// runPrepared fans the prepared query out to every node over the
+// session pools, merges the streams and assembles the Result.
+func (c *Coordinator) runPrepared(ctx context.Context, sql string, prep *core.Prepared, spec storm.PartitionSpec, deliver func(dest int, row table.Row) error) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	codec := table.NewCodec(prep.OutSchema)
 	tracer := obs.TracerFrom(ctx)
+
+	req := Request{
+		Version:     protocolVersion,
+		SQL:         sql,
+		Partition:   spec,
+		Parallel:    true,
+		WindowBytes: c.WindowBytes,
+	}
+	// Forward the deadline so the node stops extracting server-side
+	// when the client's budget runs out.
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.TimeoutMS = ms
+	}
 
 	nodes := c.svc.Nodes()
 	type nodeBatch struct {
@@ -198,6 +342,7 @@ func (c *Coordinator) run(ctx context.Context, sql string, spec storm.PartitionS
 	}
 	batchc := make(chan nodeBatch, len(nodes)*2)
 	donec := make(chan nodeDone, len(nodes))
+	var counters legCounters
 	var wg sync.WaitGroup
 
 	netStart := time.Now()
@@ -206,7 +351,7 @@ func (c *Coordinator) run(ctx context.Context, sql string, spec storm.PartitionS
 		go func(node string) {
 			defer wg.Done()
 			endNet := obs.Begin(tracer, sql, obs.StageNet)
-			tr, err := c.queryNode(ctx, node, sql, spec, codec, func(dest int, rows []table.Row) {
+			tr, err := c.runLeg(ctx, node, req, codec, &counters, func(dest int, rows []table.Row) {
 				batchc <- nodeBatch{node: node, dest: dest, rows: rows}
 			})
 			endNet(err)
@@ -233,6 +378,7 @@ func (c *Coordinator) run(ctx context.Context, sql string, spec storm.PartitionS
 	}
 	var slowestExtract int64
 	var pcHits, pcMisses int64
+	var queuedLegs, queueNS int64
 	for range nodes {
 		d := <-donec
 		if d.err != nil && firstErr == nil {
@@ -246,6 +392,8 @@ func (c *Coordinator) run(ctx context.Context, sql string, spec storm.PartitionS
 		}
 		pcHits += d.trailer.PlanCacheHits
 		pcMisses += d.trailer.PlanCacheMisses
+		queuedLegs += d.trailer.Queued
+		queueNS += d.trailer.QueueNS
 	}
 	if firstErr != nil {
 		if ctx.Err() != nil {
@@ -279,13 +427,250 @@ func (c *Coordinator) run(ctx context.Context, sql string, spec storm.PartitionS
 		PlanCacheHits:   ownHits + pcHits,
 		PlanCacheMisses: ownMisses + pcMisses,
 
+		// Serving counters: admission queueing reported by the nodes,
+		// shedding and hedging observed by the legs.
+		QueuedQueries: queuedLegs,
+		ShedQueries:   counters.shed.Load(),
+		HedgedLegs:    counters.hedged.Load(),
+
 		PlanTime:    plan,
 		IndexTime:   index,
+		QueueTime:   time.Duration(queueNS),
 		ExtractTime: time.Duration(slowestExtract),
 		FilterTime:  time.Duration(res.Stats.FilterNS),
 		NetTime:     time.Since(netStart),
 	}
 	return res, nil
+}
+
+// runLeg drives one node's leg: session checkout, hedging, and
+// bounded retry of legs shed by the node's admission control.
+func (c *Coordinator) runLeg(ctx context.Context, node string, req Request, codec *table.Codec,
+	counters *legCounters, onBatch func(dest int, rows []table.Row)) (Trailer, error) {
+
+	pool := c.pool(node)
+	retries := c.OverloadRetries
+	if retries == 0 {
+		retries = 2
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	backoff := c.OverloadBackoff
+	if backoff <= 0 {
+		backoff = 25 * time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
+		tr, err := c.legHedged(ctx, pool, req, codec, counters, onBatch)
+		pool.reportResult(healthErr(err), c.RetryBackoff)
+		if err == nil {
+			return tr, nil
+		}
+		if errors.Is(err, ErrOverloaded) {
+			counters.shed.Add(1)
+			if attempt < retries && ctx.Err() == nil {
+				t := time.NewTimer(backoff)
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return Trailer{}, ctx.Err()
+				}
+				backoff *= 2
+				continue
+			}
+		}
+		return Trailer{}, err
+	}
+}
+
+// healthErr filters errors that should not count against a node's
+// health: cancellation is the client's doing, and shedding is a
+// healthy node protecting itself.
+func healthErr(err error) error {
+	if err == nil ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrOverloaded) {
+		return nil
+	}
+	return err
+}
+
+// errHedgeLost is returned by the stream that lost the hedge race;
+// it never surfaces to callers.
+var errHedgeLost = errors.New("cluster: hedged leg lost the race")
+
+// legHedged runs the leg, optionally duplicating it onto a second
+// stream when the first has not produced a frame within HedgeAfter.
+// Exactly one stream claims the right to deliver rows (an atomic CAS
+// at its first delivered frame), so the merged result never sees
+// duplicates; the loser is cancelled.
+func (c *Coordinator) legHedged(ctx context.Context, pool *nodePool, req Request, codec *table.Codec,
+	counters *legCounters, onBatch func(dest int, rows []table.Row)) (Trailer, error) {
+
+	var claim atomic.Int32
+	if c.HedgeAfter <= 0 {
+		tr, _, err := c.legStream(ctx, pool, req, codec, &claim, 1, onBatch)
+		return tr, err
+	}
+
+	type streamRes struct {
+		tr      Trailer
+		claimed bool
+		err     error
+	}
+	resc := make(chan streamRes, 2)
+	sctx, scancel := context.WithCancel(ctx)
+	defer scancel()
+	launch := func(id int32) {
+		go func() {
+			tr, claimed, err := c.legStream(sctx, pool, req, codec, &claim, id, onBatch)
+			resc <- streamRes{tr: tr, claimed: claimed, err: err}
+		}()
+	}
+	launch(1)
+
+	// The hedge timer and the result loop race; hmu linearizes the
+	// "launch a hedge" vs "give up on this leg" decision so a hedge is
+	// never launched after the leg has returned (a stray stream could
+	// otherwise deliver rows into a closed merge).
+	var hmu sync.Mutex
+	hedged := false
+	abandoned := false
+	timer := time.AfterFunc(c.HedgeAfter, func() {
+		hmu.Lock()
+		defer hmu.Unlock()
+		if abandoned || claim.Load() != 0 || sctx.Err() != nil {
+			return
+		}
+		hedged = true
+		counters.hedged.Add(1)
+		launch(2)
+	})
+	defer timer.Stop()
+
+	var lastErr error
+	finished := 0
+	for {
+		r := <-resc
+		finished++
+		if r.err == nil {
+			return r.tr, nil
+		}
+		if r.claimed {
+			// The delivering stream failed mid-way; rows may already be
+			// merged, so the leg cannot be retried or re-hedged.
+			return Trailer{}, r.err
+		}
+		if !errors.Is(r.err, errHedgeLost) {
+			lastErr = r.err
+		}
+		hmu.Lock()
+		if !hedged {
+			abandoned = true
+			hmu.Unlock()
+			return Trailer{}, lastErr
+		}
+		launched := 2
+		hmu.Unlock()
+		if finished >= launched {
+			return Trailer{}, lastErr
+		}
+	}
+}
+
+// legStream runs one wire stream of a leg over a (possibly shared)
+// session: sends the query, consumes its frames, grants flow-control
+// credit, and decodes row batches. It only delivers rows after
+// winning the claim shared with a hedged twin.
+func (c *Coordinator) legStream(ctx context.Context, pool *nodePool, req Request, codec *table.Codec,
+	claim *atomic.Int32, id int32, onBatch func(dest int, rows []table.Row)) (Trailer, bool, error) {
+
+	// ctxErr prefers the context's error over the failure it induced.
+	ctxErr := func(err error) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		return err
+	}
+
+	sess, release, err := pool.session(ctx)
+	if err != nil {
+		return Trailer{}, false, ctxErr(err)
+	}
+	defer release()
+	leg, err := sess.start(req)
+	if err != nil {
+		return Trailer{}, false, ctxErr(err)
+	}
+	// A context cancellation abandons the leg: the node is told to
+	// cancel, the demux reader drops the query's residue frames, and
+	// the blocked next() below returns.
+	stop := context.AfterFunc(ctx, func() {
+		sess.abandon(leg, ctx.Err())
+	})
+	defer stop()
+
+	claimed := false
+	tryClaim := func() bool {
+		if claimed {
+			return true
+		}
+		if claim.CompareAndSwap(0, id) || claim.Load() == id {
+			claimed = true
+		}
+		return claimed
+	}
+
+	for {
+		ev, err := leg.next()
+		if err != nil {
+			sess.abandon(leg, err)
+			return Trailer{}, claimed, ctxErr(err)
+		}
+		switch ev.typ {
+		case frameRows:
+			if !tryClaim() {
+				sess.abandon(leg, errHedgeLost)
+				return Trailer{}, false, errHedgeLost
+			}
+			if len(ev.payload) < 8 {
+				sess.abandon(leg, errHedgeLost)
+				return Trailer{}, claimed, fmt.Errorf("cluster: short row batch")
+			}
+			dest := int(binary.LittleEndian.Uint32(ev.payload[0:]))
+			count := int(binary.LittleEndian.Uint32(ev.payload[4:]))
+			body := ev.payload[8:]
+			if count < 0 || len(body) != count*codec.RowBytes() {
+				sess.abandon(leg, errHedgeLost)
+				return Trailer{}, claimed, fmt.Errorf("cluster: row batch of %d bytes does not hold %d rows",
+					len(body), count)
+			}
+			rows, err := codec.DecodeAll(body)
+			if err != nil {
+				sess.abandon(leg, err)
+				return Trailer{}, claimed, err
+			}
+			onBatch(dest, rows)
+			leg.consumedRows(len(ev.payload))
+		case frameDone:
+			if !tryClaim() {
+				return Trailer{}, false, errHedgeLost
+			}
+			var tr Trailer
+			if err := json.Unmarshal(ev.payload, &tr); err != nil {
+				return Trailer{}, claimed, fmt.Errorf("cluster: bad trailer: %w", err)
+			}
+			return tr, claimed, nil
+		case frameBusy:
+			return Trailer{}, claimed, fmt.Errorf("node shed query: %w", ErrOverloaded)
+		case frameError:
+			return Trailer{}, claimed, fmt.Errorf("%s", ev.payload)
+		default:
+			sess.abandon(leg, errHedgeLost)
+			return Trailer{}, claimed, fmt.Errorf("cluster: unexpected frame %q", ev.typ)
+		}
+	}
 }
 
 // dialNode connects to a node with bounded retry and exponential
@@ -323,106 +708,6 @@ func (c *Coordinator) dialNode(ctx context.Context, node string) (net.Conn, erro
 		}
 	}
 	return nil, fmt.Errorf("dial failed after %d attempts: %w", c.DialRetries+1, lastErr)
-}
-
-// queryNode runs one node's leg of the query over a fresh connection.
-// Every return path closes the connection: the deferred Close covers
-// handshake-write failures as well as streaming errors (a leak here
-// once exhausted client FDs under node churn).
-func (c *Coordinator) queryNode(ctx context.Context, node, sql string, spec storm.PartitionSpec,
-	codec *table.Codec, onBatch func(dest int, rows []table.Row)) (Trailer, error) {
-
-	conn, err := c.dialNode(ctx, node)
-	if err != nil {
-		return Trailer{}, err
-	}
-	defer conn.Close()
-
-	// Watchdog: a context cancellation mid-I/O forces any blocked read
-	// or write on this connection to fail immediately.
-	watchStop := make(chan struct{})
-	defer close(watchStop)
-	go func() {
-		select {
-		case <-ctx.Done():
-			conn.SetDeadline(time.Unix(1, 0)) //nolint:errcheck — unblocks in-flight I/O
-		case <-watchStop:
-		}
-	}()
-	// ctxErr prefers the context's error over the I/O error it induced.
-	ctxErr := func(err error) error {
-		if cerr := ctx.Err(); cerr != nil {
-			return cerr
-		}
-		return err
-	}
-
-	req := Request{
-		Version:   protocolVersion,
-		SQL:       sql,
-		Partition: spec,
-		Parallel:  true,
-	}
-	// Forward the deadline so the node stops extracting server-side
-	// when the client's budget runs out.
-	if dl, ok := ctx.Deadline(); ok {
-		ms := time.Until(dl).Milliseconds()
-		if ms < 1 {
-			ms = 1
-		}
-		req.TimeoutMS = ms
-	}
-	if c.IOTimeout > 0 {
-		conn.SetWriteDeadline(time.Now().Add(c.IOTimeout)) //nolint:errcheck
-	}
-	bw := bufio.NewWriterSize(conn, 1<<16)
-	if err := writeJSONFrame(bw, frameQuery, req); err != nil {
-		return Trailer{}, ctxErr(err)
-	}
-	if err := bw.Flush(); err != nil {
-		return Trailer{}, ctxErr(err)
-	}
-
-	br := bufio.NewReaderSize(conn, 1<<16)
-	var buf []byte
-	for {
-		if c.IOTimeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(c.IOTimeout)) //nolint:errcheck
-		}
-		typ, payload, err := readFrame(br, buf)
-		if err != nil {
-			return Trailer{}, ctxErr(err)
-		}
-		buf = payload
-		switch typ {
-		case frameRows:
-			if len(payload) < 8 {
-				return Trailer{}, fmt.Errorf("cluster: short row batch")
-			}
-			dest := int(binary.LittleEndian.Uint32(payload[0:]))
-			count := int(binary.LittleEndian.Uint32(payload[4:]))
-			body := payload[8:]
-			if count < 0 || len(body) != count*codec.RowBytes() {
-				return Trailer{}, fmt.Errorf("cluster: row batch of %d bytes does not hold %d rows",
-					len(body), count)
-			}
-			rows, err := codec.DecodeAll(body)
-			if err != nil {
-				return Trailer{}, err
-			}
-			onBatch(dest, rows)
-		case frameDone:
-			var tr Trailer
-			if err := json.Unmarshal(payload, &tr); err != nil {
-				return Trailer{}, fmt.Errorf("cluster: bad trailer: %w", err)
-			}
-			return tr, nil
-		case frameError:
-			return Trailer{}, fmt.Errorf("%s", payload)
-		default:
-			return Trailer{}, fmt.Errorf("cluster: unexpected frame %q", typ)
-		}
-	}
 }
 
 // Nodes returns the node names the coordinator dispatches to, sorted.

@@ -1,24 +1,23 @@
 package cluster
 
 import (
-	"bufio"
 	"context"
-	"encoding/json"
 	"fmt"
 	"log"
 	"net"
+	"runtime"
 	"sync"
-	"time"
 
 	"datavirt/internal/core"
 	"datavirt/internal/obs"
-	"datavirt/internal/storm"
-	"datavirt/internal/table"
 )
 
 // Node is one cluster node server. It owns the subset of a dataset's
 // files whose storage directories name it and answers query requests by
 // running the generated index and extraction functions over that subset.
+// Each accepted connection is a multiplexed session carrying many
+// concurrent queries; a node-wide admission controller bounds how many
+// run at once and sheds the excess.
 type Node struct {
 	name string
 	svc  *core.Service
@@ -34,15 +33,29 @@ type Node struct {
 	conns  map[net.Conn]bool
 	wg     sync.WaitGroup
 
+	admOnce sync.Once
+	adm     *admission
+
 	// Logf receives diagnostics; defaults to log.Printf. Set before
 	// Serve traffic arrives.
 	Logf func(format string, args ...any)
 
 	// Tracer, when set, observes every stage of every query this node
-	// executes (plan/index on cache misses, extract and filter always);
-	// pair it with obs.LogTracer for slow-query logging. Set before
-	// traffic arrives.
+	// executes (plan/index on cache misses, extract and filter always,
+	// queue waits under admission); pair it with obs.LogTracer for
+	// slow-query logging. Set before traffic arrives.
 	Tracer obs.Tracer
+
+	// MaxConcurrent bounds how many queries execute at once across all
+	// of this node's sessions; further arrivals wait in a FIFO queue.
+	// Zero means 2×GOMAXPROCS (at least 4). Set before traffic arrives.
+	MaxConcurrent int
+
+	// MaxQueue bounds the admission queue; arrivals beyond it are shed
+	// with a busy frame (ErrOverloaded at the client). Zero means 64; a
+	// negative value means no queue (shed as soon as MaxConcurrent run).
+	// Set before traffic arrives.
+	MaxQueue int
 }
 
 // StartNode launches a node server for the given cluster node name on
@@ -75,6 +88,35 @@ func (n *Node) Name() string { return n.name }
 
 // Addr returns the listen address.
 func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// admission lazily builds the node's concurrency gate from the knobs,
+// freezing them at first traffic.
+func (n *Node) admission() *admission {
+	n.admOnce.Do(func() {
+		maxC := n.MaxConcurrent
+		if maxC <= 0 {
+			maxC = 2 * runtime.GOMAXPROCS(0)
+			if maxC < 4 {
+				maxC = 4
+			}
+		}
+		maxQ := n.MaxQueue
+		switch {
+		case maxQ == 0:
+			maxQ = 64
+		case maxQ < 0:
+			maxQ = 0
+		}
+		n.adm = &admission{max: maxC, maxQ: maxQ}
+	})
+	return n.adm
+}
+
+// AdmissionCounters reports how many queries have waited in the
+// admission queue and how many were shed over the node's lifetime.
+func (n *Node) AdmissionCounters() (queued, shed int64) {
+	return n.admission().counters()
+}
 
 // Close stops the listener, cancels in-flight extractions and closes
 // active connections.
@@ -119,147 +161,9 @@ func (n *Node) acceptLoop() {
 				n.mu.Unlock()
 				conn.Close()
 			}()
-			if err := n.handle(conn); err != nil {
+			if err := newNodeSession(n, conn).serve(); err != nil {
 				n.Logf("cluster node %s: %v", n.name, err)
 			}
 		}()
 	}
-}
-
-// handle serves one connection: one request, one response stream.
-func (n *Node) handle(conn net.Conn) error {
-	br := bufio.NewReaderSize(conn, 1<<16)
-	bw := bufio.NewWriterSize(conn, 1<<16)
-
-	typ, payload, err := readFrame(br, nil)
-	if err != nil {
-		return err
-	}
-	if typ != frameQuery {
-		return fmt.Errorf("expected query frame, got %q", typ)
-	}
-	var req Request
-	if err := json.Unmarshal(payload, &req); err != nil {
-		sendError(bw, fmt.Sprintf("bad request: %v", err))
-		return nil
-	}
-	if req.Version != protocolVersion {
-		sendError(bw, fmt.Sprintf("protocol version %d not supported", req.Version))
-		return nil
-	}
-	if err := n.runQuery(bw, &req); err != nil {
-		sendError(bw, err.Error())
-	}
-	return bw.Flush()
-}
-
-func sendError(bw *bufio.Writer, msg string) {
-	writeFrame(bw, frameError, []byte(msg)) //nolint:errcheck — best effort on a dying stream
-	bw.Flush()                              //nolint:errcheck
-}
-
-// runQuery prepares, executes and streams one query restricted to this
-// node's files. The execution context descends from the node's base
-// context (cancelled on Close) and honours the request's forwarded
-// deadline, so a coordinator that has given up — or a node shutting
-// down — stops extraction between block reads.
-func (n *Node) runQuery(bw *bufio.Writer, req *Request) error {
-	ctx := n.baseCtx
-	if n.Tracer != nil {
-		ctx = obs.WithTracer(ctx, n.Tracer)
-	}
-	if req.TimeoutMS > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
-		defer cancel()
-	}
-	// Repeated remote queries are served by the service's semantic plan
-	// cache: the AFC list is memoized by (table, ranges, needed columns)
-	// fingerprint rather than SQL text, so textually distinct but
-	// range-equal queries share one plan (the paper's "no code
-	// generation or expensive runtime processing is required when a new
-	// query is submitted" applies a fortiori to repeats).
-	prep, err := n.svc.PrepareContext(ctx, req.SQL)
-	if err != nil {
-		return err
-	}
-	codec := table.NewCodec(prep.OutSchema)
-
-	// Partition generation at the server: each outgoing row is tagged
-	// with its destination processor.
-	numDests := req.Partition.NumDests
-	var part storm.Partitioner
-	if numDests > 0 {
-		part, err = storm.NewPartitioner(req.Partition, func(name string) (int, bool) {
-			i := prep.OutSchema.Index(name)
-			return i, i >= 0
-		})
-		if err != nil {
-			return err
-		}
-	} else {
-		numDests = 1
-	}
-
-	// Per-destination batches.
-	type batch struct {
-		rows int
-		buf  []byte
-	}
-	batches := make([]batch, numDests)
-	// The batch buffer doubles as the frame body and the encoder reuses
-	// one header buffer for the connection, so flushing a full batch
-	// allocates nothing.
-	var enc rowsFrameEncoder
-	flush := func(d int) error {
-		b := &batches[d]
-		if b.rows == 0 {
-			return nil
-		}
-		err := enc.writeRowsFrame(bw, uint32(d), uint32(b.rows), b.buf)
-		b.rows = 0
-		b.buf = b.buf[:0]
-		return err
-	}
-
-	var rows int64
-	extractStart := time.Now()
-	stats, err := prep.RunContext(ctx, core.Options{
-		NodeFilter: n.name,
-		Parallel:   req.Parallel,
-	}, func(row table.Row) error {
-		d := 0
-		if part != nil {
-			d = part.Dest(row)
-			if d < 0 || d >= numDests {
-				return fmt.Errorf("partitioner produced destination %d of %d", d, numDests)
-			}
-		}
-		b := &batches[d]
-		var err error
-		b.buf, err = codec.Append(b.buf, row)
-		if err != nil {
-			return err
-		}
-		b.rows++
-		rows++
-		if b.rows >= batchRows {
-			return flush(d)
-		}
-		return nil
-	})
-	extractNS := time.Since(extractStart).Nanoseconds()
-	if err != nil {
-		return err
-	}
-	for d := range batches {
-		if err := flush(d); err != nil {
-			return err
-		}
-	}
-	pcHits, pcMisses := prep.PlanCacheCounters()
-	return writeJSONFrame(bw, frameDone, Trailer{
-		Stats: stats, Rows: rows, ExtractNS: extractNS,
-		PlanCacheHits: pcHits, PlanCacheMisses: pcMisses,
-	})
 }

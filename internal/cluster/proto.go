@@ -2,25 +2,36 @@
 // (simulated) cluster: one node server per cluster node, each owning the
 // files whose storage directories name it, and a coordinator that fans a
 // query out, merges the tuple streams, and optionally routes tuples to
-// client processors using the partition generated at the server side —
-// the deployment the paper evaluates on 1–16 nodes.
+// client processors using the partition generated at the service side —
+// the deployment the paper evaluates on 1–16 nodes, grown into a
+// concurrent serving system: many in-flight queries are multiplexed
+// over a small set of persistent node connections.
 //
-// The wire protocol is length-prefixed binary frames over TCP:
+// The wire protocol (version 2) is length-prefixed binary frames over
+// TCP, every frame tagged with the query ID it belongs to so one
+// connection carries many queries at once:
 //
-//	frame   = len uint32 (LE) | type byte | payload
-//	'Q'     = query request (JSON header)
+//	frame   = len uint32 (LE) | type byte | qid uint32 (LE) | payload
+//	'Q'     = query request (JSON header), client → node
+//	'C'     = cancel query qid (empty payload), client → node
+//	'W'     = flow-control credit: uint32 window bytes, client → node
 //	'R'     = row batch: destID uint32 | rowCount uint32 | rows (codec)
-//	'D'     = done: JSON stats trailer
-//	'E'     = error: UTF-8 message
+//	'D'     = done: JSON stats trailer (terminal)
+//	'E'     = error: UTF-8 message (terminal)
+//	'B'     = busy: the node shed the query at admission (terminal)
 //
 // Rows travel in the fixed-width schema codec of internal/table; both
 // ends derive the row layout from the query's SELECT list against the
-// shared descriptor.
+// shared descriptor. Each query has a byte-granular flow-control
+// window: the node only sends row batches against credit the client
+// has granted ('Q' carries the initial window, 'W' replenishes it), so
+// one slow consumer cannot monopolize a shared connection.
 package cluster
 
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -29,22 +40,41 @@ import (
 )
 
 const (
-	frameQuery = 'Q'
-	frameRows  = 'R'
-	frameDone  = 'D'
-	frameError = 'E'
+	frameQuery  = 'Q'
+	frameCancel = 'C'
+	frameWindow = 'W'
+	frameRows   = 'R'
+	frameDone   = 'D'
+	frameError  = 'E'
+	frameBusy   = 'B'
 
 	// maxFrame guards against corrupt length prefixes.
 	maxFrame = 64 << 20
 
-	// protocolVersion is checked at handshake.
-	protocolVersion = 1
+	// protocolVersion is checked per query request. Version 2 added
+	// query-ID-tagged frames (connection multiplexing), flow-control
+	// windows, and the cancel/busy frames.
+	protocolVersion = 2
 
 	// batchRows is the number of rows per 'R' frame.
 	batchRows = 512
+
+	// defaultWindowBytes is the flow-control credit a query starts with
+	// when the request does not name one.
+	defaultWindowBytes = 1 << 20
+
+	// frameHeaderLen is len + type + qid.
+	frameHeaderLen = 9
 )
 
-// Request is the JSON header of a 'Q' frame.
+// ErrOverloaded is the typed load-shedding error: a node whose
+// admission queue is full rejects the query with a 'B' busy frame
+// (the 429 of this protocol) instead of letting it pile up. The
+// coordinator retries shed legs with backoff; when retries are
+// exhausted the query fails with an error matching this via errors.Is.
+var ErrOverloaded = errors.New("cluster: node overloaded, query shed")
+
+// Request is the JSON payload of a 'Q' frame.
 type Request struct {
 	Version int
 	// SQL is the query text.
@@ -60,6 +90,18 @@ type Request struct {
 	// no work in flight after the client has given up. Zero means no
 	// server-side bound.
 	TimeoutMS int64 `json:",omitempty"`
+	// WindowBytes is the initial flow-control credit: the node may send
+	// at most this many row-batch payload bytes before waiting for 'W'
+	// frames. Zero means defaultWindowBytes.
+	WindowBytes int64 `json:",omitempty"`
+	// Weight is the query's share under the node's weighted-fair
+	// scheduler (relative to other in-flight queries on the node;
+	// 0 means 1).
+	Weight int `json:",omitempty"`
+	// MaxResultBytes, when positive, is the query's byte budget: a leg
+	// that streams more row-batch bytes than this is aborted with an
+	// error instead of saturating the wire indefinitely.
+	MaxResultBytes int64 `json:",omitempty"`
 }
 
 // Trailer is the JSON payload of a 'D' frame.
@@ -74,16 +116,21 @@ type Trailer struct {
 	// query's stats alongside its own prepare.
 	PlanCacheHits   int64 `json:",omitempty"`
 	PlanCacheMisses int64 `json:",omitempty"`
+	// Queued is 1 when this leg waited in the node's admission queue
+	// before running; QueueNS is that wait in nanoseconds.
+	Queued  int64 `json:",omitempty"`
+	QueueNS int64 `json:",omitempty"`
 }
 
-// writeFrame writes one frame.
-func writeFrame(w io.Writer, typ byte, payload []byte) error {
-	var hdr [5]byte
+// writeFrame writes one frame tagged with qid.
+func writeFrame(w io.Writer, typ byte, qid uint32, payload []byte) error {
+	var hdr [frameHeaderLen]byte
 	if len(payload) > maxFrame {
 		return fmt.Errorf("cluster: frame of %d bytes exceeds limit", len(payload))
 	}
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
 	hdr[4] = typ
+	binary.LittleEndian.PutUint32(hdr[5:9], qid)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -92,24 +139,24 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 }
 
 // rowsFrameEncoder writes 'R' frames — destID | rowCount | rows —
-// without assembling the payload in a temporary: the 13-byte header
-// (length prefix, type, destination, count) is encoded into the
-// reused per-connection buffer and the row body is written straight
+// without assembling the payload in a temporary: the 17-byte header
+// (length prefix, type, query ID, destination, count) is encoded into
+// the reused per-stream buffer and the row body is written straight
 // from the caller's batch buffer, so steady-state row streaming
-// allocates nothing per frame (the old path copied every batch into a
-// fresh payload slice).
+// allocates nothing per frame.
 type rowsFrameEncoder struct {
-	hdr [13]byte
+	hdr [frameHeaderLen + 8]byte
 }
 
-func (e *rowsFrameEncoder) writeRowsFrame(w io.Writer, dest, count uint32, body []byte) error {
+func (e *rowsFrameEncoder) writeRowsFrame(w io.Writer, qid, dest, count uint32, body []byte) error {
 	if 8+len(body) > maxFrame {
 		return fmt.Errorf("cluster: frame of %d bytes exceeds limit", 8+len(body))
 	}
 	binary.LittleEndian.PutUint32(e.hdr[0:4], uint32(8+len(body)))
 	e.hdr[4] = frameRows
-	binary.LittleEndian.PutUint32(e.hdr[5:9], dest)
-	binary.LittleEndian.PutUint32(e.hdr[9:13], count)
+	binary.LittleEndian.PutUint32(e.hdr[5:9], qid)
+	binary.LittleEndian.PutUint32(e.hdr[9:13], dest)
+	binary.LittleEndian.PutUint32(e.hdr[13:17], count)
 	if _, err := w.Write(e.hdr[:]); err != nil {
 		return err
 	}
@@ -117,31 +164,58 @@ func (e *rowsFrameEncoder) writeRowsFrame(w io.Writer, dest, count uint32, body 
 	return err
 }
 
+// encodeRowsBody prepends destID | rowCount to a row batch, producing
+// the payload of an 'R' frame (used by the node-side scheduler, which
+// queues encoded payloads rather than writing them inline).
+func encodeRowsBody(dest, count uint32, rows []byte) []byte {
+	body := make([]byte, 8+len(rows))
+	binary.LittleEndian.PutUint32(body[0:4], dest)
+	binary.LittleEndian.PutUint32(body[4:8], count)
+	copy(body[8:], rows)
+	return body
+}
+
 // readFrame reads one frame, reusing buf when it has capacity.
-func readFrame(r io.Reader, buf []byte) (typ byte, payload []byte, err error) {
-	var hdr [5]byte
+func readFrame(r io.Reader, buf []byte) (typ byte, qid uint32, payload []byte, err error) {
+	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:4])
 	if n > maxFrame {
-		return 0, nil, fmt.Errorf("cluster: frame length %d exceeds limit", n)
+		return 0, 0, nil, fmt.Errorf("cluster: frame length %d exceeds limit", n)
 	}
+	qid = binary.LittleEndian.Uint32(hdr[5:9])
 	if cap(buf) < int(n) {
 		buf = make([]byte, n)
 	}
 	buf = buf[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return 0, nil, fmt.Errorf("cluster: short frame: %w", err)
+		return 0, 0, nil, fmt.Errorf("cluster: short frame: %w", err)
 	}
-	return hdr[4], buf, nil
+	return hdr[4], qid, buf, nil
 }
 
 // writeJSONFrame marshals v into a frame.
-func writeJSONFrame(w io.Writer, typ byte, v any) error {
+func writeJSONFrame(w io.Writer, typ byte, qid uint32, v any) error {
 	b, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
-	return writeFrame(w, typ, b)
+	return writeFrame(w, typ, qid, b)
+}
+
+// windowPayload encodes a 'W' credit grant.
+func windowPayload(credit uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], credit)
+	return b[:]
+}
+
+// parseWindow decodes a 'W' payload.
+func parseWindow(payload []byte) (uint32, error) {
+	if len(payload) != 4 {
+		return 0, fmt.Errorf("cluster: window frame of %d bytes", len(payload))
+	}
+	return binary.LittleEndian.Uint32(payload), nil
 }

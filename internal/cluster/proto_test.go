@@ -11,52 +11,48 @@ import (
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	payload := []byte("hello frames")
-	if err := writeFrame(&buf, frameRows, payload); err != nil {
+	if err := writeFrame(&buf, frameRows, 7, payload); err != nil {
 		t.Fatal(err)
 	}
-	typ, got, err := readFrame(&buf, nil)
-	if err != nil || typ != frameRows || string(got) != string(payload) {
-		t.Fatalf("round trip: %q %q %v", typ, got, err)
+	typ, qid, got, err := readFrame(&buf, nil)
+	if err != nil || typ != frameRows || qid != 7 || string(got) != string(payload) {
+		t.Fatalf("round trip: %q qid=%d %q %v", typ, qid, got, err)
 	}
 }
 
 func TestFrameBufferReuse(t *testing.T) {
 	var buf bytes.Buffer
-	writeFrame(&buf, frameRows, []byte("aaaa")) //nolint:errcheck
-	writeFrame(&buf, frameDone, []byte("bb"))   //nolint:errcheck
+	writeFrame(&buf, frameRows, 1, []byte("aaaa")) //nolint:errcheck
+	writeFrame(&buf, frameDone, 2, []byte("bb"))   //nolint:errcheck
 	scratch := make([]byte, 16)
-	_, p1, err := readFrame(&buf, scratch)
-	if err != nil || string(p1) != "aaaa" {
+	_, q1, p1, err := readFrame(&buf, scratch)
+	if err != nil || q1 != 1 || string(p1) != "aaaa" {
 		t.Fatal(err)
 	}
-	_, p2, err := readFrame(&buf, p1)
-	if err != nil || string(p2) != "bb" {
+	_, q2, p2, err := readFrame(&buf, p1)
+	if err != nil || q2 != 2 || string(p2) != "bb" {
 		t.Fatalf("second frame: %q %v", p2, err)
 	}
 }
 
 func TestRowsFrameWireFormat(t *testing.T) {
 	// writeRowsFrame must emit exactly the bytes of writeFrame over an
-	// assembled destID|rowCount|body payload — the coordinator's reader
-	// cannot tell them apart.
+	// assembled destID|rowCount|body payload (encodeRowsBody) — the
+	// session reader cannot tell them apart.
 	body := []byte("0123456789abcdef0123456789abcdef")
 	var want bytes.Buffer
-	payload := make([]byte, 8+len(body))
-	binary.LittleEndian.PutUint32(payload[0:], 3)
-	binary.LittleEndian.PutUint32(payload[4:], 2)
-	copy(payload[8:], body)
-	if err := writeFrame(&want, frameRows, payload); err != nil {
+	if err := writeFrame(&want, frameRows, 9, encodeRowsBody(3, 2, body)); err != nil {
 		t.Fatal(err)
 	}
 	var got bytes.Buffer
 	var enc rowsFrameEncoder
-	if err := enc.writeRowsFrame(&got, 3, 2, body); err != nil {
+	if err := enc.writeRowsFrame(&got, 9, 3, 2, body); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got.Bytes(), want.Bytes()) {
 		t.Errorf("wire bytes differ:\n got %x\nwant %x", got.Bytes(), want.Bytes())
 	}
-	if err := enc.writeRowsFrame(io.Discard, 0, 0, make([]byte, maxFrame)); err == nil {
+	if err := enc.writeRowsFrame(io.Discard, 0, 0, 0, make([]byte, maxFrame)); err == nil {
 		t.Error("oversized rows frame accepted")
 	}
 }
@@ -65,7 +61,7 @@ func TestRowsFrameNoAllocs(t *testing.T) {
 	body := make([]byte, 512*64)
 	enc := &rowsFrameEncoder{}
 	allocs := testing.AllocsPerRun(100, func() {
-		if err := enc.writeRowsFrame(io.Discard, 1, 512, body); err != nil {
+		if err := enc.writeRowsFrame(io.Discard, 1, 1, 512, body); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -74,8 +70,18 @@ func TestRowsFrameNoAllocs(t *testing.T) {
 	}
 }
 
+func TestWindowPayloadRoundTrip(t *testing.T) {
+	got, err := parseWindow(windowPayload(1 << 20))
+	if err != nil || got != 1<<20 {
+		t.Fatalf("window round trip: %d %v", got, err)
+	}
+	if _, err := parseWindow([]byte{1, 2, 3}); err == nil {
+		t.Error("short window payload accepted")
+	}
+}
+
 // BenchmarkRowsFrame compares the zero-copy 'R' frame writer against
-// the old assemble-then-write path; run with -benchmem to see the
+// the assemble-then-write path; run with -benchmem to see the
 // per-batch allocation drop (one payload-sized allocation per frame).
 func BenchmarkRowsFrame(b *testing.B) {
 	body := make([]byte, 512*64) // one full batch of 64-byte rows
@@ -84,7 +90,7 @@ func BenchmarkRowsFrame(b *testing.B) {
 		b.ReportAllocs()
 		b.SetBytes(int64(len(body)))
 		for i := 0; i < b.N; i++ {
-			if err := enc.writeRowsFrame(io.Discard, 1, 512, body); err != nil {
+			if err := enc.writeRowsFrame(io.Discard, 1, 1, 512, body); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -93,11 +99,7 @@ func BenchmarkRowsFrame(b *testing.B) {
 		b.ReportAllocs()
 		b.SetBytes(int64(len(body)))
 		for i := 0; i < b.N; i++ {
-			payload := make([]byte, 8+len(body))
-			binary.LittleEndian.PutUint32(payload[0:], 1)
-			binary.LittleEndian.PutUint32(payload[4:], 512)
-			copy(payload[8:], body)
-			if err := writeFrame(io.Discard, frameRows, payload); err != nil {
+			if err := writeFrame(io.Discard, frameRows, 1, encodeRowsBody(1, 512, body)); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -106,14 +108,14 @@ func BenchmarkRowsFrame(b *testing.B) {
 
 func TestFrameLimits(t *testing.T) {
 	var buf bytes.Buffer
-	if err := writeFrame(&buf, frameRows, make([]byte, maxFrame+1)); err == nil {
+	if err := writeFrame(&buf, frameRows, 1, make([]byte, maxFrame+1)); err == nil {
 		t.Error("oversized write accepted")
 	}
 	// A corrupt length prefix is rejected before allocation.
-	var hdr [5]byte
+	var hdr [frameHeaderLen]byte
 	binary.LittleEndian.PutUint32(hdr[:4], maxFrame+1)
 	hdr[4] = frameRows
-	if _, _, err := readFrame(bytes.NewReader(hdr[:]), nil); err == nil ||
+	if _, _, _, err := readFrame(bytes.NewReader(hdr[:]), nil); err == nil ||
 		!strings.Contains(err.Error(), "exceeds limit") {
 		t.Errorf("corrupt length: %v", err)
 	}
@@ -122,7 +124,7 @@ func TestFrameLimits(t *testing.T) {
 	binary.LittleEndian.PutUint32(hdr[:4], 100)
 	short.Write(hdr[:])
 	short.WriteString("only a little")
-	if _, _, err := readFrame(&short, nil); err == nil {
+	if _, _, _, err := readFrame(&short, nil); err == nil {
 		t.Error("short frame accepted")
 	}
 }

@@ -8,7 +8,6 @@ import (
 	"datavirt/internal/core"
 	"datavirt/internal/gen"
 	"datavirt/internal/metadata"
-	"datavirt/internal/table"
 )
 
 // TestConcurrentQueries hammers one cluster with parallel clients; each
@@ -23,7 +22,7 @@ func TestConcurrentQueries(t *testing.T) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			rows, _, err := coord.CollectQuery("SELECT TIME, SOIL FROM IparsData WHERE REL = 0")
+			rows, _, err := coord.CollectQueryContext(context.Background(), "SELECT TIME, SOIL FROM IparsData WHERE REL = 0")
 			errs[c] = err
 			counts[c] = int64(len(rows))
 		}(c)
@@ -71,10 +70,11 @@ func TestPreparedPlanCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer coord.Close()
 
 	// Two textually different queries with equal normalized ranges and
 	// needed columns: the second must hit the plan built by the first.
-	rowsA, resA, err := coord.CollectQuery("SELECT TIME FROM IparsData WHERE TIME >= 1 AND TIME <= 2")
+	rowsA, resA, err := coord.CollectQueryContext(context.Background(), "SELECT TIME FROM IparsData WHERE TIME >= 1 AND TIME <= 2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestPreparedPlanCache(t *testing.T) {
 		t.Errorf("cold query plan cache = %d hits / %d misses, want 0/2 (coordinator + node)",
 			resA.QueryStats.PlanCacheHits, resA.QueryStats.PlanCacheMisses)
 	}
-	rowsB, resB, err := coord.CollectQuery("SELECT TIME FROM IparsData WHERE TIME BETWEEN 1 AND 2")
+	rowsB, resB, err := coord.CollectQueryContext(context.Background(), "SELECT TIME FROM IparsData WHERE TIME BETWEEN 1 AND 2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestPreparedPlanCache(t *testing.T) {
 	svc.SetPlanCacheConfig(core.PlanCacheConfig{MaxEntries: 2, Shards: 1})
 	for i := 0; i < 10; i++ {
 		sql := "SELECT TIME FROM IparsData WHERE TIME = " + string(rune('0'+i%4))
-		if _, _, err := coord.CollectQuery(sql); err != nil {
+		if _, _, err := coord.CollectQueryContext(context.Background(), sql); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -122,7 +122,7 @@ func TestLargeStreamCrossesBatches(t *testing.T) {
 	}
 	coord, _ := startCluster(t, spec)
 	// 12000 rows per query >> batchRows (512) per node.
-	rows, res, err := coord.CollectQuery("SELECT * FROM IparsData")
+	rows, res, err := coord.CollectQueryContext(context.Background(), "SELECT * FROM IparsData")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,21 +171,24 @@ func TestNodeDiesMidStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer coord.Close()
 
 	// Kill every node server once the first rows arrive.
+	rows, err := coord.QueryContext(context.Background(), "SELECT * FROM IparsData")
+	if err != nil {
+		t.Fatal(err)
+	}
 	killed := false
-	var mu sync.Mutex
-	_, err = coord.Query("SELECT * FROM IparsData", func(r table.Row) error {
-		mu.Lock()
+	for rows.Next() {
 		if !killed {
 			killed = true
 			for _, v := range victims {
 				v.Close()
 			}
 		}
-		mu.Unlock()
-		return nil
-	})
+	}
+	err = rows.Err()
+	rows.Close()
 	if err == nil {
 		t.Error("coordinator returned success despite dead nodes")
 	}

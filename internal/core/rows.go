@@ -46,28 +46,29 @@ type Rows struct {
 	stats  obs.QueryStats
 }
 
-// QueryContext starts the prepared query and returns a streaming
-// cursor over its rows. Extraction proceeds concurrently with
-// iteration; Close cancels whatever is still in flight.
-func (p *Prepared) QueryContext(ctx context.Context, opt Options) (*Rows, error) {
-	if err := opt.Validate(); err != nil {
-		return nil, err
-	}
+// NewRows adapts an emit-callback runner into a streaming cursor: run
+// is started on its own goroutine with an emit function that hands each
+// row to the cursor (blocking when the consumer lags), and the
+// QueryStats it returns become the cursor's Stats. The runner must
+// honour ctx cancellation — Close cancels it — and must not retain
+// rows after emit returns (the cursor copies them). This is the bridge
+// both the local service and the cluster coordinator use to present
+// one cursor API over push-style execution engines.
+func NewRows(ctx context.Context, cols []string, run func(ctx context.Context, emit func(table.Row) error) (obs.QueryStats, error)) *Rows {
 	runCtx, cancel := context.WithCancel(ctx)
 	r := &Rows{
 		parent: ctx,
 		cancel: cancel,
 		ch:     make(chan table.Row, rowsBuffer),
 		done:   make(chan struct{}),
-		cols:   p.Cols,
+		cols:   cols,
 	}
 	go func() {
 		defer close(r.done)
 		defer close(r.ch)
-		start := time.Now()
-		stats, err := p.RunContext(runCtx, opt, func(row table.Row) error {
-			// The extractor reuses the row; the cursor hands out copies so
-			// callers may retain them.
+		stats, err := run(runCtx, func(row table.Row) error {
+			// The producer may reuse the row; the cursor hands out copies
+			// so callers may retain them.
 			cp := append(table.Row(nil), row...)
 			select {
 			case r.ch <- cp:
@@ -76,10 +77,24 @@ func (p *Prepared) QueryContext(ctx context.Context, opt Options) (*Rows, error)
 				return runCtx.Err()
 			}
 		})
-		r.stats = p.queryStats(stats, time.Since(start))
+		r.stats = stats
 		r.runErr = err
 	}()
-	return r, nil
+	return r
+}
+
+// QueryContext starts the prepared query and returns a streaming
+// cursor over its rows. Extraction proceeds concurrently with
+// iteration; Close cancels whatever is still in flight.
+func (p *Prepared) QueryContext(ctx context.Context, opt Options) (*Rows, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	return NewRows(ctx, p.Cols, func(runCtx context.Context, emit func(table.Row) error) (obs.QueryStats, error) {
+		start := time.Now()
+		stats, err := p.RunContext(runCtx, opt, emit)
+		return p.queryStats(stats, time.Since(start)), err
+	}), nil
 }
 
 // Columns returns the cursor's column names (the SELECT list, *

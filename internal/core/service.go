@@ -528,6 +528,10 @@ func (p *Prepared) CollectContext(ctx context.Context, opt Options) ([]table.Row
 
 // Query is the one-call convenience: prepare, run sequentially,
 // collect, with a background context.
+//
+// Deprecated: use QueryContext and iterate the returned cursor (or
+// Prepare + CollectContext to materialize); Query cannot be cancelled
+// and buffers the entire result set.
 func (s *Service) Query(sql string) ([]table.Row, error) {
 	p, err := s.Prepare(sql)
 	if err != nil {

@@ -1,6 +1,7 @@
 package handwritten
 
 import (
+	"context"
 	"sort"
 	"testing"
 
@@ -34,13 +35,16 @@ func generatedRows(t *testing.T, descPath, root, sql string) []string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := svc.Query(sql)
+	cur, err := svc.QueryContext(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := make([]string, len(rows))
-	for i, r := range rows {
-		out[i] = table.FormatRow(r)
+	var out []string
+	for cur.Next() {
+		out = append(out, table.FormatRow(cur.Row()))
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
 	}
 	sort.Strings(out)
 	return out

@@ -11,6 +11,7 @@ func merge(rows, skew int64) obs.QueryStats {
 		RowsRead: rows,
 		BadSkew:  skew,
 		WaitTime: 0,
+		LogTime:  0,
 	}
 }
 

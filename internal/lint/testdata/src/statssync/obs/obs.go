@@ -10,7 +10,8 @@ type QueryStats struct {
 	RowsRead int64         // merged and surfaced: healthy
 	BadSkew  int64         // want "not merged in Add" "appears in neither Counters nor String"
 	WaitTime time.Duration // merged and attributed: healthy
-	BadTime  time.Duration // want "not merged in Add" "appears in neither StageTime nor String"
+	BadTime  time.Duration // want "not merged in Add" "is not attributed in StageTime"
+	LogTime  time.Duration // want "is not attributed in StageTime"
 
 	hidden int64 // unexported: out of scope
 }
@@ -19,6 +20,7 @@ type QueryStats struct {
 func (s *QueryStats) Add(o *QueryStats) {
 	s.RowsRead += o.RowsRead
 	s.WaitTime += o.WaitTime
+	s.LogTime += o.LogTime
 	s.hidden += o.hidden
 }
 
@@ -27,8 +29,9 @@ func (s *QueryStats) Counters() map[string]int64 {
 	return map[string]int64{"rows_read": s.RowsRead}
 }
 
-// String renders the stats for logs.
-func (s *QueryStats) String() string { return "stats" }
+// String renders the stats for logs. Mentioning LogTime here does not
+// excuse it from StageTime: prose is not queryable per stage.
+func (s *QueryStats) String() string { return "stats " + s.LogTime.String() }
 
 // StageTime attributes time to pipeline stages.
 func (s *QueryStats) StageTime() time.Duration { return s.WaitTime }

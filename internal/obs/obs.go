@@ -31,6 +31,10 @@ const (
 	// serves a memoized AFC list. Range extraction belongs to StagePlan:
 	// it is part of the plan's semantic identity.
 	StageIndex Stage = "index"
+	// StageQueue covers the wait in a node's admission queue before a
+	// query is granted an execution slot; it is zero when the node is
+	// unloaded and for purely local execution.
+	StageQueue Stage = "queue"
 	// StageExtract covers chunk reads and row assembly.
 	StageExtract Stage = "extract"
 	// StageFilter covers residual predicate evaluation and row delivery
@@ -42,7 +46,7 @@ const (
 )
 
 // Stages lists all stages in execution order.
-var Stages = []Stage{StagePlan, StageIndex, StageExtract, StageFilter, StageNet}
+var Stages = []Stage{StagePlan, StageIndex, StageQueue, StageExtract, StageFilter, StageNet}
 
 // QueryStats aggregates the measured cost of one query execution.
 type QueryStats struct {
@@ -85,9 +89,21 @@ type QueryStats struct {
 	PlanCacheHits   int64
 	PlanCacheMisses int64
 
-	// PlanTime is the wall time of StagePlan; likewise below.
+	// QueuedQueries counts executions (node legs, under the cluster)
+	// that waited in an admission queue before being granted a slot;
+	// ShedQueries counts legs a loaded node rejected with a busy frame
+	// (each shed attempt counts, including ones that later succeeded on
+	// retry); HedgedLegs counts duplicate straggler legs the coordinator
+	// launched. All stay zero for purely local execution.
+	QueuedQueries int64
+	ShedQueries   int64
+	HedgedLegs    int64
+
+	// PlanTime is the wall time of StagePlan; likewise below. QueueTime
+	// sums admission-queue waits over node legs (StageQueue).
 	PlanTime    time.Duration
 	IndexTime   time.Duration
+	QueueTime   time.Duration
 	ExtractTime time.Duration
 	FilterTime  time.Duration
 	NetTime     time.Duration
@@ -100,6 +116,8 @@ func (s *QueryStats) StageTime(st Stage) time.Duration {
 		return s.PlanTime
 	case StageIndex:
 		return s.IndexTime
+	case StageQueue:
+		return s.QueueTime
 	case StageExtract:
 		return s.ExtractTime
 	case StageFilter:
@@ -126,8 +144,12 @@ func (s *QueryStats) Add(o QueryStats) {
 	s.MmapRemaps += o.MmapRemaps
 	s.PlanCacheHits += o.PlanCacheHits
 	s.PlanCacheMisses += o.PlanCacheMisses
+	s.QueuedQueries += o.QueuedQueries
+	s.ShedQueries += o.ShedQueries
+	s.HedgedLegs += o.HedgedLegs
 	s.PlanTime += o.PlanTime
 	s.IndexTime += o.IndexTime
+	s.QueueTime += o.QueueTime
 	s.ExtractTime += o.ExtractTime
 	s.FilterTime += o.FilterTime
 	s.NetTime += o.NetTime
@@ -167,6 +189,10 @@ func (s *QueryStats) String() string {
 	}
 	if s.PlanCacheHits+s.PlanCacheMisses > 0 {
 		fmt.Fprintf(&b, "\nplans: %d hits / %d misses", s.PlanCacheHits, s.PlanCacheMisses)
+	}
+	if s.QueuedQueries+s.ShedQueries+s.HedgedLegs > 0 {
+		fmt.Fprintf(&b, "\nserving: %d queued / %d shed / %d hedged",
+			s.QueuedQueries, s.ShedQueries, s.HedgedLegs)
 	}
 	for _, st := range Stages {
 		fmt.Fprintf(&b, "\n%-7s %s", st+":", s.StageTime(st).Round(time.Microsecond))
