@@ -102,13 +102,14 @@ func main() {
 	fmt.Printf("available:  %v\n", plan.AvailableAttrs())
 }
 
-// runCheck implements `dvdesc check [-json] FILE...`.
+// runCheck implements `dvdesc check [-json] [-data ROOT] FILE...`.
 func runCheck(args []string) {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	dataRoot := fs.String("data", "", "also check sparse index sidecar coverage against this data root")
 	fs.Parse(args) //nolint:errcheck — ExitOnError
 	if fs.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: dvdesc check [-json] FILE...")
+		fmt.Fprintln(os.Stderr, "usage: dvdesc check [-json] [-data ROOT] FILE...")
 		os.Exit(2)
 	}
 	var all []desclint.Diagnostic
@@ -118,6 +119,13 @@ func runCheck(args []string) {
 			fatal(err)
 		}
 		all = append(all, ds...)
+		if *dataRoot != "" {
+			ds, err := desclint.CheckSidecarsFile(path, *dataRoot)
+			if err != nil {
+				fatal(err)
+			}
+			all = append(all, ds...)
+		}
 	}
 	if *asJSON {
 		if err := desclint.WriteJSON(os.Stdout, all); err != nil {

@@ -16,12 +16,15 @@ import (
 	"strings"
 
 	"datavirt/internal/gen"
+	"datavirt/internal/metadata"
+	"datavirt/internal/sparse"
 )
 
 func main() {
 	dataset := flag.String("dataset", "ipars", "dataset to generate: ipars or titan")
 	out := flag.String("out", ".", "output root directory")
 	seed := flag.Int64("seed", 604, "deterministic generation seed")
+	buildIndex := flag.Bool("index", false, "also build sparse block-index sidecars (DATASPACE layouts)")
 
 	layout := flag.String("layout", "CLUSTER", "ipars layout: "+strings.Join(gen.IparsLayouts(), ", "))
 	rel := flag.Int("rel", 4, "ipars: realizations")
@@ -50,6 +53,9 @@ func main() {
 		}
 		fmt.Printf("wrote IPARS dataset (%d rows, layout %s)\ndescriptor: %s\n",
 			spec.IparsTotalRows(), *layout, descPath)
+		if *buildIndex {
+			buildSidecars(descPath, *out)
+		}
 	case "titan":
 		var tx, ty, tz int
 		if _, err := fmt.Sscanf(*tiles, "%dx%dx%d", &tx, &ty, &tz); err != nil {
@@ -65,9 +71,28 @@ func main() {
 		}
 		fmt.Printf("wrote TITAN dataset (%d points, %d bytes/record)\ndescriptor: %s\n",
 			spec.Points, gen.TitanRecordBytes, descPath)
+		if *buildIndex {
+			buildSidecars(descPath, *out)
+		}
 	default:
 		fatal(fmt.Errorf("unknown dataset %q (want ipars or titan)", *dataset))
 	}
+}
+
+// buildSidecars builds sparse block-index sidecars next to every
+// DATASPACE data file the freshly generated descriptor describes.
+// Chunked (DATAINDEX-served) leaves have their own spatial index and
+// are skipped by BuildDataset.
+func buildSidecars(descPath, root string) {
+	d, err := metadata.ParseFile(descPath)
+	if err != nil {
+		fatal(err)
+	}
+	n, err := sparse.BuildDataset(d, sparse.NodeResolver(root), sparse.BuildOptions{}, nil)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d sparse index sidecars\n", n)
 }
 
 func fatal(err error) {

@@ -1,0 +1,96 @@
+// Command dvindex builds and verifies persistent sparse block indexes
+// (sidecar files, see internal/sparse) for the DATASPACE data files of
+// an existing dataset. A sidecar holds per-block min/max zone maps plus
+// a coarse multidimensional grid summary; the query engine intersects
+// WHERE-clause ranges against them to skip blocks that cannot match.
+//
+// Usage:
+//
+//	dvindex -desc /data/ipars_I.dvd -root /data
+//	dvindex -desc /data/ipars_I.dvd -root /data -block 65536 -grid-cells 32
+//	dvindex verify -desc /data/ipars_I.dvd -root /data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"datavirt/internal/metadata"
+	"datavirt/internal/sparse"
+)
+
+func main() {
+	args := os.Args[1:]
+	verify := false
+	if len(args) > 0 && args[0] == "verify" {
+		verify = true
+		args = args[1:]
+	}
+	fs := flag.NewFlagSet("dvindex", flag.ExitOnError)
+	desc := fs.String("desc", "", "meta-data descriptor path (required)")
+	root := fs.String("root", ".", "data root directory (root/<node>/<file>)")
+	block := fs.Int64("block", 0, "zone-map block bytes (0 = default 64 KiB)")
+	attrList := fs.String("attrs", "", "comma-separated attributes to index (default: all stored)")
+	gridAttrs := fs.String("grid-attrs", "", "comma-separated grid dimensions (default: automatic)")
+	gridCells := fs.Int("grid-cells", 0, "grid cells per dimension (0 = default 16)")
+	quiet := fs.Bool("q", false, "suppress per-file output")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dvindex [verify] -desc FILE -root DIR [options]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if *desc == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	d, err := metadata.ParseFile(*desc)
+	if err != nil {
+		fatal(err)
+	}
+	logf := func(format string, a ...any) { fmt.Printf(format+"\n", a...) }
+	if *quiet {
+		logf = nil
+	}
+	resolve := sparse.NodeResolver(*root)
+	if verify {
+		n, err := sparse.VerifyDataset(d, resolve, logf)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("verified %d sidecars\n", n)
+		return
+	}
+	opt := sparse.BuildOptions{
+		BlockBytes: *block,
+		Attrs:      splitList(*attrList),
+		GridAttrs:  splitList(*gridAttrs),
+		GridCells:  *gridCells,
+	}
+	n, err := sparse.BuildDataset(d, resolve, opt, logf)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d sidecars\n", n)
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dvindex:", err)
+	os.Exit(1)
+}

@@ -43,6 +43,7 @@ type config struct {
 	cacheBackend string
 	readahead    int
 	noCache      bool
+	noSparse     bool
 
 	planCache        bool
 	planCacheEntries int
@@ -87,6 +88,7 @@ func main() {
 	flag.StringVar(&cfg.cacheBackend, "cache-backend", "", "block cache backend: pread, mmap or auto (default $DATAVIRT_CACHE_BACKEND, then pread)")
 	flag.IntVar(&cfg.readahead, "readahead", 0, "blocks to prefetch ahead of sequential scans (0 = off)")
 	flag.BoolVar(&cfg.noCache, "no-cache", false, "bypass the block cache for this query")
+	flag.BoolVar(&cfg.noSparse, "no-sparse", false, "ignore sparse block-index sidecars (no data skipping)")
 	flag.BoolVar(&cfg.planCache, "plan-cache", true, "memoize query plans by semantic fingerprint (range-equal queries share one plan)")
 	flag.IntVar(&cfg.planCacheEntries, "plan-cache-entries", core.DefaultPlanCacheEntries, "plan cache capacity in entries")
 	flag.IntVar(&cfg.poolSize, "pool", 0, "with -nodes: persistent sessions per node (0 = default 2, negative = one connection per query)")
@@ -192,7 +194,7 @@ func runLocal(ctx context.Context, svc *core.Service, sql string, cfg config) er
 	}
 	start := time.Now()
 	rows, err := prep.QueryContext(ctx, core.Options{
-		Parallel: cfg.parallel, Workers: cfg.workers, NoCache: cfg.noCache,
+		Parallel: cfg.parallel, Workers: cfg.workers, NoCache: cfg.noCache, NoSparse: cfg.noSparse,
 	})
 	if err != nil {
 		return err

@@ -427,6 +427,12 @@ func (c *Coordinator) runPrepared(ctx context.Context, sql string, prep *core.Pr
 		PlanCacheHits:   ownHits + pcHits,
 		PlanCacheMisses: ownMisses + pcMisses,
 
+		// Data skipping happens node-side; the trailer merge above summed
+		// every leg's extractor counters into res.Stats.
+		BlocksSkipped:     res.Stats.BlocksSkipped,
+		SparseIndexHits:   res.Stats.SparseIndexHits,
+		SparseIndexMisses: res.Stats.SparseIndexMisses,
+
 		// Serving counters: admission queueing reported by the nodes,
 		// shedding and hedging observed by the legs.
 		QueuedQueries: queuedLegs,

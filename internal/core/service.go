@@ -16,6 +16,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync"
 	"time"
@@ -30,6 +31,7 @@ import (
 	"datavirt/internal/obs"
 	"datavirt/internal/query"
 	"datavirt/internal/schema"
+	"datavirt/internal/sparse"
 	"datavirt/internal/sqlparser"
 	"datavirt/internal/table"
 )
@@ -44,6 +46,7 @@ type Service struct {
 
 	mu       sync.Mutex
 	idxCache map[string]*index.ChunkIndex
+	scCache  map[string]*sidecarEntry
 	idxGen   uint64 // bumped by InvalidatePlans; fences stale installs
 
 	cmu        sync.Mutex
@@ -84,6 +87,7 @@ func Compile(d *metadata.Descriptor, resolver extractor.Resolver) (*Service, err
 		registry: filter.NewRegistry(),
 		resolver: resolver,
 		idxCache: make(map[string]*index.ChunkIndex),
+		scCache:  make(map[string]*sidecarEntry),
 		// The node-local block cache, shared by every query this service
 		// runs (the paper's data source service sits on exactly this
 		// boundary). Defaults: 64 MiB, 256 KiB blocks, no readahead — so
@@ -135,6 +139,7 @@ func (s *Service) PlanCacheStats() PlanCacheStats {
 func (s *Service) InvalidatePlans() {
 	s.mu.Lock()
 	s.idxCache = make(map[string]*index.ChunkIndex)
+	s.scCache = make(map[string]*sidecarEntry)
 	s.idxGen++
 	s.mu.Unlock()
 	s.planCacheRef().invalidate()
@@ -218,6 +223,64 @@ func (s *Service) loadIndex(fi metadata.FileInstance) (*index.ChunkIndex, error)
 	}
 	s.mu.Unlock()
 	return ix, nil
+}
+
+// sidecarEntry memoizes one sparse-sidecar load. A missing sidecar is
+// the normal case for unindexed datasets and caches as {nil, ""}; an
+// unusable one (corrupt, stale, version-mismatched) caches its reason
+// so every run can report the fallback deterministically.
+type sidecarEntry struct {
+	sc     *sparse.Sidecar
+	errMsg string
+}
+
+// loadSidecar memoizes sparse sidecars across queries, mirroring
+// loadIndex: I/O outside s.mu, generation-fenced install so a load
+// straddling InvalidatePlans cannot resurrect pre-invalidation state.
+// The sidecar bytes are read through the service's block cache, so hot
+// sidecars cost no filesystem reads.
+func (s *Service) loadSidecar(node, file string) *sidecarEntry {
+	key := node + "\x00" + file
+	s.mu.Lock()
+	e, ok := s.scCache[key]
+	gen := s.idxGen
+	s.mu.Unlock()
+	if ok {
+		return e
+	}
+	e = s.readSidecar(node, file)
+	s.mu.Lock()
+	if gen == s.idxGen {
+		s.scCache[key] = e
+	}
+	s.mu.Unlock()
+	return e
+}
+
+func (s *Service) readSidecar(node, file string) *sidecarEntry {
+	dataPath, err := s.resolver(node, file)
+	if err != nil {
+		return &sidecarEntry{}
+	}
+	scPath := sparse.SidecarPath(dataPath)
+	scInfo, err := os.Stat(scPath)
+	if err != nil {
+		return &sidecarEntry{} // no sidecar: silent full scan
+	}
+	r, err := s.blockSource().Open(scPath)
+	if err != nil {
+		return &sidecarEntry{errMsg: err.Error()}
+	}
+	defer r.Release()
+	sc, err := sparse.Decode(r, scInfo.Size())
+	if err != nil {
+		return &sidecarEntry{errMsg: err.Error()}
+	}
+	if dataInfo, err := os.Stat(dataPath); err == nil && dataInfo.Size() != sc.DataBytes {
+		return &sidecarEntry{errMsg: fmt.Sprintf("stale: built for %d data bytes, file has %d",
+			sc.DataBytes, dataInfo.Size())}
+	}
+	return &sidecarEntry{sc: sc}
 }
 
 // Prepared is a planned query: SQL resolved against the schema, ranges
@@ -378,6 +441,10 @@ type Options struct {
 	// reads go straight to the filesystem (handles are still pooled for
 	// the duration of the run).
 	NoCache bool
+	// NoSparse disables sparse-sidecar data skipping for this query;
+	// every block of every selected chunk is read and filtered. Pruning
+	// never changes result rows, so this is a diagnostic knob.
+	NoSparse bool
 }
 
 // Validate rejects nonsensical option values with explicit errors
@@ -434,6 +501,27 @@ func (p *Prepared) RunContext(ctx context.Context, opt Options, emit func(row ta
 		xopt.Source = p.svc.blockSource()
 	}
 	tracer := obs.TracerFrom(ctx)
+	if !opt.NoSparse && len(p.Ranges) > 0 {
+		xopt.Ranges = p.Ranges
+		// The provider is called from extraction workers; the run-level
+		// seen set reports each unusable sidecar once per run.
+		var sparseMu sync.Mutex
+		seen := map[string]bool{}
+		xopt.Sparse = func(node, file string) *sparse.Sidecar {
+			e := p.svc.loadSidecar(node, file)
+			if e.errMsg != "" {
+				key := node + "\x00" + file
+				sparseMu.Lock()
+				first := !seen[key]
+				seen[key] = true
+				sparseMu.Unlock()
+				if first {
+					obs.ReportSparseFallback(tracer, file, e.errMsg)
+				}
+			}
+			return e.sc
+		}
+	}
 	endExtract := obs.Begin(tracer, p.sqlText, obs.StageExtract)
 	var stats extractor.Stats
 	var err error
@@ -449,6 +537,7 @@ func (p *Prepared) RunContext(ctx context.Context, opt Options, emit func(row ta
 		saved = 0
 	}
 	obs.ReportCache(tracer, p.sqlText, stats.CacheHits, stats.CacheMisses, saved)
+	obs.ReportSparse(tracer, p.sqlText, stats.BlocksSkipped, stats.SparseIndexHits, stats.SparseIndexMisses)
 	return stats, err
 }
 
@@ -485,6 +574,10 @@ func (p *Prepared) queryStats(x extractor.Stats, extract time.Duration) obs.Quer
 
 		PlanCacheHits:   p.planCacheHits,
 		PlanCacheMisses: p.planCacheMisses,
+
+		BlocksSkipped:     x.BlocksSkipped,
+		SparseIndexHits:   x.SparseIndexHits,
+		SparseIndexMisses: x.SparseIndexMisses,
 
 		PlanTime:    p.planTime,
 		IndexTime:   p.indexTime,

@@ -25,6 +25,7 @@ import (
 	"datavirt/internal/cache"
 	"datavirt/internal/query"
 	"datavirt/internal/schema"
+	"datavirt/internal/sparse"
 	"datavirt/internal/table"
 )
 
@@ -89,6 +90,15 @@ type Stats struct {
 	// cache backend.
 	MmapBlocksServed int64
 	MmapRemaps       int64
+
+	// BlocksSkipped counts extraction blocks proven row-free by a sparse
+	// sidecar and never read (whole-AFC grid skips count as their
+	// block-equivalents). SparseIndexHits and SparseIndexMisses count
+	// sidecar lookups per (AFC, file) with constrained stored attributes:
+	// a hit found a usable sidecar, a miss fell back to a full scan.
+	BlocksSkipped     int64
+	SparseIndexHits   int64
+	SparseIndexMisses int64
 }
 
 // Add merges other run's counters into s.
@@ -104,6 +114,9 @@ func (s *Stats) Add(o Stats) {
 	s.CacheBytesServed += o.CacheBytesServed
 	s.MmapBlocksServed += o.MmapBlocksServed
 	s.MmapRemaps += o.MmapRemaps
+	s.BlocksSkipped += o.BlocksSkipped
+	s.SparseIndexHits += o.SparseIndexHits
+	s.SparseIndexMisses += o.SparseIndexMisses
 }
 
 // EmitFunc receives each surviving row.
@@ -137,6 +150,17 @@ type Options struct {
 	// are still pooled across the run's AFCs instead of reopening the
 	// file per chunk.
 	Source cache.Source
+
+	// Ranges is the query's canonical per-attribute constraint sets
+	// (conservatively over-approximating the WHERE clause). Together
+	// with Sparse it enables data skipping: blocks whose sidecar zone
+	// maps cannot intersect the ranges are never read.
+	Ranges query.Ranges
+	// Sparse returns the sparse sidecar for a (node, file) pair, or nil
+	// when the file has none. nil disables data skipping entirely;
+	// pruning is always a pure optimization — rows are identical with
+	// and without it.
+	Sparse func(node, file string) *sparse.Sidecar
 }
 
 const defaultBlockBytes = 1 << 20
@@ -470,6 +494,27 @@ type blockBuf struct {
 	spans [][]byte
 	own   [][]byte
 	srcs  []colSource // bind scratch, reused across AFCs
+	prune []segPrune  // sparse-pruning scratch, reused across AFCs
+	files []fileSidecar
+}
+
+// segPrune is the per-segment data-skipping state of one AFC: the
+// file's sidecar (nil disables pruning for the segment) and the
+// constrained attributes the segment stores.
+type segPrune struct {
+	sc    *sparse.Sidecar
+	attrs []pruneAttr
+}
+
+type pruneAttr struct {
+	name string
+	set  query.Set
+}
+
+// fileSidecar memoizes one sidecar lookup within an AFC.
+type fileSidecar struct {
+	node, file string
+	sc         *sparse.Sidecar
 }
 
 func (bb *blockBuf) shape(rows, cols, segs int) {
@@ -514,12 +559,6 @@ func extractOne(ctx context.Context, a *afc.AFC, pool *segPool, opt Options, bb 
 		return err
 	}
 	bb.srcs = sources
-	files, err := pool.open(a)
-	if err != nil {
-		return err
-	}
-	defer pool.fold(stats)
-	defer bb.dropSpans() // borrowed views must not be retained past this AFC
 
 	blockBytes := opt.BlockBytes
 	if blockBytes <= 0 {
@@ -543,10 +582,27 @@ func extractOne(ctx context.Context, a *afc.AFC, pool *segPool, opt Options, bb 
 	if rowsPerBlock > maxBlockRows {
 		rowsPerBlock = maxBlockRows
 	}
+
+	// Sparse data skipping: resolved before any file is opened, so an
+	// AFC pruned whole by the grid summary costs zero I/O.
+	pruning := bb.setupPrune(a, opt, stats)
+	if pruning && !gridMayMatch(a, opt.Ranges, bb) {
+		stats.BlocksSkipped += (a.NumRows + rowsPerBlock - 1) / rowsPerBlock
+		return nil
+	}
+
+	files, err := pool.open(a)
+	if err != nil {
+		return err
+	}
+	defer pool.fold(stats)
+	defer bb.dropSpans() // borrowed views must not be retained past this AFC
+
 	bb.shape(int(rowsPerBlock), len(opt.Cols), len(a.Segments))
 	spans := bb.spans
 	pred := opt.Pred
 	constRead := false
+	var rowsSkipped int64
 	for base := int64(0); base < a.NumRows; base += rowsPerBlock {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -554,6 +610,11 @@ func extractOne(ctx context.Context, a *afc.AFC, pool *segPool, opt Options, bb 
 		n := rowsPerBlock
 		if base+n > a.NumRows {
 			n = a.NumRows - base
+		}
+		if pruning && blockPrunable(a, bb.prune, base, n) {
+			stats.BlocksSkipped++
+			rowsSkipped += n
+			continue
 		}
 		// Read each segment's span for this block.
 		for si := range a.Segments {
@@ -642,12 +703,141 @@ func extractOne(ctx context.Context, a *afc.AFC, pool *segPool, opt Options, bb 
 	}
 	for _, s := range a.Segments {
 		if s.RowStride == 0 {
-			stats.BytesRead += s.RowBytes
+			if constRead {
+				stats.BytesRead += s.RowBytes
+			}
 		} else {
-			stats.BytesRead += s.RowBytes * a.NumRows
+			stats.BytesRead += s.RowBytes * (a.NumRows - rowsSkipped)
 		}
 	}
 	return nil
+}
+
+// setupPrune resolves the AFC's sidecars and constrained stored
+// attributes into bb.prune, counting one sidecar hit or miss per
+// distinct file that stores at least one constrained attribute. It
+// reports whether any pruning state is active for this AFC.
+func (bb *blockBuf) setupPrune(a *afc.AFC, opt Options, stats *Stats) bool {
+	if opt.Sparse == nil || len(opt.Ranges) == 0 {
+		return false
+	}
+	if cap(bb.prune) < len(a.Segments) {
+		next := make([]segPrune, len(a.Segments))
+		copy(next, bb.prune)
+		bb.prune = next
+	}
+	bb.prune = bb.prune[:len(a.Segments)]
+	bb.files = bb.files[:0]
+	active := false
+	for si := range a.Segments {
+		s := &a.Segments[si]
+		p := &bb.prune[si]
+		p.sc = nil
+		p.attrs = p.attrs[:0]
+		for _, at := range s.Attrs {
+			if set := opt.Ranges.Get(at.Name); !set.IsFull() {
+				p.attrs = append(p.attrs, pruneAttr{name: at.Name, set: set})
+			}
+		}
+		if len(p.attrs) == 0 {
+			continue
+		}
+		found := false
+		for i := range bb.files {
+			if bb.files[i].node == s.Node && bb.files[i].file == s.File {
+				p.sc = bb.files[i].sc
+				found = true
+				break
+			}
+		}
+		if !found {
+			sc := opt.Sparse(s.Node, s.File)
+			bb.files = append(bb.files, fileSidecar{node: s.Node, file: s.File, sc: sc})
+			p.sc = sc
+			if sc != nil {
+				stats.SparseIndexHits++
+			} else {
+				stats.SparseIndexMisses++
+			}
+		}
+		if p.sc != nil {
+			active = true
+		}
+	}
+	return active
+}
+
+// gridMayMatch consults each sidecar's multidimensional grid summary
+// for the whole AFC. Soundness: a grid records the file's joint value
+// tuples at common dimension coordinates, and an AFC row pairs
+// attribute values at common dimension coordinates too, so constraining
+// only the grid attributes this file's segments actually store in this
+// AFC can never prune a surviving row. It returns false when some grid
+// proves no row of the AFC can match.
+func gridMayMatch(a *afc.AFC, ranges query.Ranges, bb *blockBuf) bool {
+	for i := range bb.files {
+		f := &bb.files[i]
+		if f.sc == nil || f.sc.Grid == nil {
+			continue
+		}
+		var reduced query.Ranges
+		for _, attr := range f.sc.GridAttrs() {
+			set := ranges.Get(attr)
+			if set.IsFull() || !fileStoresAttr(a, f.node, f.file, attr) {
+				continue
+			}
+			if reduced == nil {
+				reduced = make(query.Ranges, 3)
+			}
+			reduced[attr] = set
+		}
+		if len(reduced) > 0 && !f.sc.GridMayMatch(reduced) {
+			return false
+		}
+	}
+	return true
+}
+
+func fileStoresAttr(a *afc.AFC, node, file, attr string) bool {
+	for si := range a.Segments {
+		s := &a.Segments[si]
+		if s.Node != node || s.File != file {
+			continue
+		}
+		for _, at := range s.Attrs {
+			if at.Name == attr {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// blockPrunable reports whether the zone maps prove the block starting
+// at row base (n rows) holds no row satisfying the constraints: some
+// constrained attribute's merged zone over the block's byte span
+// misses its set entirely.
+func blockPrunable(a *afc.AFC, prune []segPrune, base, n int64) bool {
+	for si := range a.Segments {
+		p := &prune[si]
+		if p.sc == nil || len(p.attrs) == 0 {
+			continue
+		}
+		s := &a.Segments[si]
+		var off, span int64
+		if s.RowStride == 0 {
+			off, span = s.Offset, s.RowBytes
+		} else {
+			off = s.Offset + base*s.RowStride
+			span = (n-1)*s.RowStride + s.RowBytes
+		}
+		for _, pa := range p.attrs {
+			if !p.sc.SpanMayMatch(pa.name, off, span, pa.set) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // fillColumn decodes one attribute for every row of the block with a

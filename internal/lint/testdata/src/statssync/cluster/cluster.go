@@ -5,9 +5,10 @@ package cluster
 
 import obs "datavirt/internal/lint/testdata/src/statssync/obs"
 
-// merge rebuilds remote stats from a trailer, dropping BadTime.
+// merge rebuilds remote stats from a trailer, dropping BadTime and the
+// data-skipping counter BlocksSkipped.
 func merge(rows, skew int64) obs.QueryStats {
-	return obs.QueryStats{ // want "does not set QueryStats field BadTime"
+	return obs.QueryStats{ // want "does not set QueryStats field BadTime" "does not set QueryStats field BlocksSkipped"
 		RowsRead: rows,
 		BadSkew:  skew,
 		WaitTime: 0,

@@ -35,6 +35,12 @@
 //	file-overlap  (E) two DATA (or two INDEXFILE) clauses expand to the
 //	                  same concrete node:path file
 //
+// One additional pass, CheckSidecars, is opt-in (dvdesc check -data)
+// because it inspects the data directory:
+//
+//	sidecar-missing (W) an indexed payload attribute has data files
+//	                    without a usable sparse block-index sidecar
+//
 // Diagnostics carry a Severity and a machine-readable Code so dvdesc
 // check can emit both human-readable and -json output.
 package lint

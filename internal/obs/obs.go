@@ -89,6 +89,16 @@ type QueryStats struct {
 	PlanCacheHits   int64
 	PlanCacheMisses int64
 
+	// BlocksSkipped counts extraction blocks a sparse sidecar proved
+	// row-free and the extractor never read. SparseIndexHits and
+	// SparseIndexMisses count per-chunk sidecar lookups for files with
+	// constrained attributes: a miss means that file fell back to a full
+	// scan. All stay zero when no sidecars exist or the query has no
+	// range constraints.
+	BlocksSkipped     int64
+	SparseIndexHits   int64
+	SparseIndexMisses int64
+
 	// QueuedQueries counts executions (node legs, under the cluster)
 	// that waited in an admission queue before being granted a slot;
 	// ShedQueries counts legs a loaded node rejected with a busy frame
@@ -144,6 +154,9 @@ func (s *QueryStats) Add(o QueryStats) {
 	s.MmapRemaps += o.MmapRemaps
 	s.PlanCacheHits += o.PlanCacheHits
 	s.PlanCacheMisses += o.PlanCacheMisses
+	s.BlocksSkipped += o.BlocksSkipped
+	s.SparseIndexHits += o.SparseIndexHits
+	s.SparseIndexMisses += o.SparseIndexMisses
 	s.QueuedQueries += o.QueuedQueries
 	s.ShedQueries += o.ShedQueries
 	s.HedgedLegs += o.HedgedLegs
@@ -189,6 +202,10 @@ func (s *QueryStats) String() string {
 	}
 	if s.PlanCacheHits+s.PlanCacheMisses > 0 {
 		fmt.Fprintf(&b, "\nplans: %d hits / %d misses", s.PlanCacheHits, s.PlanCacheMisses)
+	}
+	if s.BlocksSkipped+s.SparseIndexHits+s.SparseIndexMisses > 0 {
+		fmt.Fprintf(&b, "\nsparse: %d blocks skipped, %d hits / %d misses",
+			s.BlocksSkipped, s.SparseIndexHits, s.SparseIndexMisses)
 	}
 	if s.QueuedQueries+s.ShedQueries+s.HedgedLegs > 0 {
 		fmt.Fprintf(&b, "\nserving: %d queued / %d shed / %d hedged",
@@ -249,6 +266,35 @@ func ReportPlanCache(t Tracer, query string, hits, misses int64) {
 	}
 	if pr, ok := t.(PlanCacheReporter); ok {
 		pr.PlanCacheReport(query, hits, misses)
+	}
+}
+
+// SparseReporter is an optional Tracer extension: tracers implementing
+// it receive each execution's data-skipping outcome, and — separately —
+// a warning when a sidecar exists but was unusable (corrupt, stale, or
+// version-mismatched) and the engine fell back to a full scan.
+type SparseReporter interface {
+	SparseReport(query string, blocksSkipped, hits, misses int64)
+	SparseFallback(file, reason string)
+}
+
+// ReportSparse forwards an execution's data-skipping outcome to t if it
+// implements SparseReporter; no-op otherwise or when no sidecar was
+// consulted.
+func ReportSparse(t Tracer, query string, blocksSkipped, hits, misses int64) {
+	if blocksSkipped+hits+misses == 0 {
+		return
+	}
+	if sr, ok := t.(SparseReporter); ok {
+		sr.SparseReport(query, blocksSkipped, hits, misses)
+	}
+}
+
+// ReportSparseFallback forwards a sidecar fallback warning to t if it
+// implements SparseReporter.
+func ReportSparseFallback(t Tracer, file, reason string) {
+	if sr, ok := t.(SparseReporter); ok {
+		sr.SparseFallback(file, reason)
 	}
 }
 
@@ -315,6 +361,30 @@ func (t *LogTracer) PlanCacheReport(query string, hits, misses int64) {
 	logf("obs: plans %s: %d hits / %d misses", truncateQuery(query), hits, misses)
 }
 
+// SparseReport implements SparseReporter; like CacheReport it logs only
+// when Slow is zero (full logging).
+func (t *LogTracer) SparseReport(query string, blocksSkipped, hits, misses int64) {
+	if t.Slow > 0 {
+		return
+	}
+	logf := t.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	logf("obs: sparse %s: %d blocks skipped, %d hits / %d misses",
+		truncateQuery(query), blocksSkipped, hits, misses)
+}
+
+// SparseFallback implements SparseReporter. Fallbacks always log — an
+// unusable sidecar silently costs full scans until it is rebuilt.
+func (t *LogTracer) SparseFallback(file, reason string) {
+	logf := t.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	logf("obs: sparse sidecar for %s unusable, falling back to full scan: %s", file, reason)
+}
+
 // maxLoggedQuery bounds the SQL text echoed into logs.
 const maxLoggedQuery = 120
 
@@ -358,6 +428,26 @@ func (m MultiTracer) PlanCacheReport(query string, hits, misses int64) {
 	for _, t := range m {
 		if pr, ok := t.(PlanCacheReporter); ok {
 			pr.PlanCacheReport(query, hits, misses)
+		}
+	}
+}
+
+// SparseReport implements SparseReporter, forwarding to every member
+// tracer that implements it.
+func (m MultiTracer) SparseReport(query string, blocksSkipped, hits, misses int64) {
+	for _, t := range m {
+		if sr, ok := t.(SparseReporter); ok {
+			sr.SparseReport(query, blocksSkipped, hits, misses)
+		}
+	}
+}
+
+// SparseFallback implements SparseReporter, forwarding to every member
+// tracer that implements it.
+func (m MultiTracer) SparseFallback(file, reason string) {
+	for _, t := range m {
+		if sr, ok := t.(SparseReporter); ok {
+			sr.SparseFallback(file, reason)
 		}
 	}
 }

@@ -1,0 +1,453 @@
+package sparse
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// On-disk layout, all fields little-endian:
+//
+//	header   8 B   magic "DVSX" | version u16 | flags u16
+//	zones          blockBytes i64 | numBlocks i64 | nattrs u16 |
+//	               nattrs × { nameLen u16 | name | numBlocks × (min f64, max f64) }
+//	grid     opt   ndims u16 | ndims × { nameLen u16 | name | cells u32 | min f64 | max f64 } |
+//	               nwords u64 | words u64[nwords]
+//	trailer  48 B  zonesOff i64 | zonesLen i64 | gridOff i64 | gridLen i64 |
+//	               dataBytes i64 | version u16 | flags u16 | magic "DVSX"
+//
+// The trailer is fixed-size at EOF, so a reader seeks to size-48, checks
+// the magic, and reads the two sections it points at — opening never
+// scans the file. The grid section is absent when gridLen == 0.
+
+const (
+	magic       = "DVSX"
+	Version     = 1
+	trailerSize = 48
+	headerSize  = 8
+
+	// Sanity caps: a sidecar describing more blocks or attributes than
+	// these is treated as corrupt rather than allocated for.
+	maxBlocks    = 1 << 28
+	maxAttrs     = 1 << 12
+	maxGridDims  = 1 << 6
+	maxGridWords = 1 << 24
+	maxNameLen   = 1 << 10
+)
+
+// A CorruptError describes why a sidecar failed validation. Callers
+// treat any decode error as "no sidecar" and fall back to full scans;
+// the distinct type exists so tools (dvindex verify) can report it.
+type CorruptError struct{ Reason string }
+
+func (e *CorruptError) Error() string { return "sparse: corrupt sidecar: " + e.Reason }
+
+func corruptf(format string, args ...any) error {
+	return &CorruptError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// EncodeBytes serializes the sidecar into the on-disk format.
+func (sc *Sidecar) EncodeBytes() ([]byte, error) {
+	if sc.BlockBytes <= 0 {
+		return nil, fmt.Errorf("sparse: encode: BlockBytes %d", sc.BlockBytes)
+	}
+	if sc.NumBlocks != ceilDiv(sc.DataBytes, sc.BlockBytes) {
+		return nil, fmt.Errorf("sparse: encode: NumBlocks %d != ceil(%d/%d)",
+			sc.NumBlocks, sc.DataBytes, sc.BlockBytes)
+	}
+	buf := make([]byte, 0, sc.encodedSizeHint())
+	buf = append(buf, magic...)
+	buf = appendU16(buf, Version)
+	buf = appendU16(buf, 0) // flags
+
+	zonesOff := int64(len(buf))
+	buf = appendI64(buf, sc.BlockBytes)
+	buf = appendI64(buf, sc.NumBlocks)
+	if len(sc.Attrs) > maxAttrs {
+		return nil, fmt.Errorf("sparse: encode: %d attrs", len(sc.Attrs))
+	}
+	buf = appendU16(buf, uint16(len(sc.Attrs)))
+	for i := range sc.Attrs {
+		a := &sc.Attrs[i]
+		if int64(len(a.Min)) != sc.NumBlocks || int64(len(a.Max)) != sc.NumBlocks {
+			return nil, fmt.Errorf("sparse: encode: attr %s has %d/%d zones, want %d",
+				a.Name, len(a.Min), len(a.Max), sc.NumBlocks)
+		}
+		if len(a.Name) > maxNameLen {
+			return nil, fmt.Errorf("sparse: encode: attr name %d bytes", len(a.Name))
+		}
+		buf = appendU16(buf, uint16(len(a.Name)))
+		buf = append(buf, a.Name...)
+		for b := int64(0); b < sc.NumBlocks; b++ {
+			buf = appendF64(buf, a.Min[b])
+			buf = appendF64(buf, a.Max[b])
+		}
+	}
+	zonesLen := int64(len(buf)) - zonesOff
+
+	gridOff, gridLen := int64(0), int64(0)
+	if g := sc.Grid; g != nil {
+		if len(g.Attrs) == 0 || len(g.Attrs) > maxGridDims ||
+			len(g.Min) != len(g.Attrs) || len(g.Max) != len(g.Attrs) || len(g.Cells) != len(g.Attrs) {
+			return nil, fmt.Errorf("sparse: encode: malformed grid (%d dims)", len(g.Attrs))
+		}
+		gridOff = int64(len(buf))
+		buf = appendU16(buf, uint16(len(g.Attrs)))
+		for d, name := range g.Attrs {
+			if len(name) > maxNameLen {
+				return nil, fmt.Errorf("sparse: encode: grid attr name %d bytes", len(name))
+			}
+			if g.Cells[d] <= 0 || g.Cells[d] > math.MaxUint32 {
+				return nil, fmt.Errorf("sparse: encode: grid dim %s has %d cells", name, g.Cells[d])
+			}
+			buf = appendU16(buf, uint16(len(name)))
+			buf = append(buf, name...)
+			buf = appendU32(buf, uint32(g.Cells[d]))
+			buf = appendF64(buf, g.Min[d])
+			buf = appendF64(buf, g.Max[d])
+		}
+		if len(g.Bits) > maxGridWords {
+			return nil, fmt.Errorf("sparse: encode: grid bitmap %d words", len(g.Bits))
+		}
+		buf = appendU64(buf, uint64(len(g.Bits)))
+		for _, w := range g.Bits {
+			buf = appendU64(buf, w)
+		}
+		gridLen = int64(len(buf)) - gridOff
+	}
+
+	buf = appendI64(buf, zonesOff)
+	buf = appendI64(buf, zonesLen)
+	buf = appendI64(buf, gridOff)
+	buf = appendI64(buf, gridLen)
+	buf = appendI64(buf, sc.DataBytes)
+	buf = appendU16(buf, Version)
+	buf = appendU16(buf, 0) // flags
+	buf = append(buf, magic...)
+	return buf, nil
+}
+
+func (sc *Sidecar) encodedSizeHint() int {
+	n := headerSize + trailerSize + 18
+	for i := range sc.Attrs {
+		n += 2 + len(sc.Attrs[i].Name) + 16*int(sc.NumBlocks)
+	}
+	if sc.Grid != nil {
+		n += 10
+		for _, name := range sc.Grid.Attrs {
+			n += 22 + len(name)
+		}
+		n += 8 * len(sc.Grid.Bits)
+	}
+	return n
+}
+
+// Encode writes the serialized sidecar to w.
+func (sc *Sidecar) Encode(w io.Writer) error {
+	buf, err := sc.EncodeBytes()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// Decode reads a sidecar from r, whose total length is size. It reads
+// the trailer and the sections it points at; it never reads anything
+// else, so opening stays O(index), not O(data). Any structural problem
+// returns a *CorruptError.
+func Decode(r io.ReaderAt, size int64) (*Sidecar, error) {
+	if size < headerSize+trailerSize {
+		return nil, corruptf("file %d bytes, smaller than header+trailer", size)
+	}
+	tr := make([]byte, trailerSize)
+	if _, err := r.ReadAt(tr, size-trailerSize); err != nil {
+		return nil, fmt.Errorf("sparse: read trailer: %w", err)
+	}
+	if string(tr[44:48]) != magic {
+		return nil, corruptf("bad trailer magic %q", tr[44:48])
+	}
+	zonesOff := int64(binary.LittleEndian.Uint64(tr[0:]))
+	zonesLen := int64(binary.LittleEndian.Uint64(tr[8:]))
+	gridOff := int64(binary.LittleEndian.Uint64(tr[16:]))
+	gridLen := int64(binary.LittleEndian.Uint64(tr[24:]))
+	dataBytes := int64(binary.LittleEndian.Uint64(tr[32:]))
+	version := binary.LittleEndian.Uint16(tr[40:])
+	if version != Version {
+		return nil, corruptf("version %d, want %d", version, Version)
+	}
+	if dataBytes < 0 {
+		return nil, corruptf("negative data size %d", dataBytes)
+	}
+	hdr := make([]byte, headerSize)
+	if _, err := r.ReadAt(hdr, 0); err != nil {
+		return nil, fmt.Errorf("sparse: read header: %w", err)
+	}
+	if string(hdr[0:4]) != magic {
+		return nil, corruptf("bad header magic %q", hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != Version {
+		return nil, corruptf("header version %d, want %d", v, Version)
+	}
+	if zonesLen < 18 || zonesLen > size || zonesOff < headerSize || zonesOff > size-trailerSize-zonesLen {
+		return nil, corruptf("zones section [%d,+%d) out of bounds", zonesOff, zonesLen)
+	}
+	zb := make([]byte, zonesLen)
+	if _, err := r.ReadAt(zb, zonesOff); err != nil {
+		return nil, fmt.Errorf("sparse: read zones: %w", err)
+	}
+	sc := &Sidecar{DataBytes: dataBytes}
+	if err := sc.decodeZones(zb); err != nil {
+		return nil, err
+	}
+	if sc.NumBlocks != ceilDiv(dataBytes, sc.BlockBytes) {
+		return nil, corruptf("numBlocks %d != ceil(%d/%d)", sc.NumBlocks, dataBytes, sc.BlockBytes)
+	}
+	if gridLen > 0 {
+		if gridLen > size || gridOff < headerSize || gridOff > size-trailerSize-gridLen {
+			return nil, corruptf("grid section [%d,+%d) out of bounds", gridOff, gridLen)
+		}
+		gb := make([]byte, gridLen)
+		if _, err := r.ReadAt(gb, gridOff); err != nil {
+			return nil, fmt.Errorf("sparse: read grid: %w", err)
+		}
+		if err := sc.decodeGrid(gb); err != nil {
+			return nil, err
+		}
+	}
+	return sc, nil
+}
+
+type cursor struct {
+	b   []byte
+	off int
+}
+
+func (c *cursor) need(n int) ([]byte, error) {
+	if n < 0 || c.off+n > len(c.b) {
+		return nil, corruptf("section truncated at byte %d (need %d of %d)", c.off, n, len(c.b))
+	}
+	p := c.b[c.off : c.off+n]
+	c.off += n
+	return p, nil
+}
+
+func (c *cursor) u16() (uint16, error) {
+	p, err := c.need(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(p), nil
+}
+
+func (c *cursor) u32() (uint32, error) {
+	p, err := c.need(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(p), nil
+}
+
+func (c *cursor) u64() (uint64, error) {
+	p, err := c.need(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(p), nil
+}
+
+func (c *cursor) i64() (int64, error) {
+	v, err := c.u64()
+	return int64(v), err
+}
+
+func (c *cursor) f64() (float64, error) {
+	v, err := c.u64()
+	return math.Float64frombits(v), err
+}
+
+func (c *cursor) name() (string, error) {
+	n, err := c.u16()
+	if err != nil {
+		return "", err
+	}
+	if n == 0 || int(n) > maxNameLen {
+		return "", corruptf("attr name length %d", n)
+	}
+	p, err := c.need(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(p), nil
+}
+
+func (sc *Sidecar) decodeZones(b []byte) error {
+	c := &cursor{b: b}
+	var err error
+	if sc.BlockBytes, err = c.i64(); err != nil {
+		return err
+	}
+	if sc.BlockBytes <= 0 {
+		return corruptf("blockBytes %d", sc.BlockBytes)
+	}
+	if sc.NumBlocks, err = c.i64(); err != nil {
+		return err
+	}
+	if sc.NumBlocks < 0 || sc.NumBlocks > maxBlocks {
+		return corruptf("numBlocks %d", sc.NumBlocks)
+	}
+	nattrs, err := c.u16()
+	if err != nil {
+		return err
+	}
+	if int(nattrs) > maxAttrs {
+		return corruptf("%d attrs", nattrs)
+	}
+	sc.Attrs = make([]AttrZones, nattrs)
+	for i := range sc.Attrs {
+		a := &sc.Attrs[i]
+		if a.Name, err = c.name(); err != nil {
+			return err
+		}
+		a.Min = make([]float64, sc.NumBlocks)
+		a.Max = make([]float64, sc.NumBlocks)
+		for bi := int64(0); bi < sc.NumBlocks; bi++ {
+			if a.Min[bi], err = c.f64(); err != nil {
+				return err
+			}
+			if a.Max[bi], err = c.f64(); err != nil {
+				return err
+			}
+		}
+	}
+	if c.off != len(b) {
+		return corruptf("zones section has %d trailing bytes", len(b)-c.off)
+	}
+	return nil
+}
+
+func (sc *Sidecar) decodeGrid(b []byte) error {
+	c := &cursor{b: b}
+	ndims, err := c.u16()
+	if err != nil {
+		return err
+	}
+	if ndims == 0 || int(ndims) > maxGridDims {
+		return corruptf("grid with %d dims", ndims)
+	}
+	g := &Grid{
+		Attrs: make([]string, ndims),
+		Min:   make([]float64, ndims),
+		Max:   make([]float64, ndims),
+		Cells: make([]int, ndims),
+	}
+	cellTotal := 1
+	for d := 0; d < int(ndims); d++ {
+		if g.Attrs[d], err = c.name(); err != nil {
+			return err
+		}
+		cells, err := c.u32()
+		if err != nil {
+			return err
+		}
+		if cells == 0 {
+			return corruptf("grid dim %s with 0 cells", g.Attrs[d])
+		}
+		g.Cells[d] = int(cells)
+		if cellTotal > maxGridWords*64/int(cells) {
+			return corruptf("grid cell space overflow")
+		}
+		cellTotal *= int(cells)
+		if g.Min[d], err = c.f64(); err != nil {
+			return err
+		}
+		if g.Max[d], err = c.f64(); err != nil {
+			return err
+		}
+	}
+	nwords, err := c.u64()
+	if err != nil {
+		return err
+	}
+	if nwords > maxGridWords {
+		return corruptf("grid bitmap %d words", nwords)
+	}
+	if int(nwords)*64 < cellTotal {
+		return corruptf("grid bitmap %d words for %d cells", nwords, cellTotal)
+	}
+	g.Bits = make([]uint64, nwords)
+	for i := range g.Bits {
+		if g.Bits[i], err = c.u64(); err != nil {
+			return err
+		}
+	}
+	if c.off != len(b) {
+		return corruptf("grid section has %d trailing bytes", len(b)-c.off)
+	}
+	sc.Grid = g
+	return nil
+}
+
+// WriteFile atomically writes the sidecar beside path's data file (at
+// path + Suffix when path does not already carry the suffix is the
+// caller's concern — path here is the sidecar path itself). The write
+// goes to a temp file in the same directory and renames into place, so
+// readers never observe a partial sidecar.
+func WriteFile(path string, sc *Sidecar) error {
+	buf, err := sc.EncodeBytes()
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".dvsx-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// ReadFile opens and decodes the sidecar at path.
+func ReadFile(path string) (*Sidecar, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	return Decode(f, fi.Size())
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+func appendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func appendI64(b []byte, v int64) []byte  { return binary.LittleEndian.AppendUint64(b, uint64(v)) }
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}

@@ -1,0 +1,91 @@
+package sparse
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"datavirt/internal/query"
+)
+
+// FuzzSidecarRoundTrip feeds arbitrary bytes to the decoder; anything
+// that decodes must re-encode byte-identically (the format has exactly
+// one serialization per sidecar), and decoding must never panic.
+func FuzzSidecarRoundTrip(f *testing.F) {
+	seed := sampleSidecar()
+	if b, err := seed.EncodeBytes(); err == nil {
+		f.Add(b)
+	}
+	seed.Grid = nil
+	if b, err := seed.EncodeBytes(); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte(magic))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		sc, err := Decode(bytes.NewReader(b), int64(len(b)))
+		if err != nil {
+			return
+		}
+		out, err := sc.EncodeBytes()
+		if err != nil {
+			t.Fatalf("decoded sidecar fails to encode: %v", err)
+		}
+		sc2, err := Decode(bytes.NewReader(out), int64(len(out)))
+		if err != nil {
+			t.Fatalf("re-encoded sidecar fails to decode: %v", err)
+		}
+		out2, err := sc2.EncodeBytes()
+		if err != nil {
+			t.Fatalf("second encode: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("encode not idempotent: %d vs %d bytes", len(out), len(out2))
+		}
+	})
+}
+
+// FuzzPruneOracle checks soundness of zone pruning: over a synthetic
+// file whose values are known, any span SpanMayMatch prunes must truly
+// contain no row in the queried range. Completeness (pruning everything
+// prunable) is not required — only that pruning never loses rows.
+func FuzzPruneOracle(f *testing.F) {
+	f.Add(int64(0), int64(1024), uint16(64), false, false)
+	f.Add(int64(-50), int64(50), uint16(16), true, false)
+	f.Add(int64(100), int64(90), uint16(256), false, true)
+	f.Fuzz(func(t *testing.T, lo, hi int64, blockRows uint16, openLo, openHi bool) {
+		const n = 256
+		if blockRows == 0 {
+			blockRows = 1
+		}
+		data := make([]byte, 16*n)
+		vals := make([]float64, n)
+		for i := int64(0); i < n; i++ {
+			// Non-monotone but deterministic values exercise zones whose
+			// blocks overlap in value space.
+			v := float64((i*37)%101) - 50
+			vals[i] = v
+			binary.LittleEndian.PutUint64(data[i*16:], math.Float64bits(v))
+			binary.LittleEndian.PutUint64(data[i*16+8:], math.Float64bits(float64(i)))
+		}
+		fl := flatLayout(n)
+		bb := int64(blockRows) * 16
+		sc, err := BuildFile(fl, bytes.NewReader(data), int64(len(data)), false, nil,
+			BuildOptions{BlockBytes: bb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		iv := query.Interval{Lo: float64(lo), Hi: float64(hi), LoOpen: openLo, HiOpen: openHi}
+		set := query.NewSet(iv)
+		for row := int64(0); row < n; row++ {
+			off, span := row*16, int64(16)
+			if sc.SpanMayMatch("X", off, span, set) {
+				continue
+			}
+			if set.Contains(vals[row]) {
+				t.Fatalf("row %d (X=%g) pruned by range [%d,%d] open=%v/%v",
+					row, vals[row], lo, hi, openLo, openHi)
+			}
+		}
+	})
+}

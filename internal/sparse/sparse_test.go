@@ -1,0 +1,372 @@
+package sparse
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"datavirt/internal/layout"
+	"datavirt/internal/query"
+	"datavirt/internal/schema"
+)
+
+// sampleSidecar builds a small in-memory sidecar for codec tests.
+func sampleSidecar() *Sidecar {
+	return &Sidecar{
+		DataBytes:  1000,
+		BlockBytes: 256,
+		NumBlocks:  4,
+		Attrs: []AttrZones{
+			{Name: "X", Min: []float64{0, 10, 20, 30}, Max: []float64{9, 19, 29, 39}},
+			{Name: "Y", Min: []float64{-1, math.Inf(1), 5, 7}, Max: []float64{1, math.Inf(-1), 6, 8}},
+		},
+		Grid: &Grid{
+			Attrs: []string{"X", "Y"},
+			Min:   []float64{0, -1},
+			Max:   []float64{39, 8},
+			Cells: []int{4, 4},
+			Bits:  []uint64{0x8421},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	sc := sampleSidecar()
+	buf, err := sc.EncodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(buf), int64(len(buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf2, err := got.EncodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, buf2) {
+		t.Fatalf("re-encode differs: %d vs %d bytes", len(buf), len(buf2))
+	}
+	if got.DataBytes != sc.DataBytes || got.BlockBytes != sc.BlockBytes || got.NumBlocks != sc.NumBlocks {
+		t.Fatalf("header fields differ: %+v", got)
+	}
+	if got.Zones("X") == nil || got.Zones("Y") == nil || got.Zones("Z") != nil {
+		t.Fatalf("attrs differ: %+v", got.Attrs)
+	}
+	if got.Grid == nil || got.Grid.Bits[0] != 0x8421 {
+		t.Fatalf("grid differs: %+v", got.Grid)
+	}
+}
+
+func TestEncodeNoGrid(t *testing.T) {
+	sc := sampleSidecar()
+	sc.Grid = nil
+	buf, err := sc.EncodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(buf), int64(len(buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Grid != nil {
+		t.Fatalf("expected no grid, got %+v", got.Grid)
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	sc := sampleSidecar()
+	buf, err := sc.EncodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"truncated to header", func(b []byte) []byte { return b[:8] }},
+		{"truncated mid-file", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"empty", func(b []byte) []byte { return nil }},
+		{"bad header magic", func(b []byte) []byte { b[0] ^= 0xff; return b }},
+		{"bad trailer magic", func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b }},
+		{"bad version", func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[len(b)-8:], Version+7)
+			return b
+		}},
+		{"data size mismatch", func(b []byte) []byte {
+			// numBlocks no longer matches ceil(dataBytes/blockBytes).
+			binary.LittleEndian.PutUint64(b[len(b)-16:], 1<<20)
+			return b
+		}},
+		{"zones out of bounds", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[len(b)-48:], uint64(len(b)))
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mb := tc.mut(append([]byte(nil), buf...))
+			if _, err := Decode(bytes.NewReader(mb), int64(len(mb))); err == nil {
+				t.Fatalf("decode of corrupt sidecar succeeded")
+			}
+		})
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.bin"+Suffix)
+	sc := sampleSidecar()
+	if err := WriteFile(path, sc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumBlocks != sc.NumBlocks || len(got.Attrs) != 2 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	// No temp droppings left behind.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("directory has %d entries, want 1", len(ents))
+	}
+}
+
+func TestSpanMayMatch(t *testing.T) {
+	sc := sampleSidecar()
+	set := query.NewSet(query.Interval{Lo: 15, Hi: 17})
+	// Block 1 holds X in [10,19]: spans inside it may match.
+	if !sc.SpanMayMatch("X", 256, 64, set) {
+		t.Error("span in matching block pruned")
+	}
+	// Block 3 holds X in [30,39]: cannot match.
+	if sc.SpanMayMatch("X", 800, 64, set) {
+		t.Error("span in non-matching block not pruned")
+	}
+	// A span crossing blocks 0-1 merges to [0,19]: may match.
+	if !sc.SpanMayMatch("X", 200, 100, set) {
+		t.Error("cross-block span pruned")
+	}
+	// Unknown attribute: may match.
+	if !sc.SpanMayMatch("Z", 0, 64, set) {
+		t.Error("unknown attribute pruned")
+	}
+	// Span beyond recorded blocks: may match.
+	if !sc.SpanMayMatch("X", 100000, 64, set) {
+		t.Error("out-of-range span pruned")
+	}
+	// Empty zone (block 1 of Y is +Inf/-Inf): may match.
+	if !sc.SpanMayMatch("Y", 256, 64, query.NewSet(query.Interval{Lo: 0, Hi: 0})) {
+		t.Error("empty zone pruned")
+	}
+	// Zero-length span: may match (no evidence).
+	if !sc.SpanMayMatch("X", 800, 0, set) {
+		t.Error("zero span pruned")
+	}
+}
+
+func TestGridMayMatch(t *testing.T) {
+	// Grid over X in [0,4), Y in [0,4), 4 cells each, occupancy only on
+	// the diagonal cells (X cell == Y cell).
+	g := &Grid{
+		Attrs: []string{"X", "Y"},
+		Min:   []float64{0, 0},
+		Max:   []float64{4, 4},
+		Cells: []int{4, 4},
+	}
+	g.Bits = make([]uint64, 1)
+	for c := 0; c < 4; c++ {
+		cell := c*4 + c
+		g.Bits[cell>>6] |= 1 << uint(cell&63)
+	}
+	sc := &Sidecar{BlockBytes: 64, Grid: g}
+	diag := func(xlo, xhi, ylo, yhi float64) bool {
+		return sc.GridMayMatch(query.Ranges{
+			"X": query.NewSet(query.Interval{Lo: xlo, Hi: xhi}),
+			"Y": query.NewSet(query.Interval{Lo: ylo, Hi: yhi}),
+		})
+	}
+	if !diag(0.1, 0.2, 0.1, 0.2) {
+		t.Error("on-diagonal query pruned")
+	}
+	if diag(0.1, 0.2, 3.1, 3.2) {
+		t.Error("off-diagonal query not pruned")
+	}
+	// Constraining only one dim passes when any diagonal cell overlaps.
+	if !sc.GridMayMatch(query.Ranges{"X": query.NewSet(query.Interval{Lo: 3.5, Hi: 3.6})}) {
+		t.Error("single-dim on-grid query pruned")
+	}
+	// Unconstrained ranges: always true.
+	if !sc.GridMayMatch(query.Ranges{}) {
+		t.Error("unconstrained query pruned")
+	}
+	// No grid: always true.
+	if !(&Sidecar{}).GridMayMatch(query.Ranges{"X": query.NewSet()}) {
+		t.Error("grid-less sidecar pruned")
+	}
+}
+
+// flatLayout hand-builds a single-dimension layout: n interleaved
+// (X float64, Y float64) pairs.
+func flatLayout(n int64) *layout.FileLayout {
+	step := func(stride int64) []layout.AccessStep {
+		return []layout.AccessStep{{Var: "I", Lo: 0, Step: 1, StrideBytes: stride}}
+	}
+	return &layout.FileLayout{
+		Dims: []layout.Dim{{Var: "I", Lo: 0, Hi: n - 1, Step: 1}},
+		Accesses: []layout.Access{
+			{Attr: "X", Kind: schema.Double, Size: 8, Base: 0, Steps: step(16)},
+			{Attr: "Y", Kind: schema.Double, Size: 8, Base: 8, Steps: step(16)},
+		},
+		TotalBytes: 16 * n,
+	}
+}
+
+func TestBuildFile(t *testing.T) {
+	const n = 64
+	data := make([]byte, 16*n)
+	for i := int64(0); i < n; i++ {
+		binary.LittleEndian.PutUint64(data[i*16:], math.Float64bits(float64(i)))
+		binary.LittleEndian.PutUint64(data[i*16+8:], math.Float64bits(float64(n-1-i)))
+	}
+	fl := flatLayout(n)
+	sc, err := BuildFile(fl, bytes.NewReader(data), int64(len(data)), false, nil,
+		BuildOptions{BlockBytes: 256, GridCells: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.NumBlocks != 4 {
+		t.Fatalf("NumBlocks = %d, want 4", sc.NumBlocks)
+	}
+	// Block b holds rows [16b, 16b+15]: X zone is exactly that range.
+	x := sc.Zones("X")
+	for b := int64(0); b < 4; b++ {
+		if x.Min[b] != float64(16*b) || x.Max[b] != float64(16*b+15) {
+			t.Errorf("X zone[%d] = [%g,%g], want [%d,%d]", b, x.Min[b], x.Max[b], 16*b, 16*b+15)
+		}
+	}
+	// Y runs backwards.
+	y := sc.Zones("Y")
+	if y.Min[0] != 48 || y.Max[0] != 63 {
+		t.Errorf("Y zone[0] = [%g,%g], want [48,63]", y.Min[0], y.Max[0])
+	}
+	// X and Y share dimension I: a 2-attr grid must exist, and only
+	// anti-diagonal cells are occupied (Y = 63 - X).
+	if sc.Grid == nil {
+		t.Fatal("no grid built")
+	}
+	if !sc.GridMayMatch(query.Ranges{
+		"X": query.NewSet(query.Interval{Lo: 0, Hi: 2}),
+		"Y": query.NewSet(query.Interval{Lo: 60, Hi: 63}),
+	}) {
+		t.Error("anti-diagonal corner pruned")
+	}
+	if sc.GridMayMatch(query.Ranges{
+		"X": query.NewSet(query.Interval{Lo: 0, Hi: 2}),
+		"Y": query.NewSet(query.Interval{Lo: 0, Hi: 2}),
+	}) {
+		t.Error("empty joint region not pruned")
+	}
+	// Pruning oracle on zones: for every block and a fixed range, the
+	// zone verdict must not contradict the actual rows.
+	set := query.NewSet(query.Interval{Lo: 20, Hi: 25})
+	for b := int64(0); b < 4; b++ {
+		off, span := b*256, int64(256)
+		may := sc.SpanMayMatch("X", off, span, set)
+		has := false
+		for i := off / 16; i < (off+span)/16; i++ {
+			if v := float64(i); v >= 20 && v <= 25 {
+				has = true
+			}
+		}
+		if has && !may {
+			t.Errorf("block %d has matching rows but was pruned", b)
+		}
+	}
+}
+
+func TestBuildFileShortData(t *testing.T) {
+	fl := flatLayout(64)
+	_, err := BuildFile(fl, bytes.NewReader(make([]byte, 100)), 100, false, nil, BuildOptions{})
+	if err == nil {
+		t.Fatal("build over short data succeeded")
+	}
+}
+
+func TestChooseGridAttrsExplicitErrors(t *testing.T) {
+	fl := flatLayout(4)
+	if _, err := chooseGridAttrs(fl, []string{"X", "Y"}, nil, []string{"X", "NOPE"}); err == nil {
+		t.Error("unknown explicit grid attr accepted")
+	}
+	if _, err := chooseGridAttrs(fl, []string{"X"}, nil, []string{"X", "Y"}); err == nil {
+		t.Error("grid attr outside zone set accepted")
+	}
+}
+
+func TestVerifyFile(t *testing.T) {
+	const n = 64
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "data.bin")
+	data := make([]byte, 16*n)
+	for i := int64(0); i < n; i++ {
+		binary.LittleEndian.PutUint64(data[i*16:], math.Float64bits(float64(i)))
+		binary.LittleEndian.PutUint64(data[i*16+8:], math.Float64bits(float64(i)*2))
+	}
+	if err := os.WriteFile(dataPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fl := flatLayout(n)
+	sc, err := BuildFile(fl, bytes.NewReader(data), int64(len(data)), false, nil,
+		BuildOptions{BlockBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(SidecarPath(dataPath), sc); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFile(fl, dataPath, false); err != nil {
+		t.Fatalf("verify of honest sidecar: %v", err)
+	}
+	// Tamper with a zone value: verify must fail.
+	raw, err := os.ReadFile(SidecarPath(dataPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint64(raw[30:], math.Float64bits(-999))
+	if err := os.WriteFile(SidecarPath(dataPath), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFile(fl, dataPath, false); err == nil {
+		t.Fatal("verify of tampered sidecar succeeded")
+	} else if !strings.Contains(err.Error(), "match") {
+		t.Fatalf("unexpected verify error: %v", err)
+	}
+	// Stale: shrink the data file.
+	if err := os.WriteFile(SidecarPath(dataPath), mustEncode(t, sc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(dataPath, 512); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFile(flatLayout(32), dataPath, false); err == nil {
+		t.Fatal("verify of stale sidecar succeeded")
+	}
+}
+
+func mustEncode(t *testing.T, sc *Sidecar) []byte {
+	t.Helper()
+	b, err := sc.EncodeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
