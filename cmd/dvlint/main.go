@@ -9,9 +9,16 @@
 //
 //	dvlint [-json] [-only analyzer[,analyzer]] ./...
 //	dvlint ./internal/cache ./internal/core
+//	dvlint -generate          # rewrite the stats merge code from the structs
+//	dvlint -generate -check   # exit 1 if the generated files are stale
 //
 // Suppress a finding with a comment on the same line or the line
 // above: //dvlint:ignore <analyzer> <reason>
+//
+// -generate derives obs.QueryStats.Add and the cluster trailer merge
+// from the struct definitions (see internal/lint/generate.go), so a
+// newly added counter can never be silently dropped from either merge.
+// CI runs -generate -check to keep the committed files fresh.
 package main
 
 import (
@@ -28,7 +35,23 @@ import (
 func main() {
 	asJSON := flag.Bool("json", false, "emit diagnostics as a JSON array")
 	only := flag.String("only", "", "comma-separated analyzer subset to run")
+	generate := flag.Bool("generate", false, "regenerate the stats merge files instead of linting")
+	check := flag.Bool("check", false, "with -generate: verify freshness without writing, exit 1 on drift")
 	flag.Parse()
+
+	if *generate {
+		moduleDir, modulePath, err := findModule()
+		if err != nil {
+			fatal(err)
+		}
+		if err := runGenerate(moduleDir, modulePath, *check); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *check {
+		fatal(fmt.Errorf("-check requires -generate"))
+	}
 
 	analyzers := lint.All()
 	if *only != "" {
@@ -86,6 +109,36 @@ func main() {
 	if len(all) > 0 {
 		os.Exit(1)
 	}
+}
+
+// runGenerate rewrites (or, with check, verifies) the generated stats
+// merge files.
+func runGenerate(moduleDir, modulePath string, check bool) error {
+	files, err := lint.GeneratedStatsFiles(moduleDir, modulePath)
+	if err != nil {
+		return err
+	}
+	stale := 0
+	for rel, want := range files {
+		abs := filepath.Join(moduleDir, filepath.FromSlash(rel))
+		have, readErr := os.ReadFile(abs)
+		if readErr == nil && string(have) == string(want) {
+			continue
+		}
+		if check {
+			fmt.Fprintf(os.Stderr, "dvlint: %s is stale; run dvlint -generate\n", rel)
+			stale++
+			continue
+		}
+		if err := os.WriteFile(abs, want, 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", rel)
+	}
+	if stale > 0 {
+		os.Exit(1)
+	}
+	return nil
 }
 
 // findModule locates the enclosing go.mod and reads the module path.

@@ -149,6 +149,7 @@ func Experiments() []Experiment {
 		{"mmap", "Cache backends pread vs mmap, cold and warm (ours)", RunMmap},
 		{"concurrency", "Closed-loop concurrent serving vs one-query-at-a-time (ours)", RunConcurrency},
 		{"sparseindex", "Sparse block-index sidecars: data skipping on vs off (ours)", RunSparseIndex},
+		{"aggpush", "Push-down aggregation bytes + vectorized vs per-row filtering (ours)", RunAggPush},
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"datavirt/internal/extractor"
 	"datavirt/internal/metadata"
 	"datavirt/internal/obs"
+	"datavirt/internal/query"
 	"datavirt/internal/schema"
 	"datavirt/internal/sqlparser"
 	"datavirt/internal/storm"
@@ -163,8 +164,14 @@ func (c *Coordinator) pool(node string) *nodePool {
 type Result struct {
 	// Stats aggregates extraction statistics over all nodes.
 	Stats extractor.Stats
-	// Rows is the total tuple count transferred.
+	// Rows is the total tuple count transferred. Aggregate queries
+	// transfer partial aggregates instead of tuples, so it stays zero
+	// for them.
 	Rows int64
+	// SentBytes is the result payload streamed by all legs ('R' row
+	// batches or 'A' partial-aggregate frames) — the coordinator-side
+	// transfer cost push-down aggregation minimizes.
+	SentBytes int64
 	// PerNode maps node name → tuples produced there.
 	PerNode map[string]int64
 	// QueryStats is the per-query observability record: plan and index
@@ -294,6 +301,12 @@ func (c *Coordinator) run(ctx context.Context, sql string, spec storm.PartitionS
 	if err != nil {
 		return nil, err
 	}
+	if prep.Agg != nil && spec.NumDests > 0 {
+		// Partition generation routes individual tuples to client
+		// processors; an aggregate's groups only exist after the
+		// coordinator merge, so the two cannot compose.
+		return nil, fmt.Errorf("cluster: aggregate queries cannot be partitioned")
+	}
 	return c.runPrepared(ctx, sql, prep, spec, deliver)
 }
 
@@ -329,6 +342,22 @@ func (c *Coordinator) runPrepared(ctx context.Context, sql string, prep *core.Pr
 		req.TimeoutMS = ms
 	}
 
+	// Aggregate queries: every leg ships partial aggregates in 'A'
+	// frames; legs merge them into one coordinator-side state (the
+	// mutex serializes merges across leg goroutines) and the final
+	// groups are delivered after the fan-in.
+	var aggMu sync.Mutex
+	var aggState *query.AggState
+	var onAgg func(payload []byte) error
+	if prep.Agg != nil {
+		aggState = query.NewAggState(prep.Agg)
+		onAgg = func(payload []byte) error {
+			aggMu.Lock()
+			defer aggMu.Unlock()
+			return aggState.MergeEncoded(payload)
+		}
+	}
+
 	nodes := c.svc.Nodes()
 	type nodeBatch struct {
 		node string
@@ -353,7 +382,7 @@ func (c *Coordinator) runPrepared(ctx context.Context, sql string, prep *core.Pr
 			endNet := obs.Begin(tracer, sql, obs.StageNet)
 			tr, err := c.runLeg(ctx, node, req, codec, &counters, func(dest int, rows []table.Row) {
 				batchc <- nodeBatch{node: node, dest: dest, rows: rows}
-			})
+			}, onAgg)
 			endNet(err)
 			donec <- nodeDone{node: node, trailer: tr, err: err}
 		}(node)
@@ -386,6 +415,7 @@ func (c *Coordinator) runPrepared(ctx context.Context, sql string, prep *core.Pr
 		}
 		res.Stats.Add(d.trailer.Stats)
 		res.Rows += d.trailer.Rows
+		res.SentBytes += d.trailer.SentBytes
 		res.PerNode[d.node] = d.trailer.Rows
 		if d.trailer.ExtractNS > slowestExtract {
 			slowestExtract = d.trailer.ExtractNS
@@ -406,32 +436,28 @@ func (c *Coordinator) runPrepared(ctx context.Context, sql string, prep *core.Pr
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Aggregate queries finalize here: every leg's partials are merged,
+	// so this is the first (and only) place the complete groups exist.
+	if aggState != nil {
+		for _, row := range aggState.Finalize() {
+			if err := deliver(0, row); err != nil {
+				return nil, err
+			}
+		}
+	}
 	plan, index := prep.PrepareStats()
 	ownHits, ownMisses := prep.PlanCacheCounters()
-	res.QueryStats = obs.QueryStats{
+	// The trailer merge summed every leg's extractor counters into
+	// res.Stats; everything QueryStats cannot derive from them travels
+	// in the extras (see statsmerge_gen.go, kept in sync with the
+	// QueryStats struct by dvlint -generate).
+	res.QueryStats = mergeQueryStats(res.Stats, mergedStatsExtras{
 		ChunksPlanned: len(prep.AFCs),
-		ChunksRead:    res.Stats.AFCs,
-		BytesRead:     res.Stats.BytesRead,
-		RowsScanned:   res.Stats.RowsScanned,
-		RowsEmitted:   res.Stats.RowsEmitted,
 		RowsFiltered:  res.Stats.RowsScanned - res.Stats.RowsEmitted,
-
-		CacheHits:        res.Stats.CacheHits,
-		CacheMisses:      res.Stats.CacheMisses,
-		FSBytesRead:      res.Stats.FSBytesRead,
-		CacheBytesServed: res.Stats.CacheBytesServed,
-		MmapBlocksServed: res.Stats.MmapBlocksServed,
-		MmapRemaps:       res.Stats.MmapRemaps,
 
 		// The coordinator's own prepare plus every node leg's.
 		PlanCacheHits:   ownHits + pcHits,
 		PlanCacheMisses: ownMisses + pcMisses,
-
-		// Data skipping happens node-side; the trailer merge above summed
-		// every leg's extractor counters into res.Stats.
-		BlocksSkipped:     res.Stats.BlocksSkipped,
-		SparseIndexHits:   res.Stats.SparseIndexHits,
-		SparseIndexMisses: res.Stats.SparseIndexMisses,
 
 		// Serving counters: admission queueing reported by the nodes,
 		// shedding and hedging observed by the legs.
@@ -443,16 +469,15 @@ func (c *Coordinator) runPrepared(ctx context.Context, sql string, prep *core.Pr
 		IndexTime:   index,
 		QueueTime:   time.Duration(queueNS),
 		ExtractTime: time.Duration(slowestExtract),
-		FilterTime:  time.Duration(res.Stats.FilterNS),
 		NetTime:     time.Since(netStart),
-	}
+	})
 	return res, nil
 }
 
 // runLeg drives one node's leg: session checkout, hedging, and
 // bounded retry of legs shed by the node's admission control.
 func (c *Coordinator) runLeg(ctx context.Context, node string, req Request, codec *table.Codec,
-	counters *legCounters, onBatch func(dest int, rows []table.Row)) (Trailer, error) {
+	counters *legCounters, onBatch func(dest int, rows []table.Row), onAgg func(payload []byte) error) (Trailer, error) {
 
 	pool := c.pool(node)
 	retries := c.OverloadRetries
@@ -467,7 +492,7 @@ func (c *Coordinator) runLeg(ctx context.Context, node string, req Request, code
 		backoff = 25 * time.Millisecond
 	}
 	for attempt := 0; ; attempt++ {
-		tr, err := c.legHedged(ctx, pool, req, codec, counters, onBatch)
+		tr, err := c.legHedged(ctx, pool, req, codec, counters, onBatch, onAgg)
 		pool.reportResult(healthErr(err), c.RetryBackoff)
 		if err == nil {
 			return tr, nil
@@ -512,11 +537,11 @@ var errHedgeLost = errors.New("cluster: hedged leg lost the race")
 // at its first delivered frame), so the merged result never sees
 // duplicates; the loser is cancelled.
 func (c *Coordinator) legHedged(ctx context.Context, pool *nodePool, req Request, codec *table.Codec,
-	counters *legCounters, onBatch func(dest int, rows []table.Row)) (Trailer, error) {
+	counters *legCounters, onBatch func(dest int, rows []table.Row), onAgg func(payload []byte) error) (Trailer, error) {
 
 	var claim atomic.Int32
 	if c.HedgeAfter <= 0 {
-		tr, _, err := c.legStream(ctx, pool, req, codec, &claim, 1, onBatch)
+		tr, _, err := c.legStream(ctx, pool, req, codec, &claim, 1, onBatch, onAgg)
 		return tr, err
 	}
 
@@ -530,7 +555,7 @@ func (c *Coordinator) legHedged(ctx context.Context, pool *nodePool, req Request
 	defer scancel()
 	launch := func(id int32) {
 		go func() {
-			tr, claimed, err := c.legStream(sctx, pool, req, codec, &claim, id, onBatch)
+			tr, claimed, err := c.legStream(sctx, pool, req, codec, &claim, id, onBatch, onAgg)
 			resc <- streamRes{tr: tr, claimed: claimed, err: err}
 		}()
 	}
@@ -587,10 +612,11 @@ func (c *Coordinator) legHedged(ctx context.Context, pool *nodePool, req Request
 
 // legStream runs one wire stream of a leg over a (possibly shared)
 // session: sends the query, consumes its frames, grants flow-control
-// credit, and decodes row batches. It only delivers rows after
-// winning the claim shared with a hedged twin.
+// credit, and decodes row batches ('R') or merges partial aggregates
+// ('A', via onAgg). It only delivers rows or partials after winning
+// the claim shared with a hedged twin.
 func (c *Coordinator) legStream(ctx context.Context, pool *nodePool, req Request, codec *table.Codec,
-	claim *atomic.Int32, id int32, onBatch func(dest int, rows []table.Row)) (Trailer, bool, error) {
+	claim *atomic.Int32, id int32, onBatch func(dest int, rows []table.Row), onAgg func(payload []byte) error) (Trailer, bool, error) {
 
 	// ctxErr prefers the context's error over the failure it induced.
 	ctxErr := func(err error) error {
@@ -658,6 +684,21 @@ func (c *Coordinator) legStream(ctx context.Context, pool *nodePool, req Request
 				return Trailer{}, claimed, err
 			}
 			onBatch(dest, rows)
+			leg.consumedRows(len(ev.payload))
+		case frameAgg:
+			if !tryClaim() {
+				sess.abandon(leg, errHedgeLost)
+				return Trailer{}, false, errHedgeLost
+			}
+			if onAgg == nil {
+				err := fmt.Errorf("cluster: unexpected aggregate frame for a row query")
+				sess.abandon(leg, err)
+				return Trailer{}, claimed, err
+			}
+			if err := onAgg(ev.payload); err != nil {
+				sess.abandon(leg, err)
+				return Trailer{}, claimed, err
+			}
 			leg.consumedRows(len(ev.payload))
 		case frameDone:
 			if !tryClaim() {

@@ -7,7 +7,7 @@
 // concurrent serving system: many in-flight queries are multiplexed
 // over a small set of persistent node connections.
 //
-// The wire protocol (version 2) is length-prefixed binary frames over
+// The wire protocol (version 3) is length-prefixed binary frames over
 // TCP, every frame tagged with the query ID it belongs to so one
 // connection carries many queries at once:
 //
@@ -16,16 +16,23 @@
 //	'C'     = cancel query qid (empty payload), client → node
 //	'W'     = flow-control credit: uint32 window bytes, client → node
 //	'R'     = row batch: destID uint32 | rowCount uint32 | rows (codec)
+//	'A'     = partial aggregates (query.AggState wire encoding)
 //	'D'     = done: JSON stats trailer (terminal)
 //	'E'     = error: UTF-8 message (terminal)
 //	'B'     = busy: the node shed the query at admission (terminal)
 //
 // Rows travel in the fixed-width schema codec of internal/table; both
 // ends derive the row layout from the query's SELECT list against the
-// shared descriptor. Each query has a byte-granular flow-control
-// window: the node only sends row batches against credit the client
-// has granted ('Q' carries the initial window, 'W' replenishes it), so
-// one slow consumer cannot monopolize a shared connection.
+// shared descriptor. Aggregate queries (GROUP BY / aggregate
+// functions) ship no rows at all: each leg evaluates partial
+// aggregates over its blocks and streams them in 'A' frames — each an
+// independently mergeable group of partials — which the coordinator
+// merges and finalizes, so result traffic scales with group count
+// rather than row count. Each query has a byte-granular flow-control
+// window: the node only sends row or aggregate batches against credit
+// the client has granted ('Q' carries the initial window, 'W'
+// replenishes it), so one slow consumer cannot monopolize a shared
+// connection.
 package cluster
 
 import (
@@ -44,6 +51,7 @@ const (
 	frameCancel = 'C'
 	frameWindow = 'W'
 	frameRows   = 'R'
+	frameAgg    = 'A'
 	frameDone   = 'D'
 	frameError  = 'E'
 	frameBusy   = 'B'
@@ -53,8 +61,9 @@ const (
 
 	// protocolVersion is checked per query request. Version 2 added
 	// query-ID-tagged frames (connection multiplexing), flow-control
-	// windows, and the cancel/busy frames.
-	protocolVersion = 2
+	// windows, and the cancel/busy frames; version 3 added the 'A'
+	// partial-aggregate frame (push-down aggregation).
+	protocolVersion = 3
 
 	// batchRows is the number of rows per 'R' frame.
 	batchRows = 512
@@ -120,7 +129,16 @@ type Trailer struct {
 	// before running; QueueNS is that wait in nanoseconds.
 	Queued  int64 `json:",omitempty"`
 	QueueNS int64 `json:",omitempty"`
+	// SentBytes is the result payload the leg streamed ('R' or 'A'
+	// frame bodies) — the coordinator-side transfer cost a pushed-down
+	// aggregate keeps proportional to group count, not row count.
+	SentBytes int64 `json:",omitempty"`
 }
+
+// isDataFrame reports whether typ carries result data subject to flow
+// control ('R' row batches and 'A' partial aggregates); every other
+// server frame is terminal.
+func isDataFrame(typ byte) bool { return typ == frameRows || typ == frameAgg }
 
 // writeFrame writes one frame tagged with qid.
 func writeFrame(w io.Writer, typ byte, qid uint32, payload []byte) error {

@@ -274,7 +274,7 @@ func (s *nodeSession) enqueue(st *outStream, item outItem) bool {
 	}
 	st.pending = append(st.pending, item)
 	st.bytes += len(item.payload)
-	if item.typ != frameRows {
+	if !isDataFrame(item.typ) {
 		st.closed = true
 	}
 	s.cond.Broadcast()
@@ -319,7 +319,7 @@ func (s *nodeSession) abortStream(st *outStream) {
 	kept := st.pending[:0]
 	bytes := 0
 	for _, it := range st.pending {
-		if it.typ != frameRows {
+		if !isDataFrame(it.typ) {
 			kept = append(kept, it)
 			bytes += len(it.payload)
 		}
@@ -338,8 +338,8 @@ func (s *nodeSession) pickStream() *outStream {
 		if len(st.pending) == 0 {
 			continue
 		}
-		// Row batches need flow-control credit; terminal frames always go.
-		if st.pending[0].typ == frameRows && st.window <= 0 {
+		// Data frames need flow-control credit; terminal frames always go.
+		if isDataFrame(st.pending[0].typ) && st.window <= 0 {
 			continue
 		}
 		if best == nil || st.vtime < best.vtime {
@@ -379,7 +379,7 @@ func (s *nodeSession) writeLoop() {
 		item := st.pending[0]
 		st.pending = st.pending[1:]
 		st.bytes -= len(item.payload)
-		if item.typ == frameRows {
+		if isDataFrame(item.typ) {
 			st.window -= int64(len(item.payload))
 			st.vtime += float64(len(item.payload)) / st.weight
 		}
@@ -476,6 +476,9 @@ func (s *nodeSession) execute(ctx context.Context, st *outStream, req Request) (
 	if err != nil {
 		return Trailer{}, err
 	}
+	if prep.Agg != nil {
+		return s.executeAggregate(ctx, st, req, prep)
+	}
 	codec := table.NewCodec(prep.OutSchema)
 
 	// Partition generation at the server: each outgoing row is tagged
@@ -560,7 +563,46 @@ func (s *nodeSession) execute(ctx context.Context, st *outStream, req Request) (
 	}
 	pcHits, pcMisses := prep.PlanCacheCounters()
 	return Trailer{
-		Stats: stats, Rows: rows, ExtractNS: extractNS,
+		Stats: stats, Rows: rows, ExtractNS: extractNS, SentBytes: sentBytes,
+		PlanCacheHits: pcHits, PlanCacheMisses: pcMisses,
+	}, nil
+}
+
+// executeAggregate runs an aggregate query leg: partial aggregates are
+// folded directly over extracted blocks (no row materialization) and
+// shipped to the coordinator in 'A' frames, each an independently
+// mergeable chunk of groups. The coordinator merges every leg's
+// partials and finalizes, so this leg never sees the final result.
+func (s *nodeSession) executeAggregate(ctx context.Context, st *outStream, req Request, prep *core.Prepared) (Trailer, error) {
+	n := s.node
+	if req.Partition.NumDests > 0 {
+		return Trailer{}, fmt.Errorf("cluster: aggregate queries cannot be partitioned")
+	}
+	extractStart := time.Now()
+	state, stats, err := prep.RunAggPartialContext(ctx, core.Options{
+		NodeFilter: n.name,
+		Parallel:   req.Parallel,
+	})
+	extractNS := time.Since(extractStart).Nanoseconds()
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return Trailer{}, cerr
+		}
+		return Trailer{}, err
+	}
+	var sentBytes int64
+	for _, chunk := range state.EncodeChunks(0) {
+		sentBytes += int64(len(chunk))
+		if req.MaxResultBytes > 0 && sentBytes > req.MaxResultBytes {
+			return Trailer{}, fmt.Errorf("cluster: query exceeded its %d-byte result budget", req.MaxResultBytes)
+		}
+		if !s.enqueue(st, outItem{typ: frameAgg, payload: chunk}) {
+			return Trailer{}, context.Canceled // stream or session closed under us
+		}
+	}
+	pcHits, pcMisses := prep.PlanCacheCounters()
+	return Trailer{
+		Stats: stats, ExtractNS: extractNS, SentBytes: sentBytes,
 		PlanCacheHits: pcHits, PlanCacheMisses: pcMisses,
 	}, nil
 }

@@ -148,8 +148,8 @@ func (s *clientSession) readLoop() {
 		}
 		buf = payload
 		switch typ {
-		case frameRows, frameDone, frameError, frameBusy:
-			terminal := typ != frameRows
+		case frameRows, frameAgg, frameDone, frameError, frameBusy:
+			terminal := !isDataFrame(typ)
 			s.mu.Lock()
 			l := s.legs[qid]
 			if l != nil && terminal {
@@ -219,7 +219,7 @@ func (s *clientSession) abandon(l *clientLeg, reason error) {
 func (l *clientLeg) deliver(ev legEvent) {
 	l.mu.Lock()
 	l.events = append(l.events, ev)
-	if ev.typ != frameRows {
+	if !isDataFrame(ev.typ) {
 		l.done = true
 	}
 	l.cond.Broadcast()

@@ -297,10 +297,17 @@ type Prepared struct {
 	Ranges query.Ranges
 	// AFCs are the aligned file chunks the query must read.
 	AFCs []afc.AFC
+	// Agg is the aggregate plan for GROUP BY / aggregate-function
+	// queries, nil for row queries. Aggregate queries evaluate partial
+	// aggregates directly over extracted blocks — no row
+	// materialization — and finalize locally (RunContext) or at the
+	// cluster coordinator after merging per-leg partials.
+	Agg *query.AggPlan
 
 	work    []schema.Attribute
 	workIdx map[string]int
 	pred    query.Predicate
+	vecPred *query.VectorPredicate
 	project []int // work index per output column
 
 	sqlText   string        // query text reported to tracers
@@ -353,11 +360,26 @@ func (s *Service) PrepareParsedContext(ctx context.Context, q *sqlparser.Query) 
 	}
 	p := &Prepared{svc: s, Query: q, Cols: cols, sqlText: sqlText}
 
-	// Working row layout: every attribute the predicate or projection
-	// touches, in schema order.
+	if q.Aggregate() {
+		p.Agg, err = query.BuildAggPlan(q, sch)
+		if err != nil {
+			endPlan(err)
+			return nil, err
+		}
+		p.Cols = p.Agg.Labels()
+	}
+
+	// Working row layout: every attribute the predicate, projection or
+	// aggregate touches, in schema order.
 	neededSet := map[string]bool{}
-	for _, c := range cols {
-		neededSet[c] = true
+	if p.Agg != nil {
+		for _, c := range p.Agg.InputColumns() {
+			neededSet[c] = true
+		}
+	} else {
+		for _, c := range cols {
+			neededSet[c] = true
+		}
 	}
 	for _, c := range sqlparser.ExprColumns(q.Where) {
 		neededSet[c] = true
@@ -371,20 +393,41 @@ func (s *Service) PrepareParsedContext(ctx context.Context, q *sqlparser.Query) 
 			neededNames = append(neededNames, a.Name)
 		}
 	}
-	p.OutSchema, err = sch.Project(cols)
-	if err != nil {
-		endPlan(err)
-		return nil, err
-	}
-	p.project = make([]int, len(cols))
-	for i, c := range cols {
-		p.project[i] = p.workIdx[c]
-	}
-
-	p.pred, err = query.CompilePredicate(q.Where, func(name string) (int, bool) {
+	lookup := func(name string) (int, bool) {
 		i, ok := p.workIdx[name]
 		return i, ok
-	}, s.registry)
+	}
+	if p.Agg != nil {
+		p.OutSchema = p.Agg.OutSchema()
+		if err := p.Agg.Bind(lookup); err != nil {
+			endPlan(err)
+			return nil, err
+		}
+	} else {
+		p.OutSchema, err = sch.Project(cols)
+		if err != nil {
+			endPlan(err)
+			return nil, err
+		}
+		p.project = make([]int, len(cols))
+		for i, c := range cols {
+			p.project[i] = p.workIdx[c]
+		}
+	}
+
+	// A nil WHERE stays a nil Pred (not TruePredicate): the extractor
+	// takes "no predicate" as license for the batch fast path.
+	if q.Where != nil {
+		p.pred, err = query.CompilePredicate(q.Where, lookup, s.registry)
+		if err != nil {
+			endPlan(err)
+			return nil, err
+		}
+	}
+	// The same WHERE clause compiled for batch (vectorized) evaluation;
+	// the extractor prefers it unless Options.ScalarFilter forces the
+	// per-row path.
+	p.vecPred, err = query.CompileVectorPredicate(q.Where, lookup, s.registry)
 	if err != nil {
 		endPlan(err)
 		return nil, err
@@ -445,6 +488,10 @@ type Options struct {
 	// every block of every selected chunk is read and filtered. Pruning
 	// never changes result rows, so this is a diagnostic knob.
 	NoSparse bool
+	// ScalarFilter forces per-row predicate evaluation instead of the
+	// vectorized (batch) path. The two paths select identical rows, so
+	// this is a diagnostic/benchmark knob.
+	ScalarFilter bool
 }
 
 // Validate rejects nonsensical option values with explicit errors
@@ -476,13 +523,21 @@ func (p *Prepared) RunContext(ctx context.Context, opt Options, emit func(row ta
 	if err := opt.Validate(); err != nil {
 		return extractor.Stats{}, err
 	}
-	afcs := p.AFCs
-	if opt.NodeFilter != "" {
-		afcs = FilterByNode(afcs, opt.NodeFilter)
+	if p.Agg != nil {
+		// Aggregate query: fold blocks into partials, finalize locally,
+		// emit the (small) aggregated result rows.
+		state, stats, err := p.RunAggPartialContext(ctx, opt)
+		if err != nil {
+			return stats, err
+		}
+		for _, row := range state.Finalize() {
+			if err := emit(row); err != nil {
+				return stats, err
+			}
+		}
+		return stats, nil
 	}
-	if opt.Coalesce {
-		afcs = afc.Coalesce(afcs)
-	}
+	afcs := p.execAFCs(opt)
 	inner := emit
 	if !p.identityProjection() {
 		out := make(table.Row, len(p.Cols))
@@ -493,14 +548,79 @@ func (p *Prepared) RunContext(ctx context.Context, opt Options, emit func(row ta
 			return emit(out)
 		}
 	}
+	tracer := obs.TracerFrom(ctx)
+	xopt := p.extractorOptions(tracer, opt)
+	endExtract := obs.Begin(tracer, p.sqlText, obs.StageExtract)
+	var stats extractor.Stats
+	var err error
+	if opt.Parallel {
+		stats, err = extractor.RunParallelContext(ctx, afcs, p.svc.resolver, xopt, inner)
+	} else {
+		stats, err = extractor.RunContext(ctx, afcs, p.svc.resolver, xopt, inner)
+	}
+	endExtract(err)
+	tracer.StageEnd(p.sqlText, obs.StageFilter, time.Duration(stats.FilterNS), err)
+	p.reportRun(tracer, stats)
+	return stats, err
+}
+
+// RunAggPartialContext executes an aggregate query up to — but not
+// including — finalization: every block is extracted, filtered and
+// folded into partial aggregates, and the un-finalized state is
+// returned. Cluster node legs use this to ship partials to the
+// coordinator (which merges states from all legs before finalizing);
+// local execution goes through RunContext, which finalizes immediately.
+// It fails if the prepared query is not an aggregate.
+func (p *Prepared) RunAggPartialContext(ctx context.Context, opt Options) (*query.AggState, extractor.Stats, error) {
+	if p.Agg == nil {
+		return nil, extractor.Stats{}, fmt.Errorf("core: %q is not an aggregate query", p.sqlText)
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, extractor.Stats{}, err
+	}
+	afcs := p.execAFCs(opt)
+	tracer := obs.TracerFrom(ctx)
+	xopt := p.extractorOptions(tracer, opt)
+	endExtract := obs.Begin(tracer, p.sqlText, obs.StageExtract)
+	var state *query.AggState
+	var stats extractor.Stats
+	var err error
+	if opt.Parallel {
+		state, stats, err = extractor.RunAggregateParallelContext(ctx, afcs, p.svc.resolver, xopt, p.Agg)
+	} else {
+		state, stats, err = extractor.RunAggregateContext(ctx, afcs, p.svc.resolver, xopt, p.Agg)
+	}
+	endExtract(err)
+	tracer.StageEnd(p.sqlText, obs.StageFilter, time.Duration(stats.FilterNS), err)
+	tracer.StageEnd(p.sqlText, obs.StageAggregate, time.Duration(stats.AggNS), err)
+	p.reportRun(tracer, stats)
+	return state, stats, err
+}
+
+// execAFCs selects the aligned file chunks one execution reads, after
+// node filtering and coalescing.
+func (p *Prepared) execAFCs(opt Options) []afc.AFC {
+	afcs := p.AFCs
+	if opt.NodeFilter != "" {
+		afcs = FilterByNode(afcs, opt.NodeFilter)
+	}
+	if opt.Coalesce {
+		afcs = afc.Coalesce(afcs)
+	}
+	return afcs
+}
+
+// extractorOptions assembles the extractor's options for one execution:
+// working layout, both predicate forms, block cache and sparse-sidecar
+// provider.
+func (p *Prepared) extractorOptions(tracer obs.Tracer, opt Options) extractor.Options {
 	xopt := extractor.Options{
-		Cols: p.work, Pred: p.pred,
+		Cols: p.work, Pred: p.pred, VecPred: p.vecPred, ScalarFilter: opt.ScalarFilter,
 		BlockBytes: opt.BlockBytes, Workers: opt.Workers,
 	}
 	if !opt.NoCache {
 		xopt.Source = p.svc.blockSource()
 	}
-	tracer := obs.TracerFrom(ctx)
 	if !opt.NoSparse && len(p.Ranges) > 0 {
 		xopt.Ranges = p.Ranges
 		// The provider is called from extraction workers; the run-level
@@ -522,23 +642,18 @@ func (p *Prepared) RunContext(ctx context.Context, opt Options, emit func(row ta
 			return e.sc
 		}
 	}
-	endExtract := obs.Begin(tracer, p.sqlText, obs.StageExtract)
-	var stats extractor.Stats
-	var err error
-	if opt.Parallel {
-		stats, err = extractor.RunParallelContext(ctx, afcs, p.svc.resolver, xopt, inner)
-	} else {
-		stats, err = extractor.RunContext(ctx, afcs, p.svc.resolver, xopt, inner)
-	}
-	endExtract(err)
-	tracer.StageEnd(p.sqlText, obs.StageFilter, time.Duration(stats.FilterNS), err)
+	return xopt
+}
+
+// reportRun forwards one execution's cache and sparse outcomes to the
+// tracer.
+func (p *Prepared) reportRun(tracer obs.Tracer, stats extractor.Stats) {
 	saved := stats.CacheBytesServed - stats.FSBytesRead
 	if saved < 0 {
 		saved = 0
 	}
 	obs.ReportCache(tracer, p.sqlText, stats.CacheHits, stats.CacheMisses, saved)
 	obs.ReportSparse(tracer, p.sqlText, stats.BlocksSkipped, stats.SparseIndexHits, stats.SparseIndexMisses)
-	return stats, err
 }
 
 // PrepareStats returns the wall times of the plan and index stages
@@ -579,10 +694,15 @@ func (p *Prepared) queryStats(x extractor.Stats, extract time.Duration) obs.Quer
 		SparseIndexHits:   x.SparseIndexHits,
 		SparseIndexMisses: x.SparseIndexMisses,
 
+		AggPushedQueries: x.AggPushedQueries,
+		AggPartialGroups: x.AggPartialGroups,
+		VectorBatches:    x.VectorBatches,
+
 		PlanTime:    p.planTime,
 		IndexTime:   p.indexTime,
 		ExtractTime: extract,
 		FilterTime:  time.Duration(x.FilterNS),
+		AggTime:     time.Duration(x.AggNS),
 	}
 }
 

@@ -1,0 +1,128 @@
+package extractor
+
+import (
+	"context"
+	"sync"
+
+	"datavirt/internal/afc"
+	"datavirt/internal/query"
+)
+
+// RunAggregateContext extracts the AFCs sequentially, folding every row
+// that survives the residual predicate into partial aggregates for the
+// plan — no rows are materialized or emitted. The returned state holds
+// un-finalized partials; the caller finalizes locally or merges states
+// from several legs first. The plan must be bound against the same
+// working layout as opt.Cols.
+func RunAggregateContext(ctx context.Context, afcs []afc.AFC, resolver Resolver, opt Options, plan *query.AggPlan) (*query.AggState, Stats, error) {
+	src, done := runSource(opt)
+	defer done()
+	var stats Stats
+	state := query.NewAggState(plan)
+	pool := newSegPool(src, resolver)
+	defer pool.release()
+	bb := &blockBuf{}
+	for i := range afcs {
+		if err := extractOne(ctx, &afcs[i], pool, opt, bb, &stats, state, nil); err != nil {
+			return state, stats, err
+		}
+	}
+	stats.AggPushedQueries = 1
+	stats.AggPartialGroups = int64(state.Groups())
+	return state, stats, nil
+}
+
+// RunAggregateParallelContext is RunAggregateContext with a bounded
+// worker pool: each worker folds its AFCs into a private AggState, and
+// the states merge at the end. Aggregation is exact and commutative
+// (see internal/query), so the result is identical to the sequential
+// run regardless of AFC scheduling.
+func RunAggregateParallelContext(ctx context.Context, afcs []afc.AFC, resolver Resolver, opt Options, plan *query.AggPlan) (*query.AggState, Stats, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	if workers > len(afcs) {
+		workers = len(afcs)
+	}
+	if workers <= 1 {
+		return RunAggregateContext(ctx, afcs, resolver, opt, plan)
+	}
+
+	src, srcDone := runSource(opt)
+	defer srcDone()
+
+	type result struct {
+		state *query.AggState
+		stats Stats
+	}
+	work := make(chan *afc.AFC)
+	results := make(chan result, workers)
+	done := make(chan struct{})
+	var once sync.Once
+	var workerErr error
+	fail := func(err error) {
+		once.Do(func() {
+			workerErr = err
+			close(done)
+		})
+	}
+	var wg sync.WaitGroup
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			bb := &blockBuf{}
+			pool := newSegPool(src, resolver)
+			defer pool.release()
+			r := result{state: query.NewAggState(plan)}
+			for a := range work {
+				if err := extractOne(ctx, a, pool, opt, bb, &r.stats, r.state, nil); err != nil {
+					fail(err)
+					return
+				}
+			}
+			select {
+			case results <- r:
+			case <-done:
+			}
+		}()
+	}
+
+	// Feeder: stops early when any worker fails or ctx is cancelled.
+	go func() {
+		defer close(work)
+		for i := range afcs {
+			select {
+			case work <- &afcs[i]:
+			case <-done:
+				return
+			case <-ctx.Done():
+				fail(ctx.Err())
+				return
+			}
+		}
+	}()
+
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	state := query.NewAggState(plan)
+	var stats Stats
+	for r := range results {
+		stats.Add(r.stats)
+		state.Merge(r.state)
+	}
+	if workerErr != nil {
+		return state, stats, workerErr
+	}
+	if err := ctx.Err(); err != nil {
+		return state, stats, err
+	}
+	stats.AggPushedQueries = 1
+	stats.AggPartialGroups = int64(state.Groups())
+	return state, stats, nil
+}

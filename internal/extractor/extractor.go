@@ -99,6 +99,20 @@ type Stats struct {
 	BlocksSkipped     int64
 	SparseIndexHits   int64
 	SparseIndexMisses int64
+
+	// VectorBatches counts blocks whose residual predicate ran through
+	// the vectorized (batch/columnar) evaluator instead of per-row
+	// Pred calls.
+	VectorBatches int64
+	// AggNS is the time spent folding selected rows into partial
+	// aggregates, in nanoseconds, summed across workers.
+	AggNS int64
+	// AggPushedQueries counts aggregate runs evaluated push-down style
+	// (no row materialization); AggPartialGroups is the number of
+	// partial groups those runs produced before any coordinator merge.
+	// Both are set once per RunAggregate* call, not per AFC.
+	AggPushedQueries int64
+	AggPartialGroups int64
 }
 
 // Add merges other run's counters into s.
@@ -117,6 +131,10 @@ func (s *Stats) Add(o Stats) {
 	s.BlocksSkipped += o.BlocksSkipped
 	s.SparseIndexHits += o.SparseIndexHits
 	s.SparseIndexMisses += o.SparseIndexMisses
+	s.VectorBatches += o.VectorBatches
+	s.AggNS += o.AggNS
+	s.AggPushedQueries += o.AggPushedQueries
+	s.AggPartialGroups += o.AggPartialGroups
 }
 
 // EmitFunc receives each surviving row.
@@ -138,6 +156,16 @@ type Options struct {
 	Cols []schema.Attribute
 	// Pred filters rows; nil accepts everything.
 	Pred query.Predicate
+	// VecPred is the same WHERE clause compiled for vectorized (batch)
+	// evaluation. When set (and ScalarFilter is off), blocks are decoded
+	// into column vectors, the predicate narrows a selection vector, and
+	// only surviving rows are materialized — identical row sets to Pred,
+	// asserted by a differential fuzz test.
+	VecPred *query.VectorPredicate
+	// ScalarFilter forces the per-row Pred path even when VecPred is
+	// set — the oracle in differential tests and the baseline in
+	// benchmarks.
+	ScalarFilter bool
 	// BlockBytes bounds the I/O buffer per segment (default 1 MiB).
 	BlockBytes int
 	// Workers sets the parallelism of RunParallel (default GOMAXPROCS
@@ -290,7 +318,7 @@ func RunContext(ctx context.Context, afcs []afc.AFC, resolver Resolver, opt Opti
 	defer pool.release()
 	bb := &blockBuf{}
 	for i := range afcs {
-		if err := extractOne(ctx, &afcs[i], pool, opt, bb, &stats, emit); err != nil {
+		if err := extractOne(ctx, &afcs[i], pool, opt, bb, &stats, nil, emit); err != nil {
 			return stats, err
 		}
 	}
@@ -354,7 +382,7 @@ func RunParallelContext(ctx context.Context, afcs []afc.AFC, resolver Resolver, 
 					b.rows = append(b.rows, append(table.Row(nil), r...))
 					return nil
 				}
-				if err := extractOne(ctx, a, pool, opt, bb, &b.stats, collect); err != nil {
+				if err := extractOne(ctx, a, pool, opt, bb, &b.stats, nil, collect); err != nil {
 					fail(err)
 					return
 				}
@@ -496,6 +524,13 @@ type blockBuf struct {
 	srcs  []colSource // bind scratch, reused across AFCs
 	prune []segPrune  // sparse-pruning scratch, reused across AFCs
 	files []fileSidecar
+
+	// Vectorized-filter state: the column-vector batch, the selection
+	// index vector, and the evaluator's scratch buffers — all reused
+	// across blocks so the hot loop stays allocation-free.
+	batch query.Batch
+	sel   []int32
+	vscr  query.VectorScratch
 }
 
 // segPrune is the per-segment data-skipping state of one AFC: the
@@ -518,7 +553,9 @@ type fileSidecar struct {
 }
 
 func (bb *blockBuf) shape(rows, cols, segs int) {
-	if cap(bb.flat) < rows*cols || (cols > 0 && len(bb.rows) > 0 && len(bb.rows[0]) != cols) {
+	// cols can be zero (a bare COUNT(*) reads no attributes); the row
+	// slice must still exist for the scalar delivery path.
+	if cap(bb.flat) < rows*cols || len(bb.rows) < rows || (len(bb.rows) > 0 && len(bb.rows[0]) != cols) {
 		bb.flat = make([]schema.Value, rows*cols)
 		bb.rows = make([]table.Row, rows)
 		for i := range bb.rows {
@@ -542,14 +579,22 @@ func (bb *blockBuf) dropSpans() {
 }
 
 // extractOne streams one AFC: it reads the block's byte spans through
-// the segment readers (cache-backed or passthrough), fills the row
-// matrix column by column with kind-specialized tight loops (the
-// run-time counterpart of the generated extraction code's
-// straight-line decoding), then filters and emits row-wise. The
-// context is checked between blocks, bounding cancellation latency to
-// one block read (≤ maxBlockRows rows). One reader per segment means
-// the cache's readahead sees each segment as its own forward scan.
-func extractOne(ctx context.Context, a *afc.AFC, pool *segPool, opt Options, bb *blockBuf, stats *Stats, emit EmitFunc) error {
+// the segment readers (cache-backed or passthrough), fills the block
+// column by column with kind-specialized tight loops (the run-time
+// counterpart of the generated extraction code's straight-line
+// decoding), then filters and delivers rows. The context is checked
+// between blocks, bounding cancellation latency to one block read
+// (≤ maxBlockRows rows). One reader per segment means the cache's
+// readahead sees each segment as its own forward scan.
+//
+// Delivery has three modes. With a vectorized predicate the block is
+// decoded into column vectors, the predicate narrows a selection index
+// vector, and only surviving rows are materialized and emitted. With
+// agg set, selected rows are folded straight into the partial-aggregate
+// state and never materialized at all. Otherwise (or under
+// Options.ScalarFilter) the original fill-every-row, per-row-Pred path
+// runs.
+func extractOne(ctx context.Context, a *afc.AFC, pool *segPool, opt Options, bb *blockBuf, stats *Stats, agg *query.AggState, emit EmitFunc) error {
 	stats.AFCs++
 	if a.NumRows == 0 {
 		return nil
@@ -601,6 +646,9 @@ func extractOne(ctx context.Context, a *afc.AFC, pool *segPool, opt Options, bb 
 	bb.shape(int(rowsPerBlock), len(opt.Cols), len(a.Segments))
 	spans := bb.spans
 	pred := opt.Pred
+	// The batch path needs the predicate in vectorized form (or no
+	// predicate at all); otherwise fall back to per-row evaluation.
+	vectorized := !opt.ScalarFilter && (opt.VecPred != nil || (agg != nil && pred == nil))
 	constRead := false
 	var rowsSkipped int64
 	for base := int64(0); base < a.NumRows; base += rowsPerBlock {
@@ -655,8 +703,44 @@ func extractOne(ctx context.Context, a *afc.AFC, pool *segPool, opt Options, bb 
 			spans[si] = buf
 		}
 		constRead = true
+		stats.RowsScanned += n
 
-		// Fill the block column-major with kind-specialized loops.
+		if vectorized {
+			// Decode the block into column vectors, narrow the selection
+			// with the vectorized predicate, then deliver only survivors:
+			// folded into the partial aggregates, or gather-materialized
+			// into rows for emit.
+			bb.fillBatch(a, sources, spans, base, int(n))
+			filterStart := time.Now()
+			sel := query.Identity(bb.sel, int(n))
+			if opt.VecPred != nil {
+				sel = opt.VecPred.Eval(&bb.batch, sel, &bb.vscr)
+			}
+			bb.sel = sel
+			stats.VectorBatches++
+			stats.FilterNS += time.Since(filterStart).Nanoseconds()
+			stats.RowsEmitted += int64(len(sel))
+			if agg != nil {
+				aggStart := time.Now()
+				agg.ObserveBatch(&bb.batch, sel)
+				stats.AggNS += time.Since(aggStart).Nanoseconds()
+				continue
+			}
+			emitStart := time.Now()
+			rows := bb.rows[:len(sel)]
+			gatherRows(rows, &bb.batch, sel, opt.Cols)
+			for r := range rows {
+				if err := emit(rows[r]); err != nil {
+					stats.FilterNS += time.Since(emitStart).Nanoseconds()
+					return err
+				}
+			}
+			stats.FilterNS += time.Since(emitStart).Nanoseconds()
+			continue
+		}
+
+		// Scalar path: fill the block column-major with kind-specialized
+		// loops, then filter and deliver row-wise.
 		rows := bb.rows[:n]
 		for ci := range sources {
 			src := &sources[ci]
@@ -686,20 +770,26 @@ func extractOne(ctx context.Context, a *afc.AFC, pool *segPool, opt Options, bb 
 			}
 		}
 
-		// Filter and emit row-wise.
-		stats.RowsScanned += n
 		filterStart := time.Now()
+		aggNS0 := stats.AggNS
 		for r := int64(0); r < n; r++ {
 			if pred != nil && !pred(rows[r]) {
 				continue
 			}
 			stats.RowsEmitted++
+			if agg != nil {
+				aggStart := time.Now()
+				agg.ObserveRow(rows[r])
+				stats.AggNS += time.Since(aggStart).Nanoseconds()
+				continue
+			}
 			if err := emit(rows[r]); err != nil {
 				stats.FilterNS += time.Since(filterStart).Nanoseconds()
 				return err
 			}
 		}
-		stats.FilterNS += time.Since(filterStart).Nanoseconds()
+		// Aggregation time is attributed to its own stage, not filter.
+		stats.FilterNS += time.Since(filterStart).Nanoseconds() - (stats.AggNS - aggNS0)
 	}
 	for _, s := range a.Segments {
 		if s.RowStride == 0 {

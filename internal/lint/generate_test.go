@@ -1,0 +1,36 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"datavirt/internal/lint"
+)
+
+// TestGeneratedStatsFresh regenerates the stats merge files from the
+// live struct definitions and asserts the committed files match byte
+// for byte — the test-suite mirror of `dvlint -generate -check`, so a
+// counter added to obs.QueryStats without rerunning the generator
+// fails the ordinary test tier, not just CI.
+func TestGeneratedStatsFresh(t *testing.T) {
+	loader(t) // initialize moduleDir
+	files, err := lint.GeneratedStatsFiles(moduleDir, "datavirt")
+	if err != nil {
+		t.Fatalf("GeneratedStatsFiles: %v", err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("expected 2 generated files, got %d", len(files))
+	}
+	for rel, want := range files {
+		have, err := os.ReadFile(filepath.Join(moduleDir, filepath.FromSlash(rel)))
+		if err != nil {
+			t.Errorf("%s: %v (run dvlint -generate)", rel, err)
+			continue
+		}
+		if string(have) != string(want) {
+			t.Errorf("%s is stale: run dvlint -generate\n-- want --\n%s\n-- have --\n%s",
+				rel, want, have)
+		}
+	}
+}

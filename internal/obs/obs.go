@@ -40,13 +40,16 @@ const (
 	// StageFilter covers residual predicate evaluation and row delivery
 	// (accumulated across workers, so it can exceed extract wall time).
 	StageFilter Stage = "filter"
+	// StageAggregate covers folding filtered rows into partial
+	// aggregates (pushed-down GROUP BY); it is zero for row queries.
+	StageAggregate Stage = "aggregate"
 	// StageNet covers cluster dials, request writes and tuple-stream
 	// reads on the coordinator.
 	StageNet Stage = "net"
 )
 
 // Stages lists all stages in execution order.
-var Stages = []Stage{StagePlan, StageIndex, StageQueue, StageExtract, StageFilter, StageNet}
+var Stages = []Stage{StagePlan, StageIndex, StageQueue, StageExtract, StageFilter, StageAggregate, StageNet}
 
 // QueryStats aggregates the measured cost of one query execution.
 type QueryStats struct {
@@ -109,6 +112,17 @@ type QueryStats struct {
 	ShedQueries   int64
 	HedgedLegs    int64
 
+	// AggPushedQueries counts executions (node legs, under the cluster)
+	// that evaluated a pushed-down aggregate over extracted blocks
+	// instead of materializing rows; AggPartialGroups sums the partial
+	// groups those executions produced before the coordinator merge.
+	// VectorBatches counts the column-vector blocks the extractor
+	// filtered with the vectorized (batch) predicate path. All stay zero
+	// for per-row row queries.
+	AggPushedQueries int64
+	AggPartialGroups int64
+	VectorBatches    int64
+
 	// PlanTime is the wall time of StagePlan; likewise below. QueueTime
 	// sums admission-queue waits over node legs (StageQueue).
 	PlanTime    time.Duration
@@ -116,6 +130,7 @@ type QueryStats struct {
 	QueueTime   time.Duration
 	ExtractTime time.Duration
 	FilterTime  time.Duration
+	AggTime     time.Duration
 	NetTime     time.Duration
 }
 
@@ -132,41 +147,16 @@ func (s *QueryStats) StageTime(st Stage) time.Duration {
 		return s.ExtractTime
 	case StageFilter:
 		return s.FilterTime
+	case StageAggregate:
+		return s.AggTime
 	case StageNet:
 		return s.NetTime
 	}
 	return 0
 }
 
-// Add merges another execution's stats into s (stage times sum).
-func (s *QueryStats) Add(o QueryStats) {
-	s.ChunksPlanned += o.ChunksPlanned
-	s.ChunksRead += o.ChunksRead
-	s.BytesRead += o.BytesRead
-	s.RowsScanned += o.RowsScanned
-	s.RowsEmitted += o.RowsEmitted
-	s.RowsFiltered += o.RowsFiltered
-	s.CacheHits += o.CacheHits
-	s.CacheMisses += o.CacheMisses
-	s.FSBytesRead += o.FSBytesRead
-	s.CacheBytesServed += o.CacheBytesServed
-	s.MmapBlocksServed += o.MmapBlocksServed
-	s.MmapRemaps += o.MmapRemaps
-	s.PlanCacheHits += o.PlanCacheHits
-	s.PlanCacheMisses += o.PlanCacheMisses
-	s.BlocksSkipped += o.BlocksSkipped
-	s.SparseIndexHits += o.SparseIndexHits
-	s.SparseIndexMisses += o.SparseIndexMisses
-	s.QueuedQueries += o.QueuedQueries
-	s.ShedQueries += o.ShedQueries
-	s.HedgedLegs += o.HedgedLegs
-	s.PlanTime += o.PlanTime
-	s.IndexTime += o.IndexTime
-	s.QueueTime += o.QueueTime
-	s.ExtractTime += o.ExtractTime
-	s.FilterTime += o.FilterTime
-	s.NetTime += o.NetTime
-}
+// Add is generated into add_gen.go by dvlint -generate so a counter
+// added to the struct can never be forgotten in the merge.
 
 // Counters renders the deterministic (time-free) counters, one value
 // per line — the form golden tests compare.
@@ -210,6 +200,13 @@ func (s *QueryStats) String() string {
 	if s.QueuedQueries+s.ShedQueries+s.HedgedLegs > 0 {
 		fmt.Fprintf(&b, "\nserving: %d queued / %d shed / %d hedged",
 			s.QueuedQueries, s.ShedQueries, s.HedgedLegs)
+	}
+	if s.AggPushedQueries+s.AggPartialGroups > 0 {
+		fmt.Fprintf(&b, "\nagg: %d pushed / %d partial groups",
+			s.AggPushedQueries, s.AggPartialGroups)
+	}
+	if s.VectorBatches > 0 {
+		fmt.Fprintf(&b, "\nvector: %d batches", s.VectorBatches)
 	}
 	for _, st := range Stages {
 		fmt.Fprintf(&b, "\n%-7s %s", st+":", s.StageTime(st).Round(time.Microsecond))

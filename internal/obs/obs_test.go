@@ -156,6 +156,39 @@ func TestCacheCounters(t *testing.T) {
 	}
 }
 
+func TestAggregateCounters(t *testing.T) {
+	s := QueryStats{AggPushedQueries: 2, AggPartialGroups: 9, VectorBatches: 5, AggTime: time.Second}
+	b := s
+	s.Add(b)
+	if s.AggPushedQueries != 4 || s.AggPartialGroups != 18 || s.VectorBatches != 10 {
+		t.Errorf("Add aggregate counters: %+v", s)
+	}
+	if s.StageTime(StageAggregate) != 2*time.Second {
+		t.Errorf("StageAggregate time = %v", s.StageTime(StageAggregate))
+	}
+	// Counters stays byte-stable (golden form) even with aggregate
+	// traffic; String gains the agg/vector lines only when pushed-down
+	// aggregation or vectorized filtering ran.
+	if strings.Contains(s.Counters(), "agg") || strings.Contains(s.Counters(), "vector") {
+		t.Errorf("Counters leaked aggregate fields: %q", s.Counters())
+	}
+	if !strings.Contains(s.String(), "\nagg: 4 pushed / 18 partial groups") {
+		t.Errorf("String missing agg line: %q", s.String())
+	}
+	if !strings.Contains(s.String(), "\nvector: 10 batches") {
+		t.Errorf("String missing vector line: %q", s.String())
+	}
+	if !strings.Contains(s.String(), "aggregate: 2s") {
+		t.Errorf("String missing aggregate stage time: %q", s.String())
+	}
+	var cold QueryStats
+	// The per-stage breakdown always prints "aggregate:", so check the
+	// conditional lines specifically.
+	if strings.Contains(cold.String(), "\nagg: ") || strings.Contains(cold.String(), "\nvector: ") {
+		t.Errorf("untouched aggregate counters rendered: %q", cold.String())
+	}
+}
+
 func TestCacheReporter(t *testing.T) {
 	var lines []string
 	tr := &LogTracer{Logf: func(f string, a ...any) {

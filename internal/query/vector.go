@@ -1,0 +1,386 @@
+package query
+
+import (
+	"fmt"
+
+	"datavirt/internal/filter"
+	"datavirt/internal/schema"
+	"datavirt/internal/sqlparser"
+)
+
+// This file implements batch (vectorized) predicate evaluation: instead
+// of calling a compiled Predicate once per materialized row, the
+// extractor fills block-sized column vectors and the compiled
+// VectorPredicate narrows a selection-index vector over them. The float
+// semantics are exactly those of the per-row path (every comparison is
+// over the AsFloat value), so the two paths select identical rows —
+// asserted by a differential fuzz test.
+
+// Vec is one column of a batch. F always holds the AsFloat value of
+// every row (the comparison currency shared with the scalar path); I
+// additionally holds the raw integer value for integral kinds, which
+// aggregate kernels use for exact integer arithmetic.
+type Vec struct {
+	Kind schema.Kind
+	F    []float64
+	I    []int64
+}
+
+// Batch is a block-sized set of column vectors, indexed by the same
+// column positions the scalar row layout uses.
+type Batch struct {
+	N    int
+	Cols []Vec
+}
+
+// Reset shapes the batch for ncols columns of n rows, reusing backing
+// arrays. Kinds must be set by the filler (SetKind).
+func (b *Batch) Reset(ncols, n int) {
+	if cap(b.Cols) < ncols {
+		b.Cols = make([]Vec, ncols)
+	}
+	b.Cols = b.Cols[:ncols]
+	b.N = n
+	for i := range b.Cols {
+		c := &b.Cols[i]
+		if cap(c.F) < n {
+			c.F = make([]float64, n)
+		}
+		c.F = c.F[:n]
+		c.I = c.I[:0]
+	}
+}
+
+// IntCol ensures column i has an I vector of n rows and returns it.
+func (b *Batch) IntCol(i int) []int64 {
+	c := &b.Cols[i]
+	if cap(c.I) < b.N {
+		c.I = make([]int64, b.N)
+	}
+	c.I = c.I[:b.N]
+	return c.I
+}
+
+// VectorScratch holds reusable selection buffers for one evaluation
+// goroutine. The compiled VectorPredicate itself is stateless and safe
+// for concurrent use; each worker brings its own scratch.
+type VectorScratch struct {
+	free [][]int32
+}
+
+func (s *VectorScratch) get(n int) []int32 {
+	if k := len(s.free); k > 0 {
+		b := s.free[k-1]
+		s.free = s.free[:k-1]
+		if cap(b) >= n {
+			return b[:0]
+		}
+	}
+	return make([]int32, 0, n)
+}
+
+func (s *VectorScratch) put(b []int32) { s.free = append(s.free, b) }
+
+// Identity fills sel with 0..n-1 (the all-rows selection), growing it as
+// needed, and returns it.
+func Identity(sel []int32, n int) []int32 {
+	if cap(sel) < n {
+		sel = make([]int32, n)
+	}
+	sel = sel[:n]
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	return sel
+}
+
+// vecEval narrows a sorted selection over a batch. Implementations may
+// write the result in place into sel's backing array; the returned slice
+// is always sorted and a subset of the input.
+type vecEval func(b *Batch, sel []int32, scr *VectorScratch) []int32
+
+// VectorPredicate is a WHERE clause compiled for batch evaluation.
+type VectorPredicate struct {
+	eval vecEval
+}
+
+// Eval filters sel (sorted row indices into b) down to the rows
+// satisfying the predicate. The result reuses sel's backing array.
+func (p *VectorPredicate) Eval(b *Batch, sel []int32, scr *VectorScratch) []int32 {
+	return p.eval(b, sel, scr)
+}
+
+// CompileVectorPredicate compiles the WHERE expression for batch
+// evaluation against the same column layout and filter registry the
+// scalar CompilePredicate uses. A nil expression returns a nil predicate
+// (every row selected).
+func CompileVectorPredicate(e sqlparser.Expr, lookup ColumnLookup, reg *filter.Registry) (*VectorPredicate, error) {
+	if e == nil {
+		return nil, nil
+	}
+	ev, err := compileVecExpr(e, lookup, reg)
+	if err != nil {
+		return nil, err
+	}
+	return &VectorPredicate{eval: ev}, nil
+}
+
+func compileVecExpr(e sqlparser.Expr, lookup ColumnLookup, reg *filter.Registry) (vecEval, error) {
+	switch v := e.(type) {
+	case *sqlparser.Logic:
+		l, err := compileVecExpr(v.L, lookup, reg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileVecExpr(v.R, lookup, reg)
+		if err != nil {
+			return nil, err
+		}
+		if v.Op == sqlparser.OpAnd {
+			// Short-circuit narrowing: the right side only sees rows the
+			// left side kept — the fewer survivors, the less work.
+			return func(b *Batch, sel []int32, scr *VectorScratch) []int32 {
+				return r(b, l(b, sel, scr), scr)
+			}, nil
+		}
+		return func(b *Batch, sel []int32, scr *VectorScratch) []int32 {
+			// OR: evaluate both sides over the same input and merge the
+			// two sorted survivor sets back into sel's backing array.
+			tmp := scr.get(len(sel))
+			tmp = append(tmp, sel...)
+			ls := l(b, tmp, scr)
+			rs := r(b, sel, scr)
+			out := scr.get(len(ls) + len(rs))
+			i, j := 0, 0
+			for i < len(ls) && j < len(rs) {
+				switch {
+				case ls[i] < rs[j]:
+					out = append(out, ls[i])
+					i++
+				case ls[i] > rs[j]:
+					out = append(out, rs[j])
+					j++
+				default:
+					out = append(out, ls[i])
+					i++
+					j++
+				}
+			}
+			out = append(out, ls[i:]...)
+			out = append(out, rs[j:]...)
+			sel = append(sel[:0], out...)
+			scr.put(tmp)
+			scr.put(out)
+			return sel
+		}, nil
+	case *sqlparser.Not:
+		x, err := compileVecExpr(v.X, lookup, reg)
+		if err != nil {
+			return nil, err
+		}
+		return func(b *Batch, sel []int32, scr *VectorScratch) []int32 {
+			tmp := scr.get(len(sel))
+			tmp = append(tmp, sel...)
+			kept := x(b, tmp, scr)
+			// Complement within the input selection (two-pointer walk).
+			out := sel[:0]
+			j := 0
+			for _, r := range sel {
+				if j < len(kept) && kept[j] == r {
+					j++
+					continue
+				}
+				out = append(out, r)
+			}
+			scr.put(tmp)
+			return out
+		}, nil
+	case *sqlparser.Cmp:
+		return compileVecCmp(v, lookup, reg)
+	case *sqlparser.In:
+		idx, ok := lookup(v.Col)
+		if !ok {
+			return nil, fmt.Errorf("query: unknown attribute %q", v.Col)
+		}
+		vals := make(map[float64]bool, len(v.Values))
+		for _, x := range v.Values {
+			vals[x] = true
+		}
+		return func(b *Batch, sel []int32, _ *VectorScratch) []int32 {
+			f := b.Cols[idx].F
+			out := sel[:0]
+			for _, r := range sel {
+				if vals[f[r]] {
+					out = append(out, r)
+				}
+			}
+			return out
+		}, nil
+	}
+	return nil, fmt.Errorf("query: unknown expression node %T", e)
+}
+
+// compileVecCmp specializes the hot column-vs-literal comparisons into
+// tight loops over the column's F vector; other operand shapes fall back
+// to a per-row operand closure (still batched, no row materialization).
+func compileVecCmp(v *sqlparser.Cmp, lookup ColumnLookup, reg *filter.Registry) (vecEval, error) {
+	if col, ok := v.Left.(sqlparser.Column); ok {
+		if lit, ok := v.Right.(sqlparser.Literal); ok {
+			idx, found := lookup(col.Name)
+			if !found {
+				return nil, fmt.Errorf("query: unknown attribute %q", col.Name)
+			}
+			c := lit.Value
+			switch v.Op {
+			case sqlparser.CmpLT:
+				return func(b *Batch, sel []int32, _ *VectorScratch) []int32 {
+					f := b.Cols[idx].F
+					out := sel[:0]
+					for _, r := range sel {
+						if f[r] < c {
+							out = append(out, r)
+						}
+					}
+					return out
+				}, nil
+			case sqlparser.CmpLE:
+				return func(b *Batch, sel []int32, _ *VectorScratch) []int32 {
+					f := b.Cols[idx].F
+					out := sel[:0]
+					for _, r := range sel {
+						if f[r] <= c {
+							out = append(out, r)
+						}
+					}
+					return out
+				}, nil
+			case sqlparser.CmpGT:
+				return func(b *Batch, sel []int32, _ *VectorScratch) []int32 {
+					f := b.Cols[idx].F
+					out := sel[:0]
+					for _, r := range sel {
+						if f[r] > c {
+							out = append(out, r)
+						}
+					}
+					return out
+				}, nil
+			case sqlparser.CmpGE:
+				return func(b *Batch, sel []int32, _ *VectorScratch) []int32 {
+					f := b.Cols[idx].F
+					out := sel[:0]
+					for _, r := range sel {
+						if f[r] >= c {
+							out = append(out, r)
+						}
+					}
+					return out
+				}, nil
+			case sqlparser.CmpEQ:
+				return func(b *Batch, sel []int32, _ *VectorScratch) []int32 {
+					f := b.Cols[idx].F
+					out := sel[:0]
+					for _, r := range sel {
+						if f[r] == c {
+							out = append(out, r)
+						}
+					}
+					return out
+				}, nil
+			case sqlparser.CmpNE:
+				return func(b *Batch, sel []int32, _ *VectorScratch) []int32 {
+					f := b.Cols[idx].F
+					out := sel[:0]
+					for _, r := range sel {
+						if f[r] != c {
+							out = append(out, r)
+						}
+					}
+					return out
+				}, nil
+			}
+			return nil, fmt.Errorf("query: unknown comparison %v", v.Op)
+		}
+	}
+	l, err := compileVecOperand(v.Left, lookup, reg)
+	if err != nil {
+		return nil, err
+	}
+	r, err := compileVecOperand(v.Right, lookup, reg)
+	if err != nil {
+		return nil, err
+	}
+	var keep func(a, b float64) bool
+	switch v.Op {
+	case sqlparser.CmpLT:
+		keep = func(a, b float64) bool { return a < b }
+	case sqlparser.CmpLE:
+		keep = func(a, b float64) bool { return a <= b }
+	case sqlparser.CmpGT:
+		keep = func(a, b float64) bool { return a > b }
+	case sqlparser.CmpGE:
+		keep = func(a, b float64) bool { return a >= b }
+	case sqlparser.CmpEQ:
+		keep = func(a, b float64) bool { return a == b }
+	case sqlparser.CmpNE:
+		keep = func(a, b float64) bool { return a != b }
+	default:
+		return nil, fmt.Errorf("query: unknown comparison %v", v.Op)
+	}
+	return func(b *Batch, sel []int32, _ *VectorScratch) []int32 {
+		out := sel[:0]
+		for _, row := range sel {
+			if keep(l(b, row), r(b, row)) {
+				out = append(out, row)
+			}
+		}
+		return out
+	}, nil
+}
+
+// vecOperand evaluates one comparison operand for one batch row.
+type vecOperand func(b *Batch, r int32) float64
+
+func compileVecOperand(o sqlparser.Operand, lookup ColumnLookup, reg *filter.Registry) (vecOperand, error) {
+	switch v := o.(type) {
+	case sqlparser.Literal:
+		val := v.Value
+		return func(*Batch, int32) float64 { return val }, nil
+	case sqlparser.Column:
+		idx, ok := lookup(v.Name)
+		if !ok {
+			return nil, fmt.Errorf("query: unknown attribute %q", v.Name)
+		}
+		return func(b *Batch, r int32) float64 { return b.Cols[idx].F[r] }, nil
+	case sqlparser.Call:
+		if reg == nil {
+			return nil, fmt.Errorf("query: filter %s used but no filter registry provided", v.Name)
+		}
+		fn, err := reg.Lookup(v.Name, len(v.Args))
+		if err != nil {
+			return nil, err
+		}
+		args := make([]vecOperand, len(v.Args))
+		for i, a := range v.Args {
+			af, err := compileVecOperand(a, lookup, reg)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = af
+		}
+		return func(b *Batch, r int32) float64 {
+			var a4 [4]float64
+			var buf []float64
+			if len(args) <= len(a4) {
+				buf = a4[:len(args)]
+			} else {
+				buf = make([]float64, len(args))
+			}
+			for i, af := range args {
+				buf[i] = af(b, r)
+			}
+			return fn.Fn(buf)
+		}, nil
+	}
+	return nil, fmt.Errorf("query: unknown operand %T", o)
+}

@@ -1,0 +1,305 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"datavirt/internal/filter"
+	"datavirt/internal/schema"
+	"datavirt/internal/sqlparser"
+)
+
+// Differential test of the vectorized filter: over random batches
+// seeded with adversarial floats (NaN, ±Inf, -0, denormals) and random
+// WHERE expressions covering every operator and connective, the
+// selection produced by the compiled VectorPredicate must match the
+// per-row Predicate row for row.
+
+// diffCols is the working layout the differential tests compile
+// against: two integral and two floating columns.
+var diffCols = []schema.Attribute{
+	{Name: "A", Kind: schema.Int},
+	{Name: "B", Kind: schema.Long},
+	{Name: "X", Kind: schema.Double},
+	{Name: "Y", Kind: schema.Double},
+}
+
+func diffLookup(name string) (int, bool) {
+	for i, c := range diffCols {
+		if c.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// trickyFloats are the values most likely to expose a semantic gap
+// between the two filter paths.
+var trickyFloats = []float64{
+	math.NaN(), math.Inf(1), math.Inf(-1),
+	math.Copysign(0, -1), 0, 1, -1, 0.5, -0.5,
+	math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64,
+	2, 3, 1e-300, 1e300,
+}
+
+func randFloat(rng *rand.Rand) float64 {
+	switch rng.Intn(4) {
+	case 0:
+		return trickyFloats[rng.Intn(len(trickyFloats))]
+	case 1:
+		return float64(rng.Intn(7) - 3)
+	default:
+		return rng.NormFloat64()
+	}
+}
+
+func randInt(rng *rand.Rand) int64 {
+	switch rng.Intn(3) {
+	case 0:
+		return int64(rng.Intn(7) - 3)
+	default:
+		return rng.Int63n(200) - 100
+	}
+}
+
+// randRows generates n random rows in the diffCols layout.
+func randRows(rng *rand.Rand, n int) [][]schema.Value {
+	rows := make([][]schema.Value, n)
+	for i := range rows {
+		row := make([]schema.Value, len(diffCols))
+		for c, a := range diffCols {
+			if a.Kind.Integral() {
+				row[c] = schema.Value{Kind: a.Kind, Int: randInt(rng)}
+			} else {
+				row[c] = schema.Value{Kind: a.Kind, Float: randFloat(rng)}
+			}
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// rowsToBatch fills a Batch the way the extractor's vectorized fill
+// does: F is the AsFloat currency for every column, I the raw integer
+// for integral columns.
+func rowsToBatch(rows [][]schema.Value) *Batch {
+	b := &Batch{}
+	b.Reset(len(diffCols), len(rows))
+	for c, a := range diffCols {
+		b.Cols[c].Kind = a.Kind
+		f := b.Cols[c].F
+		var iv []int64
+		if a.Kind.Integral() {
+			iv = b.IntCol(c)
+		}
+		for r, row := range rows {
+			f[r] = row[c].AsFloat()
+			if iv != nil {
+				iv[r] = row[c].Int
+			}
+		}
+	}
+	return b
+}
+
+var cmpOps = []sqlparser.CmpOp{
+	sqlparser.CmpLT, sqlparser.CmpLE, sqlparser.CmpGT,
+	sqlparser.CmpGE, sqlparser.CmpEQ, sqlparser.CmpNE,
+}
+
+func randOperand(rng *rand.Rand) sqlparser.Operand {
+	switch rng.Intn(5) {
+	case 0:
+		return sqlparser.Literal{Value: randFloat(rng)}
+	case 1:
+		return sqlparser.Call{Name: "MAGNITUDE", Args: []sqlparser.Operand{randOperand(rng)}}
+	default:
+		return sqlparser.Column{Name: diffCols[rng.Intn(len(diffCols))].Name}
+	}
+}
+
+// randExpr builds a random WHERE expression of bounded depth. At depth
+// 0 it emits a leaf (Cmp or In); otherwise it may combine subtrees with
+// AND/OR/NOT.
+func randExpr(rng *rand.Rand, depth int) sqlparser.Expr {
+	if depth > 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return &sqlparser.Logic{Op: sqlparser.OpAnd, L: randExpr(rng, depth-1), R: randExpr(rng, depth-1)}
+		case 1:
+			return &sqlparser.Logic{Op: sqlparser.OpOr, L: randExpr(rng, depth-1), R: randExpr(rng, depth-1)}
+		case 2:
+			return &sqlparser.Not{X: randExpr(rng, depth-1)}
+		}
+	}
+	if rng.Intn(5) == 0 {
+		vals := make([]float64, 1+rng.Intn(3))
+		for i := range vals {
+			vals[i] = randFloat(rng)
+		}
+		return &sqlparser.In{Col: diffCols[rng.Intn(len(diffCols))].Name, Values: vals}
+	}
+	// Bias toward the specialized column-vs-literal shape, but keep
+	// every operand combination reachable.
+	var l, r sqlparser.Operand
+	if rng.Intn(2) == 0 {
+		l = sqlparser.Column{Name: diffCols[rng.Intn(len(diffCols))].Name}
+		r = sqlparser.Literal{Value: randFloat(rng)}
+	} else {
+		l, r = randOperand(rng), randOperand(rng)
+	}
+	return &sqlparser.Cmp{Op: cmpOps[rng.Intn(len(cmpOps))], Left: l, Right: r}
+}
+
+// runDifferential evaluates one random expression both ways over one
+// random block and fails on any selection mismatch.
+func runDifferential(t *testing.T, rng *rand.Rand, reg *filter.Registry) {
+	t.Helper()
+	expr := randExpr(rng, 1+rng.Intn(3))
+	pred, err := CompilePredicate(expr, diffLookup, reg)
+	if err != nil {
+		t.Fatalf("CompilePredicate(%s): %v", expr, err)
+	}
+	vec, err := CompileVectorPredicate(expr, diffLookup, reg)
+	if err != nil {
+		t.Fatalf("CompileVectorPredicate(%s): %v", expr, err)
+	}
+	rows := randRows(rng, 1+rng.Intn(200))
+	batch := rowsToBatch(rows)
+
+	var scr VectorScratch
+	sel := Identity(nil, batch.N)
+	sel = vec.Eval(batch, sel, &scr)
+
+	var want []int32
+	for i, row := range rows {
+		if pred(row) {
+			want = append(want, int32(i))
+		}
+	}
+	if len(sel) != len(want) {
+		t.Fatalf("expr %s: vectorized selected %d rows, scalar %d\nvec: %v\nscalar: %v",
+			expr, len(sel), len(want), sel, want)
+	}
+	for i := range want {
+		if sel[i] != want[i] {
+			t.Fatalf("expr %s: selection diverges at position %d: vectorized %d, scalar %d",
+				expr, i, sel[i], want[i])
+		}
+	}
+}
+
+func TestVectorFilterDifferential(t *testing.T) {
+	reg := filter.NewRegistry()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 1500; trial++ {
+		runDifferential(t, rng, reg)
+	}
+}
+
+// FuzzVectorFilterDifferential drives the same differential property
+// from a fuzzed seed, so `go test -fuzz` explores expression/data
+// shapes beyond the fixed trial budget.
+func FuzzVectorFilterDifferential(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	reg := filter.NewRegistry()
+	f.Fuzz(func(t *testing.T, seed int64) {
+		runDifferential(t, rand.New(rand.NewSource(seed)), reg)
+	})
+}
+
+// TestVectorFilterOperatorMatrix pins the exact float comparison
+// semantics on the specialized column-vs-literal loops: every operator
+// against every tricky value pair, checked against the scalar path.
+func TestVectorFilterOperatorMatrix(t *testing.T) {
+	reg := filter.NewRegistry()
+	rows := make([][]schema.Value, len(trickyFloats))
+	for i, v := range trickyFloats {
+		rows[i] = []schema.Value{
+			{Kind: schema.Int, Int: int64(i)},
+			{Kind: schema.Long, Int: int64(-i)},
+			{Kind: schema.Double, Float: v},
+			{Kind: schema.Double, Float: v},
+		}
+	}
+	batch := rowsToBatch(rows)
+	var scr VectorScratch
+	for _, op := range cmpOps {
+		for _, lit := range trickyFloats {
+			expr := &sqlparser.Cmp{Op: op, Left: sqlparser.Column{Name: "X"}, Right: sqlparser.Literal{Value: lit}}
+			pred, err := CompilePredicate(expr, diffLookup, reg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vec, err := CompileVectorPredicate(expr, diffLookup, reg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sel := vec.Eval(batch, Identity(nil, batch.N), &scr)
+			got := map[int32]bool{}
+			for _, r := range sel {
+				got[r] = true
+			}
+			for i, row := range rows {
+				if want := pred(row); want != got[int32(i)] {
+					t.Errorf("%s with X=%v: scalar %v, vectorized %v",
+						expr, rows[i][2].Float, want, got[int32(i)])
+				}
+			}
+		}
+	}
+}
+
+// TestVectorSelectionNarrowing checks the structural contract: Eval
+// narrows the given selection in place, returns it sorted, and never
+// resurrects rows outside the input selection.
+func TestVectorSelectionNarrowing(t *testing.T) {
+	reg := filter.NewRegistry()
+	rng := rand.New(rand.NewSource(11))
+	rows := randRows(rng, 64)
+	batch := rowsToBatch(rows)
+	expr := sqlparser.MustParse("SELECT * FROM T WHERE X > 0 OR A < 2").Where
+	vec, err := CompileVectorPredicate(expr, diffLookup, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := CompilePredicate(expr, diffLookup, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start from a strict subset: even rows only.
+	in := make([]int32, 0, 32)
+	for i := 0; i < batch.N; i += 2 {
+		in = append(in, int32(i))
+	}
+	var scr VectorScratch
+	out := vec.Eval(batch, in, &scr)
+	j := 0
+	for _, r := range out {
+		if r%2 != 0 {
+			t.Fatalf("row %d outside the input selection was selected", r)
+		}
+		if j > 0 && out[j-1] >= r {
+			t.Fatalf("selection not strictly sorted: %v", out)
+		}
+		j++
+		if !pred(rows[r]) {
+			t.Errorf("row %d selected but scalar predicate rejects it", r)
+		}
+	}
+	for i := 0; i < batch.N; i += 2 {
+		want := pred(rows[i])
+		found := false
+		for _, r := range out {
+			if r == int32(i) {
+				found = true
+			}
+		}
+		if want != found {
+			t.Errorf("row %d: scalar %v, in selection %v", i, want, found)
+		}
+	}
+}

@@ -7,8 +7,13 @@
 //
 // Supported WHERE syntax: comparisons (< <= > >= = != <>) between an
 // attribute or user-defined filter call and a numeric literal, IN lists,
-// BETWEEN, AND/OR/NOT and parentheses. Joins, aggregations and GROUP BY
-// are deliberately rejected — the system's goal is subsetting.
+// BETWEEN, AND/OR/NOT and parentheses. Joins are deliberately rejected —
+// the virtual table is always a single dataset.
+//
+// Beyond the paper's subsetting queries, the select list may carry
+// aggregate functions (COUNT, SUM, MIN, MAX, AVG) over stored
+// attributes, optionally grouped with GROUP BY; these are planned as
+// push-down partial aggregates by internal/query and internal/core.
 package sqlparser
 
 import (
@@ -16,26 +21,102 @@ import (
 	"strings"
 )
 
+// AggFunc identifies an aggregate function in the select list.
+type AggFunc int
+
+// Aggregate functions. AggNone marks a plain (grouping) column in an
+// aggregate select list.
+const (
+	AggNone AggFunc = iota
+	AggCount
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// String returns the SQL spelling of the aggregate function.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggAvg:
+		return "AVG"
+	}
+	return ""
+}
+
+// aggFuncs maps the lower-case select-list spellings.
+var aggFuncs = map[string]AggFunc{
+	"count": AggCount, "sum": AggSum, "min": AggMin, "max": AggMax, "avg": AggAvg,
+}
+
+// SelectItem is one entry of an aggregate select list: either an
+// aggregate over a stored attribute (or COUNT(*)), or — with Agg ==
+// AggNone — a plain column that must also appear in GROUP BY.
+type SelectItem struct {
+	Agg  AggFunc
+	Col  string // attribute name; empty for COUNT(*)
+	Star bool   // true only for COUNT(*)
+}
+
+// String renders the item as it appeared in the select list; it is also
+// the output column label.
+func (it SelectItem) String() string {
+	if it.Agg == AggNone {
+		return it.Col
+	}
+	if it.Star {
+		return it.Agg.String() + "(*)"
+	}
+	return it.Agg.String() + "(" + it.Col + ")"
+}
+
 // Query is a parsed SELECT statement.
 type Query struct {
 	// Star is true for SELECT *.
 	Star bool
-	// Columns holds the selected attribute names when Star is false.
+	// Columns holds the selected attribute names when Star is false and
+	// the select list has no aggregates.
 	Columns []string
+	// Items holds the select list of an aggregate query (one with any
+	// aggregate function or a GROUP BY clause); it is empty for plain
+	// subsetting queries. Aggregate() distinguishes the two shapes.
+	Items []SelectItem
+	// GroupBy lists the grouping attributes of an aggregate query.
+	GroupBy []string
 	// From names the virtual table (the dataset name of Component II).
 	From string
 	// Where is the predicate tree, or nil when there is no WHERE clause.
 	Where Expr
 }
 
+// Aggregate reports whether the query computes aggregates (and therefore
+// uses Items/GroupBy instead of Star/Columns).
+func (q *Query) Aggregate() bool { return len(q.Items) > 0 }
+
 // String renders the query in SQL syntax; the output re-parses to an
 // equivalent query.
 func (q *Query) String() string {
 	var b strings.Builder
 	b.WriteString("SELECT ")
-	if q.Star {
+	switch {
+	case q.Aggregate():
+		for i, it := range q.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(it.String())
+		}
+	case q.Star:
 		b.WriteString("*")
-	} else {
+	default:
 		b.WriteString(strings.Join(q.Columns, ", "))
 	}
 	b.WriteString(" FROM ")
@@ -43,6 +124,10 @@ func (q *Query) String() string {
 	if q.Where != nil {
 		b.WriteString(" WHERE ")
 		b.WriteString(q.Where.String())
+	}
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		b.WriteString(strings.Join(q.GroupBy, ", "))
 	}
 	return b.String()
 }

@@ -168,21 +168,21 @@ func Parse(src string) (*Query, error) {
 	if err := p.expectKw("SELECT"); err != nil {
 		return nil, err
 	}
-	for _, agg := range []string{"COUNT", "SUM", "AVG", "MIN", "MAX"} {
-		if p.kw(agg) {
-			return nil, p.errf("aggregation %s is not supported: the system only performs subsetting", agg)
-		}
-	}
+	var items []SelectItem
+	hasAgg := false
 	if p.peek().kind == tPunct && p.peek().text == "*" {
 		p.next()
 		q.Star = true
 	} else {
 		for {
-			t := p.next()
-			if t.kind != tIdent || isReserved(t.text) {
-				return nil, p.errf("expected column name, got %s", t)
+			it, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
 			}
-			q.Columns = append(q.Columns, t.text)
+			items = append(items, it)
+			if it.Agg != AggNone {
+				hasAgg = true
+			}
 			if p.peek().kind == tPunct && p.peek().text == "," {
 				p.next()
 				continue
@@ -203,9 +203,6 @@ func Parse(src string) (*Query, error) {
 		return nil, p.errf("joins are not supported: the system only performs subsetting")
 	}
 
-	if p.kw("GROUP") {
-		return nil, p.errf("GROUP BY is not supported: the system only performs subsetting")
-	}
 	if p.kw("WHERE") {
 		p.next()
 		w, err := p.parseOr()
@@ -214,13 +211,93 @@ func Parse(src string) (*Query, error) {
 		}
 		q.Where = w
 	}
+	if p.kw("GROUP") {
+		p.next()
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			t := p.next()
+			if t.kind != tIdent || isReserved(t.text) {
+				return nil, p.errf("expected grouping column name, got %s", t)
+			}
+			q.GroupBy = append(q.GroupBy, t.text)
+			if p.peek().kind == tPunct && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
 	if p.peek().kind == tPunct && p.peek().text == ";" {
 		p.next()
 	}
 	if p.peek().kind != tEOF {
 		return nil, p.errf("unexpected trailing input: %s", p.peek())
 	}
+
+	// Classify the select list: any aggregate function or GROUP BY makes
+	// this an aggregate query carrying Items; otherwise plain items
+	// collapse to the classic Columns form.
+	switch {
+	case q.Star && len(q.GroupBy) > 0:
+		return nil, fmt.Errorf("sql: SELECT * cannot be combined with GROUP BY; name the grouping columns")
+	case hasAgg || len(q.GroupBy) > 0:
+		q.Items = items
+		for _, it := range items {
+			if it.Agg == AggNone && !containsName(q.GroupBy, it.Col) {
+				return nil, fmt.Errorf("sql: column %s in an aggregate select list must appear in GROUP BY", it.Col)
+			}
+		}
+	default:
+		for _, it := range items {
+			q.Columns = append(q.Columns, it.Col)
+		}
+	}
 	return q, nil
+}
+
+func containsName(names []string, name string) bool {
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// parseSelectItem parses one select-list entry: a column name, an
+// aggregate call AGG(col), or COUNT(*).
+func (p *sqlParser) parseSelectItem() (SelectItem, error) {
+	t := p.next()
+	if t.kind != tIdent || isReserved(t.text) {
+		return SelectItem{}, p.errf("expected column name or aggregate, got %s", t)
+	}
+	if !(p.peek().kind == tPunct && p.peek().text == "(") {
+		return SelectItem{Col: t.text}, nil
+	}
+	agg, ok := aggFuncs[strings.ToLower(t.text)]
+	if !ok {
+		return SelectItem{}, p.errf("unknown aggregate function %s (want COUNT, SUM, MIN, MAX or AVG)", t)
+	}
+	p.next() // consume '('
+	it := SelectItem{Agg: agg}
+	switch a := p.next(); {
+	case a.kind == tPunct && a.text == "*":
+		if agg != AggCount {
+			return SelectItem{}, p.errf("%s(*) is not supported; only COUNT(*)", agg)
+		}
+		it.Star = true
+	case a.kind == tIdent && !isReserved(a.text):
+		it.Col = a.text
+	default:
+		return SelectItem{}, p.errf("expected attribute name inside %s(), got %s", agg, a)
+	}
+	if !(p.peek().kind == tPunct && p.peek().text == ")") {
+		return SelectItem{}, p.errf("expected ) after %s argument", agg)
+	}
+	p.next()
+	return it, nil
 }
 
 // MustParse is Parse but panics on error; for tests and fixed queries.

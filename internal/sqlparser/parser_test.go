@@ -152,8 +152,15 @@ func TestRejected(t *testing.T) {
 		"SELECT * FROM T WHERE F(G(A)) < 1",
 		"SELECT * FROM T WHERE A BETWEEN B AND C",
 		"SELECT * FROM T, U WHERE A < 1",
-		"SELECT COUNT(*) FROM T",
 		"SELECT * FROM T GROUP BY A",
+		"SELECT SUM(*) FROM T",
+		"SELECT MEDIAN(A) FROM T",
+		"SELECT COUNT(A, B) FROM T",
+		"SELECT COUNT(A FROM T",
+		"SELECT COUNT() FROM T",
+		"SELECT A, COUNT(B) FROM T",
+		"SELECT SUM(A) FROM T GROUP BY",
+		"SELECT SUM(A), B FROM T GROUP BY C",
 		"SELECT * FROM T WHERE 1 IN (1,2)",
 		"SELECT * FROM T WHERE (A < 1",
 		"SELECT * FROM T WHERE A ! 1",
@@ -197,6 +204,76 @@ func TestExprColumns(t *testing.T) {
 	}
 	if cols := ExprColumns(nil); cols != nil {
 		t.Errorf("ExprColumns(nil) = %v", cols)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	q, err := Parse("SELECT REL, COUNT(*), avg(SOIL) FROM IparsData WHERE TIME > 10 GROUP BY REL")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !q.Aggregate() {
+		t.Fatal("Aggregate() = false")
+	}
+	want := []SelectItem{
+		{Col: "REL"},
+		{Agg: AggCount, Star: true},
+		{Agg: AggAvg, Col: "SOIL"},
+	}
+	if len(q.Items) != len(want) {
+		t.Fatalf("items = %v", q.Items)
+	}
+	for i := range want {
+		if q.Items[i] != want[i] {
+			t.Errorf("item %d = %v, want %v", i, q.Items[i], want[i])
+		}
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0] != "REL" {
+		t.Errorf("group by = %v", q.GroupBy)
+	}
+	if q.Where == nil {
+		t.Error("where lost")
+	}
+	if len(q.Columns) != 0 || q.Star {
+		t.Errorf("plain fields set: columns=%v star=%v", q.Columns, q.Star)
+	}
+
+	// Global aggregates need no GROUP BY.
+	g := MustParse("SELECT COUNT(*), SUM(SOIL), MIN(TIME), MAX(TIME) FROM T")
+	if !g.Aggregate() || len(g.Items) != 4 || len(g.GroupBy) != 0 {
+		t.Errorf("global aggregate = %+v", g)
+	}
+
+	// A GROUP BY alone (no aggregate function) is still an aggregate
+	// query: plain items become grouping items.
+	d := MustParse("SELECT REL FROM T GROUP BY REL")
+	if !d.Aggregate() || len(d.Items) != 1 || d.Items[0].Agg != AggNone {
+		t.Errorf("distinct-style query = %+v", d)
+	}
+}
+
+func TestAggregateStringRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT COUNT(*) FROM T",
+		"SELECT REL, COUNT(*), AVG(SOIL) FROM T WHERE TIME > 10 GROUP BY REL",
+		"SELECT TIME, REL, SUM(SGAS) FROM T GROUP BY TIME, REL",
+		"SELECT MIN(A), MAX(A) FROM T WHERE B IN (1, 2)",
+	}
+	for _, src := range queries {
+		q1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if q1.String() != src {
+			t.Errorf("String() = %q, want %q", q1.String(), src)
+		}
+		q2, err := Parse(q1.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", q1.String(), err)
+		}
+		if q1.String() != q2.String() {
+			t.Errorf("round trip: %q -> %q", q1.String(), q2.String())
+		}
 	}
 }
 
