@@ -1,16 +1,22 @@
 // Command dvlint is the project's static-analysis multichecker: it
 // runs the internal/lint analyzer suite (ctxflow, lockio, statssync,
-// closecheck, ignorereason) over module packages and exits non-zero on
-// any finding. It is self-contained — type information comes from the
-// stdlib go/types checker with a source importer, so it needs no
-// network, module cache or external tooling.
+// closecheck, guardedby, golife, frameproto, ignorereason) over module
+// packages and exits non-zero on any finding. It is self-contained —
+// type information comes from the stdlib go/types checker with a
+// source importer, so it needs no network, module cache or external
+// tooling.
 //
 // Usage:
 //
 //	dvlint [-json] [-only analyzer[,analyzer]] ./...
 //	dvlint ./internal/cache ./internal/core
+//	dvlint -list              # print the registered analyzers (JSON with -json)
 //	dvlint -generate          # rewrite the stats merge code from the structs
 //	dvlint -generate -check   # exit 1 if the generated files are stale
+//
+// -list prints one analyzer per line as "name<TAB>doc"; CI diffs it
+// against the checked-in manifest (cmd/dvlint/analyzers.txt) so the
+// registered suite cannot change silently.
 //
 // Suppress a finding with a comment on the same line or the line
 // above: //dvlint:ignore <analyzer> <reason>
@@ -25,6 +31,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -35,10 +42,17 @@ import (
 func main() {
 	asJSON := flag.Bool("json", false, "emit diagnostics as a JSON array")
 	only := flag.String("only", "", "comma-separated analyzer subset to run")
+	list := flag.Bool("list", false, "print the registered analyzers and exit")
 	generate := flag.Bool("generate", false, "regenerate the stats merge files instead of linting")
 	check := flag.Bool("check", false, "with -generate: verify freshness without writing, exit 1 on drift")
 	flag.Parse()
 
+	if *list {
+		if err := printAnalyzers(os.Stdout, *asJSON); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *generate {
 		moduleDir, modulePath, err := findModule()
 		if err != nil {
@@ -109,6 +123,31 @@ func main() {
 	if len(all) > 0 {
 		os.Exit(1)
 	}
+}
+
+// printAnalyzers renders the registered suite, one "name<TAB>doc" line
+// per analyzer (a JSON array of {name, doc} objects with -json). The
+// text form is the manifest format CI pins.
+func printAnalyzers(w io.Writer, asJSON bool) error {
+	if asJSON {
+		type entry struct {
+			Name string `json:"name"`
+			Doc  string `json:"doc"`
+		}
+		var out []entry
+		for _, a := range lint.All() {
+			out = append(out, entry{Name: a.Name, Doc: a.Doc})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	for _, a := range lint.All() {
+		if _, err := fmt.Fprintf(w, "%s\t%s\n", a.Name, a.Doc); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runGenerate rewrites (or, with check, verifies) the generated stats

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"datavirt/internal/lint"
+)
+
+// TestAnalyzerManifest pins the registered suite to the checked-in
+// manifest: adding, removing or renaming an analyzer must update
+// analyzers.txt in the same change (CI diffs `dvlint -list` against
+// it too, so the text format and the file stay in lockstep).
+func TestAnalyzerManifest(t *testing.T) {
+	want, err := os.ReadFile("analyzers.txt")
+	if err != nil {
+		t.Fatalf("read manifest: %v", err)
+	}
+	var got bytes.Buffer
+	if err := printAnalyzers(&got, false); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != string(want) {
+		t.Errorf("analyzers.txt is stale; regenerate with `go run ./cmd/dvlint -list > cmd/dvlint/analyzers.txt`\n--- manifest ---\n%s--- dvlint -list ---\n%s", want, got.String())
+	}
+}
+
+// TestManifestCoversAll guards the manifest's completeness the other
+// way: every analyzer in the suite appears exactly once.
+func TestManifestCoversAll(t *testing.T) {
+	data, err := os.ReadFile("analyzers.txt")
+	if err != nil {
+		t.Fatalf("read manifest: %v", err)
+	}
+	for _, a := range lint.All() {
+		if n := bytes.Count(data, []byte(a.Name+"\t")); n != 1 {
+			t.Errorf("analyzer %s appears %d times in analyzers.txt, want 1", a.Name, n)
+		}
+	}
+}

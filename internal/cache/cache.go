@@ -267,11 +267,11 @@ type blockRes struct {
 // shard is one lock domain of the block cache.
 type shard struct {
 	mu       sync.Mutex
-	entries  map[blockKey]*entry
-	flights  map[blockKey]*flight
-	lru      *list.List // front = most recent
-	bytes    int64
-	maxBytes int64
+	entries  map[blockKey]*entry  //dvlint:guardedby mu
+	flights  map[blockKey]*flight //dvlint:guardedby mu
+	lru      *list.List           //dvlint:guardedby mu (front = most recent)
+	bytes    int64                //dvlint:guardedby mu
+	maxBytes int64                // immutable after New
 }
 
 // Cache is the node-local block cache. Safe for concurrent use; one

@@ -97,7 +97,7 @@ type FS struct {
 	Closes atomic.Int64
 
 	mu    sync.Mutex
-	files map[string][]byte
+	files map[string][]byte //dvlint:guardedby mu
 }
 
 // NewFS returns an empty fake filesystem.

@@ -17,11 +17,11 @@ import (
 // opening a duplicate.
 type handle struct {
 	path string
-	f    File
-	err  error
-	refs int
-	dead bool
-	elem *list.Element
+	f    File          // set once before ready closes; read via <-ready
+	err  error         // set once before ready closes; read via <-ready
+	refs int           //dvlint:guardedby handleCache.mu
+	dead bool          //dvlint:guardedby handleCache.mu
+	elem *list.Element //dvlint:guardedby handleCache.mu
 
 	ready chan struct{}
 }
@@ -34,10 +34,10 @@ type handleCache struct {
 	mu     sync.Mutex
 	max    int
 	open   func(path string) (File, error)
-	m      map[string]*handle
-	lru    *list.List // front = most recent
-	opens  int64
-	evicts int64
+	m      map[string]*handle //dvlint:guardedby mu
+	lru    *list.List         //dvlint:guardedby mu (front = most recent)
+	opens  int64              //dvlint:guardedby mu
+	evicts int64              //dvlint:guardedby mu
 }
 
 func newHandleCache(max int, open func(path string) (File, error)) *handleCache {

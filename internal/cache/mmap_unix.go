@@ -65,10 +65,10 @@ type mmapFile struct {
 	window int64
 
 	mu     sync.Mutex
-	wins   map[int64][]byte // window index → mapping
-	mapped bool             // a window has been mapped (remap counting)
-	failed bool             // a map failed; all views degrade to pread
-	closed bool
+	wins   map[int64][]byte //dvlint:guardedby mu (window index → mapping)
+	mapped bool             //dvlint:guardedby mu (a window has been mapped; remap counting)
+	failed bool             //dvlint:guardedby mu (a map failed; all views degrade to pread)
+	closed bool             //dvlint:guardedby mu
 }
 
 // view implements blockViews.

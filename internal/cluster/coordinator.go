@@ -75,7 +75,7 @@ type Coordinator struct {
 	WindowBytes int64
 
 	poolMu sync.Mutex
-	pools  map[string]*nodePool
+	pools  map[string]*nodePool //dvlint:guardedby poolMu
 
 	// dialContext is the dial function; tests substitute it to inject
 	// misbehaving nodes and to observe connection lifecycles.
@@ -550,6 +550,14 @@ func (c *Coordinator) legHedged(ctx context.Context, pool *nodePool, req Request
 		claimed bool
 		err     error
 	}
+	// Loser-abandonment contract (checked by the golife analyzer's
+	// bounded-body rule — the spawned closure below has no loop): at
+	// most two streams ever launch, resc is buffered to hold both
+	// results, so a loser's send never blocks even after legHedged has
+	// returned; the deferred scancel cancels the losing stream's
+	// context, and legStream's context.AfterFunc abandons its leg,
+	// unblocking any wait inside it. A hedge loser therefore always
+	// runs to its send and exits — it cannot leak.
 	resc := make(chan streamRes, 2)
 	sctx, scancel := context.WithCancel(ctx)
 	defer scancel()

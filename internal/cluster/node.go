@@ -29,8 +29,8 @@ type Node struct {
 	cancel  context.CancelFunc
 
 	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]bool
+	closed bool              //dvlint:guardedby mu
+	conns  map[net.Conn]bool //dvlint:guardedby mu
 	wg     sync.WaitGroup
 
 	admOnce sync.Once

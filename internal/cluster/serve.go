@@ -26,11 +26,11 @@ type admission struct {
 	mu      sync.Mutex
 	max     int
 	maxQ    int
-	running int
-	queue   []chan struct{} // FIFO waiters, signalled by close
+	running int             //dvlint:guardedby mu
+	queue   []chan struct{} //dvlint:guardedby mu (FIFO waiters, signalled by close)
 
-	queued int64 // lifetime: queries that waited
-	shed   int64 // lifetime: queries rejected
+	queued int64 //dvlint:guardedby mu (lifetime: queries that waited)
+	shed   int64 //dvlint:guardedby mu (lifetime: queries rejected)
 }
 
 // acquire blocks until an execution slot is free, the queue overflows
@@ -111,15 +111,15 @@ type outItem struct {
 type outStream struct {
 	qid     uint32
 	weight  float64
-	window  int64 // remaining flow-control credit, bytes
-	pending []outItem
-	bytes   int // payload bytes in pending (backpressures the extractor)
-	vtime   float64
-	closed  bool // terminal frame queued; drop further enqueues
+	window  int64     //dvlint:guardedby nodeSession.mu (remaining flow-control credit, bytes)
+	pending []outItem //dvlint:guardedby nodeSession.mu
+	bytes   int       //dvlint:guardedby nodeSession.mu (payload bytes in pending; backpressures the extractor)
+	vtime   float64   //dvlint:guardedby nodeSession.mu
+	closed  bool      //dvlint:guardedby nodeSession.mu (terminal frame queued; drop further enqueues)
 	// aborted marks a cancelled query: buffered row frames are
 	// discarded (the client dropped the stream, and they could starve
 	// the terminal frame of window credit) and the emitter is unblocked.
-	aborted bool
+	aborted bool //dvlint:guardedby nodeSession.mu
 	cancel  context.CancelFunc
 }
 
@@ -142,8 +142,8 @@ type nodeSession struct {
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	streams map[uint32]*outStream
-	closed  bool
+	streams map[uint32]*outStream //dvlint:guardedby mu
+	closed  bool                  //dvlint:guardedby mu
 	wg      sync.WaitGroup
 }
 

@@ -22,14 +22,14 @@ type clientSession struct {
 	// queries are in flight (and every frame write).
 	ioTimeout time.Duration
 
-	wmu sync.Mutex // serializes writes to conn
-	bw  *bufio.Writer
+	wmu sync.Mutex    // serializes writes to conn
+	bw  *bufio.Writer //dvlint:guardedby wmu
 
 	mu      sync.Mutex
-	legs    map[uint32]*clientLeg
-	nextQID uint32
-	err     error
-	closed  bool
+	legs    map[uint32]*clientLeg //dvlint:guardedby mu
+	nextQID uint32                //dvlint:guardedby mu
+	err     error                 //dvlint:guardedby mu
+	closed  bool                  //dvlint:guardedby mu
 
 	wg sync.WaitGroup
 }
@@ -49,11 +49,11 @@ type clientLeg struct {
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	events []legEvent
-	done   bool  // terminal event queued or leg failed
-	err    error // session/cancel failure, checked after events drain
+	events []legEvent //dvlint:guardedby mu
+	done   bool       //dvlint:guardedby mu (terminal event queued or leg failed)
+	err    error      //dvlint:guardedby mu (session/cancel failure, checked after events drain)
 
-	consumed int64 // bytes eaten since the last credit grant
+	consumed int64 // bytes eaten since the last credit grant; consumer-goroutine-owned
 }
 
 // newClientSession wraps an established connection and starts its
@@ -280,12 +280,12 @@ type nodePool struct {
 	io   time.Duration
 
 	mu       sync.Mutex
-	sessions []*clientSession
-	next     int
+	sessions []*clientSession //dvlint:guardedby mu
+	next     int              //dvlint:guardedby mu
 
-	fails   int       // consecutive failures
-	retryAt time.Time // health gate: fail fast until then
-	lastErr error
+	fails   int       //dvlint:guardedby mu (consecutive failures)
+	retryAt time.Time //dvlint:guardedby mu (health gate: fail fast until then)
+	lastErr error     //dvlint:guardedby mu
 }
 
 // errUnhealthy wraps the gate error so callers can tell a fail-fast

@@ -69,12 +69,12 @@ type planFlight struct {
 // planShard is one lock domain of the plan cache.
 type planShard struct {
 	mu         sync.Mutex
-	entries    map[string]*planEntry
-	flights    map[string]*planFlight
-	lru        *list.List // front = most recent
-	bytes      int64
-	maxBytes   int64
-	maxEntries int
+	entries    map[string]*planEntry  //dvlint:guardedby mu
+	flights    map[string]*planFlight //dvlint:guardedby mu
+	lru        *list.List             //dvlint:guardedby mu (front = most recent)
+	bytes      int64                  //dvlint:guardedby mu
+	maxBytes   int64                  // immutable after newPlanCache
+	maxEntries int                    // immutable after newPlanCache
 }
 
 // planCache memoizes AFC lists across queries, keyed by the semantic

@@ -45,15 +45,15 @@ type Service struct {
 	resolver extractor.Resolver
 
 	mu       sync.Mutex
-	idxCache map[string]*index.ChunkIndex
-	scCache  map[string]*sidecarEntry
-	idxGen   uint64 // bumped by InvalidatePlans; fences stale installs
+	idxCache map[string]*index.ChunkIndex //dvlint:guardedby mu
+	scCache  map[string]*sidecarEntry     //dvlint:guardedby mu
+	idxGen   uint64                       //dvlint:guardedby mu (bumped by InvalidatePlans; fences stale installs)
 
 	cmu        sync.Mutex
-	blockCache *cache.Cache
+	blockCache *cache.Cache //dvlint:guardedby cmu
 
 	pmu   sync.Mutex
-	plans *planCache
+	plans *planCache //dvlint:guardedby pmu
 }
 
 // Open loads the descriptor at descPath and compiles a service whose

@@ -32,7 +32,7 @@ type Func struct {
 // ready to use; NewRegistry returns one preloaded with the built-ins.
 type Registry struct {
 	mu    sync.RWMutex
-	funcs map[string]Func
+	funcs map[string]Func //dvlint:guardedby mu
 }
 
 // NewRegistry returns a registry preloaded with the built-in filters

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FrameProto checks the cluster wire protocol for exhaustiveness. The
+// frame-kind constant set is derived from the package itself: every
+// package-level `frame*` constant whose value is a character literal
+// (frameQuery = 'Q', ...) is a kind; sized constants like
+// frameHeaderLen are not. Two rules follow:
+//
+//   - every demux switch (a switch mentioning at least one frame kind
+//     in its cases) either handles every kind or ends in a default
+//     with a non-empty body that rejects the unexpected — an empty
+//     default silently drops frames, which is how a newly added kind
+//     ('A' aggregate frames) slips past an old reader;
+//   - every kind has both a handle site (a case clause somewhere in
+//     the package) and a produce site (a use outside case lists — the
+//     encode path), so encode and decode cannot drift apart.
+//
+// The analyzer runs on packages named "cluster".
+var FrameProto = &Analyzer{
+	Name: "frameproto",
+	Doc:  "every frame kind is handled (or explicitly rejected) by each demux switch and has matched encode/decode sites",
+	Run:  runFrameProto,
+}
+
+func runFrameProto(pass *Pass) error {
+	if pass.Pkg.Name != "cluster" {
+		return nil
+	}
+	kinds := frameKinds(pass)
+	if len(kinds.order) == 0 {
+		return nil
+	}
+
+	handled := map[*types.Const]bool{}  // appears in some case clause
+	produced := map[*types.Const]bool{} // used outside case lists
+	caseIdents := map[*ast.Ident]bool{} // idents appearing in case lists
+
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return true
+			}
+			checkSwitch(pass, kinds, sw, handled, caseIdents)
+			return true
+		})
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || caseIdents[id] {
+				return true
+			}
+			if c, ok := pass.Pkg.Info.Uses[id].(*types.Const); ok && kinds.set[c] {
+				produced[c] = true
+			}
+			return true
+		})
+	}
+
+	for _, c := range kinds.order {
+		if !handled[c] {
+			pass.Reportf(c.Pos(), "frame kind %s is not handled by any demux switch in the package; add a case (or reject it explicitly)", c.Name())
+		}
+		if !produced[c] {
+			pass.Reportf(c.Pos(), "frame kind %s has no encode site: it is never used outside a case clause, so nothing can produce it", c.Name())
+		}
+	}
+	return nil
+}
+
+// frameKindSet is the derived protocol alphabet, in declaration order.
+type frameKindSet struct {
+	set   map[*types.Const]bool
+	order []*types.Const
+}
+
+// frameKinds collects the package-level frame* constants declared with
+// character-literal values.
+func frameKinds(pass *Pass) *frameKindSet {
+	ks := &frameKindSet{set: map[*types.Const]bool{}}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "frame") || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := ast.Unparen(vs.Values[i]).(*ast.BasicLit)
+					if !ok || lit.Kind != token.CHAR {
+						continue
+					}
+					if c, ok := pass.Pkg.Info.Defs[name].(*types.Const); ok && !ks.set[c] {
+						ks.set[c] = true
+						ks.order = append(ks.order, c)
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(ks.order, func(i, j int) bool { return ks.order[i].Pos() < ks.order[j].Pos() })
+	return ks
+}
+
+// checkSwitch applies the exhaustiveness rule to one switch, if it is
+// a demux switch (mentions a frame kind in its cases), and records
+// which kinds its cases handle.
+func checkSwitch(pass *Pass, kinds *frameKindSet, sw *ast.SwitchStmt, handled map[*types.Const]bool, caseIdents map[*ast.Ident]bool) {
+	local := map[*types.Const]bool{}
+	hasDefault, defaultRejects := false, false
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			defaultRejects = len(cc.Body) > 0
+			continue
+		}
+		for _, e := range cc.List {
+			ast.Inspect(e, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if c, ok := pass.Pkg.Info.Uses[id].(*types.Const); ok && kinds.set[c] {
+					caseIdents[id] = true
+					local[c] = true
+					handled[c] = true
+				}
+				return true
+			})
+		}
+	}
+	if len(local) == 0 {
+		return // not a demux switch
+	}
+	var missing []string
+	for _, c := range kinds.order {
+		if !local[c] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	switch {
+	case !hasDefault:
+		pass.Reportf(sw.Pos(), "demux switch does not handle frame kind(s) %s and has no rejecting default",
+			strings.Join(missing, ", "))
+	case !defaultRejects:
+		pass.Reportf(sw.Pos(), "demux switch silently ignores frame kind(s) %s: its default case is empty; reject unexpected frames explicitly",
+			strings.Join(missing, ", "))
+	}
+}

@@ -1,0 +1,924 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// GuardedBy enforces //dvlint:guardedby annotations on struct fields:
+// every read of an annotated field must hold the named mutex (at least
+// a read lock when it is a sync.RWMutex), every write must hold the
+// write lock, and the field must not leak by pointer — an alias would
+// let later accesses evade the lock entirely. The annotation goes on
+// the field's line (or its doc comment):
+//
+//	mu      sync.Mutex
+//	entries map[key]*entry //dvlint:guardedby mu
+//
+// A field guarded by another struct's mutex names it as Type.field:
+//
+//	pending []item //dvlint:guardedby nodeSession.mu
+//
+// Checking is flow-sensitive within a function (definitely-held
+// intersection across branches) and depth-bounded interprocedural for
+// the callers-hold-the-lock idiom: an unexported function that touches
+// guarded fields without locking is clean when every one of its call
+// sites (followed up to interprocDepth levels) holds the lock.
+// Accesses rooted at a freshly constructed local (x := &T{...}) are
+// exempt — the object is not yet shared. As a completeness check, an
+// unannotated field of a struct that already carries annotations is
+// flagged when every access holds one of the struct's declared locks
+// and at least one is a write: it is de-facto guarded and should say
+// so (or carry a //dvlint:ignore).
+//
+// Scope: annotations are collected from, and accesses checked in, the
+// declaring package only; aliasing through map/slice values is not
+// modeled, and lock identity is matched by owning type + field name,
+// not per-instance.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  "every access to a //dvlint:guardedby field holds the named mutex (write lock for writes); guarded fields must not leak by pointer",
+	Run:  runGuardedBy,
+}
+
+const guardedPrefix = "//dvlint:guardedby"
+
+// guardSpec ties one annotated struct field to the mutex guarding it.
+type guardSpec struct {
+	owner     *types.TypeName // struct declaring the guarded field
+	fieldName string
+	lockOwner *types.TypeName // struct holding the mutex (== owner unless Type.field spec)
+	lockField string
+	rw        bool // the mutex is a sync.RWMutex
+}
+
+// lockName renders the guard for messages, as written in the annotation.
+func (g *guardSpec) lockName() string {
+	if g.lockOwner == g.owner {
+		return g.lockField
+	}
+	return g.lockOwner.Name() + "." + g.lockField
+}
+
+// guardSet is the package's parsed annotations.
+type guardSet struct {
+	byField   map[*types.Var]*guardSpec
+	annotated map[*types.TypeName][]*guardSpec // structs with ≥1 annotated field
+}
+
+// heldLock is one mutex the walker knows is locked, identified by the
+// struct type owning the mutex field (nil for local/package-level
+// mutex variables, which can never guard an annotated field).
+type heldLock struct {
+	owner *types.TypeName
+	field string
+	write bool
+}
+
+// gbSite is one static call site of a package function, with the locks
+// held when it is reached.
+type gbSite struct {
+	caller *types.Func
+	held   []heldLock
+}
+
+// gbViolation is a tentative finding, pending the callers-hold check.
+type gbViolation struct {
+	pos    token.Pos
+	spec   *guardSpec
+	write  bool
+	escape bool
+	fn     *types.Func // enclosing declared function; nil in func literals
+}
+
+// gbAccess records one access to a field of an annotated struct, for
+// the completeness (inference) check.
+type gbAccess struct {
+	write bool
+	held  []heldLock
+	fresh bool
+}
+
+type guardAnalysis struct {
+	pass     *Pass
+	guards   *guardSet
+	sites    map[*types.Func][]gbSite
+	viol     []gbViolation
+	acc      map[*types.Var][]gbAccess
+	accOwner map[*types.Var]*types.TypeName
+}
+
+func runGuardedBy(pass *Pass) error {
+	guards := collectGuards(pass)
+	if len(guards.byField) == 0 {
+		return nil
+	}
+	a := &guardAnalysis{
+		pass:     pass,
+		guards:   guards,
+		sites:    map[*types.Func][]gbSite{},
+		acc:      map[*types.Var][]gbAccess{},
+		accOwner: map[*types.Var]*types.TypeName{},
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			w := &guardWalker{a: a, fn: fn, held: map[string]heldLock{}, fresh: map[types.Object]bool{}}
+			w.block(fd.Body.List)
+			w.drainLits()
+		}
+	}
+	a.finish()
+	return nil
+}
+
+// collectGuards parses every //dvlint:guardedby annotation on struct
+// fields of the package, reporting malformed ones in place.
+func collectGuards(pass *Pass) *guardSet {
+	gs := &guardSet{
+		byField:   map[*types.Var]*guardSpec{},
+		annotated: map[*types.TypeName][]*guardSpec{},
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				tn, _ := pass.Pkg.Info.Defs[ts.Name].(*types.TypeName)
+				for _, field := range st.Fields.List {
+					collectFieldGuard(pass, gs, tn, field)
+				}
+			}
+		}
+	}
+	return gs
+}
+
+// collectFieldGuard parses the annotation, if any, on one struct field.
+func collectFieldGuard(pass *Pass, gs *guardSet, tn *types.TypeName, field *ast.Field) {
+	spec, pos, ok := guardAnnotation(field)
+	if !ok {
+		return
+	}
+	if tn == nil || len(field.Names) == 0 {
+		pass.Reportf(pos, "dvlint:guardedby is only valid on a named struct field")
+		return
+	}
+	lockOwner, lockField := tn, spec
+	if dot := strings.IndexByte(spec, '.'); dot >= 0 {
+		ownerName, f := spec[:dot], spec[dot+1:]
+		obj, _ := pass.Pkg.Types.Scope().Lookup(ownerName).(*types.TypeName)
+		if obj == nil {
+			pass.Reportf(pos, "dvlint:guardedby %s: no type %s in this package", spec, ownerName)
+			return
+		}
+		lockOwner, lockField = obj, f
+	}
+	rw, ok := mutexField(lockOwner, lockField)
+	if !ok {
+		pass.Reportf(pos, "dvlint:guardedby %s: %s has no sync.Mutex/RWMutex field %s",
+			spec, lockOwner.Name(), lockField)
+		return
+	}
+	for _, name := range field.Names {
+		v, ok := pass.Pkg.Info.Defs[name].(*types.Var)
+		if !ok {
+			continue
+		}
+		g := &guardSpec{owner: tn, fieldName: name.Name, lockOwner: lockOwner, lockField: lockField, rw: rw}
+		gs.byField[v] = g
+		gs.annotated[tn] = append(gs.annotated[tn], g)
+	}
+}
+
+// guardAnnotation extracts the mutex spec from a field's trailing or
+// doc comment: the first field after the directive; trailing prose is
+// allowed as explanation.
+func guardAnnotation(field *ast.Field) (spec string, pos token.Pos, ok bool) {
+	for _, cg := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, guardedPrefix) {
+				continue
+			}
+			fields := strings.Fields(strings.TrimPrefix(c.Text, guardedPrefix))
+			if len(fields) == 0 {
+				return "", c.Pos(), false
+			}
+			return fields[0], c.Pos(), true
+		}
+	}
+	return "", token.NoPos, false
+}
+
+// mutexField reports whether tn's struct type has a mutex field of the
+// given name, and whether it is a sync.RWMutex.
+func mutexField(tn *types.TypeName, name string) (rw, ok bool) {
+	st, isStruct := tn.Type().Underlying().(*types.Struct)
+	if !isStruct {
+		return false, false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != name || !isMutexType(f.Type()) {
+			continue
+		}
+		t := f.Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if n, isNamed := t.(*types.Named); isNamed {
+			return n.Obj().Name() == "RWMutex", true
+		}
+	}
+	return false, false
+}
+
+// guardWalker walks one function body in execution order, tracking the
+// set of definitely-held locks.
+type guardWalker struct {
+	a     *guardAnalysis
+	fn    *types.Func
+	held  map[string]heldLock
+	fresh map[types.Object]bool
+	lits  []*ast.FuncLit
+	skip  map[ast.Node]bool // selectors already classified (escape/write)
+}
+
+func (w *guardWalker) info() *types.Info { return w.a.pass.Pkg.Info }
+
+// drainLits walks queued function literals as independent bodies with
+// no locks held: they run when called, under whatever lock state the
+// caller has then, which the walker cannot see.
+func (w *guardWalker) drainLits() {
+	for len(w.lits) > 0 {
+		lit := w.lits[0]
+		w.lits = w.lits[1:]
+		lw := &guardWalker{a: w.a, fn: nil, held: map[string]heldLock{}, fresh: map[types.Object]bool{}}
+		lw.block(lit.Body.List)
+		w.lits = append(w.lits, lw.lits...)
+	}
+}
+
+func (w *guardWalker) block(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		w.stmt(s)
+	}
+}
+
+func (w *guardWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if h, key, isLock, ok := w.lockOp(call); ok {
+				if isLock {
+					w.held[key] = h
+				} else {
+					delete(w.held, key)
+				}
+				return
+			}
+		}
+		w.scan(s.X)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.scan(rhs)
+		}
+		for _, lhs := range s.Lhs {
+			w.access(lhs, true)
+		}
+		if s.Tok == token.DEFINE && len(s.Lhs) == len(s.Rhs) {
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" || !freshExpr(s.Rhs[i]) {
+					continue
+				}
+				if obj := w.info().Defs[id]; obj != nil {
+					w.fresh[obj] = true
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.access(s.X, true)
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the mutex held for the rest of the
+		// body. Other deferred calls run at exit under unknown lock
+		// state: a deferred literal is walked lock-free, a deferred
+		// named call is neither checked nor counted as a call site.
+		if _, _, isLock, ok := w.lockOp(s.Call); ok && !isLock {
+			return
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.lits = append(w.lits, lit)
+		}
+		for _, arg := range s.Call.Args {
+			w.scan(arg) // defer arguments evaluate now
+		}
+	case *ast.GoStmt:
+		// The goroutine starts with no locks held; a named callee is
+		// recorded as a lock-free call site so the callers-hold check
+		// cannot excuse it.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.lits = append(w.lits, lit)
+		} else if callee := calleeFunc(w.info(), s.Call); callee != nil && callee.Pkg() == w.a.pass.Pkg.Types {
+			w.a.sites[callee] = append(w.a.sites[callee], gbSite{caller: w.fn})
+		}
+		for _, arg := range s.Call.Args {
+			w.scan(arg)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.scan(r)
+		}
+	case *ast.SendStmt:
+		w.scan(s.Chan)
+		w.scan(s.Value)
+	case *ast.BlockStmt:
+		w.block(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.scan(s.Cond)
+		thenExit := w.branch(s.Body.List)
+		var exits []map[string]heldLock
+		if thenExit != nil {
+			exits = append(exits, thenExit)
+		}
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			if x := w.branch(e.List); x != nil {
+				exits = append(exits, x)
+			}
+		case *ast.IfStmt:
+			if x := w.branch([]ast.Stmt{e}); x != nil {
+				exits = append(exits, x)
+			}
+		case nil:
+			exits = append(exits, w.held) // the path that skipped the if
+		}
+		w.merge(exits)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.scan(s.Cond)
+		}
+		exits := []map[string]heldLock{}
+		if x := w.branch(s.Body.List); x != nil {
+			exits = append(exits, x)
+		}
+		if s.Cond != nil {
+			exits = append(exits, w.held) // zero iterations
+		}
+		w.merge(exits)
+	case *ast.RangeStmt:
+		w.access(s.X, false)
+		exits := []map[string]heldLock{w.held} // empty collection
+		if x := w.branch(s.Body.List); x != nil {
+			exits = append(exits, x)
+		}
+		w.merge(exits)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.scan(s.Tag)
+		}
+		w.clauses(s.Body.List, nil)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.stmt(s.Assign)
+		w.clauses(s.Body.List, nil)
+	case *ast.SelectStmt:
+		w.clauses(nil, s.Body.List)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scan(v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// clauses analyzes switch/select bodies: each clause on a copy of the
+// held set, merging the fall-through states by intersection. A switch
+// without a default (and any select) may also fall through unchanged.
+func (w *guardWalker) clauses(caseList []ast.Stmt, commList []ast.Stmt) {
+	var exits []map[string]heldLock
+	hasDefault := false
+	for _, c := range caseList {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			w.scan(e)
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		if x := w.branch(cc.Body); x != nil {
+			exits = append(exits, x)
+		}
+	}
+	for _, c := range commList {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		body := cc.Body
+		if cc.Comm != nil {
+			body = append([]ast.Stmt{cc.Comm}, body...)
+		}
+		if x := w.branch(body); x != nil {
+			exits = append(exits, x)
+		}
+	}
+	if caseList != nil && !hasDefault {
+		exits = append(exits, w.held)
+	}
+	w.merge(exits)
+}
+
+// branch walks a conditional body on a copy of the held set and returns
+// its exit state, or nil when the body always transfers control away
+// (so it does not constrain the fall-through state).
+func (w *guardWalker) branch(stmts []ast.Stmt) map[string]heldLock {
+	saved := w.held
+	w.held = copyLocks(saved)
+	w.block(stmts)
+	exit := w.held
+	w.held = saved
+	if terminates(stmts) {
+		return nil
+	}
+	return exit
+}
+
+// merge replaces the held set with the intersection of the given exit
+// states: only locks definitely held on every fall-through path
+// survive. No exits means the code after is unreachable; the state is
+// left as-is.
+func (w *guardWalker) merge(exits []map[string]heldLock) {
+	if len(exits) == 0 {
+		return
+	}
+	out := copyLocks(exits[0])
+	for _, e := range exits[1:] {
+		for k, h := range out {
+			o, ok := e[k]
+			if !ok {
+				delete(out, k)
+				continue
+			}
+			h.write = h.write && o.write
+			out[k] = h
+		}
+	}
+	w.held = out
+}
+
+func copyLocks(m map[string]heldLock) map[string]heldLock {
+	out := make(map[string]heldLock, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// lockOp recognizes x.Lock/RLock/Unlock/RUnlock on a sync.Mutex or
+// RWMutex and returns the held-lock descriptor and tracking key.
+func (w *guardWalker) lockOp(call *ast.CallExpr) (h heldLock, key string, isLock, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return heldLock{}, "", false, false
+	}
+	var write bool
+	switch sel.Sel.Name {
+	case "Lock":
+		isLock, write = true, true
+	case "RLock":
+		isLock, write = true, false
+	case "Unlock", "RUnlock":
+	default:
+		return heldLock{}, "", false, false
+	}
+	tv, okT := w.info().Types[sel.X]
+	if !okT || !isMutexType(tv.Type) {
+		return heldLock{}, "", false, false
+	}
+	h = heldLock{write: write}
+	if mx, isSel := ast.Unparen(sel.X).(*ast.SelectorExpr); isSel {
+		h.field = mx.Sel.Name
+		if tvBase, okB := w.info().Types[mx.X]; okB {
+			h.owner = namedTypeName(tvBase.Type)
+		}
+	} else if id, isID := ast.Unparen(sel.X).(*ast.Ident); isID {
+		h.field = id.Name
+	}
+	return h, lockKey(sel.X), isLock, true
+}
+
+// lockKey renders the mutex expression for the held map, extending
+// exprString with index expressions (c.shards[i].mu).
+func lockKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return lockKey(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return lockKey(e.X) + "[" + lockKey(e.Index) + "]"
+	case *ast.StarExpr:
+		return lockKey(e.X)
+	case *ast.BasicLit:
+		return e.Value
+	}
+	return "?"
+}
+
+// namedTypeName returns t's (deref'd) named type object, or nil.
+func namedTypeName(t types.Type) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}
+
+// access classifies e as a write target: a selector writes the field, a
+// map/slice element or dereference write mutates the container field.
+func (w *guardWalker) access(e ast.Expr, write bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		w.field(e, write)
+		w.markSkip(e)
+		w.scan(e)
+	case *ast.IndexExpr:
+		w.access(e.X, write)
+		w.scan(e.Index)
+	case *ast.StarExpr:
+		w.access(e.X, write)
+	default:
+		w.scan(e)
+	}
+}
+
+// markSkip prevents scan from re-recording a selector the caller
+// already classified (as a write or escape).
+func (w *guardWalker) markSkip(n ast.Node) {
+	if w.skip == nil {
+		w.skip = map[ast.Node]bool{}
+	}
+	w.skip[n] = true
+}
+
+// scan visits an expression subtree recording read accesses, pointer
+// escapes, call sites and write-classified special forms (delete on a
+// guarded map, method calls through a guarded field).
+func (w *guardWalker) scan(root ast.Node) {
+	if root == nil {
+		return
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.lits = append(w.lits, n)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+					w.escape(sel)
+				}
+			}
+		case *ast.SelectorExpr:
+			if w.skip[n] {
+				delete(w.skip, n)
+			} else {
+				w.field(n, false)
+			}
+		case *ast.CallExpr:
+			w.call(n)
+		}
+		return true
+	})
+}
+
+// call handles the write-classified call forms and records the call
+// site for the interprocedural callers-hold check.
+func (w *guardWalker) call(call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "delete" {
+		// builtin delete mutates the map: a write to the container. (The
+		// builtin resolves to *types.Builtin; a user-defined delete would
+		// resolve to *types.Func and falls through to the call-site path.)
+		if _, isBuiltin := w.info().Uses[id].(*types.Builtin); isBuiltin {
+			if len(call.Args) > 0 {
+				if sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
+					w.field(sel, true)
+					w.markSkip(sel)
+				}
+			}
+			return
+		}
+	}
+	if fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		// A method call through a guarded field (s.lru.MoveToFront)
+		// may mutate it: classify the receiver as a write.
+		if recv, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			if v, isVar := w.info().Uses[recv.Sel].(*types.Var); isVar && w.a.guards.byField[v] != nil {
+				w.field(recv, true)
+				w.markSkip(recv)
+			}
+		}
+	}
+	if callee := calleeFunc(w.info(), call); callee != nil && callee.Pkg() == w.a.pass.Pkg.Types {
+		held := make([]heldLock, 0, len(w.held))
+		for _, h := range w.held {
+			held = append(held, h)
+		}
+		w.a.sites[callee] = append(w.a.sites[callee], gbSite{caller: w.fn, held: held})
+	}
+}
+
+// field checks one selector access against the annotations and records
+// it for the inference pass.
+func (w *guardWalker) field(sel *ast.SelectorExpr, write bool) {
+	v, ok := w.info().Uses[sel.Sel].(*types.Var)
+	if !ok {
+		return
+	}
+	sl := w.info().Selections[sel]
+	if sl == nil || sl.Kind() != types.FieldVal {
+		return
+	}
+	fresh := w.freshRoot(sel.X)
+	if owner := namedTypeName(sl.Recv()); owner != nil && w.a.guards.annotated[owner] != nil {
+		held := make([]heldLock, 0, len(w.held))
+		for _, h := range w.held {
+			held = append(held, h)
+		}
+		w.a.acc[v] = append(w.a.acc[v], gbAccess{write: write, held: held, fresh: fresh})
+		w.a.accOwner[v] = owner
+	}
+	spec := w.a.guards.byField[v]
+	if spec == nil || fresh {
+		return
+	}
+	if holdsIn(heldList(w.held), spec, write) {
+		return
+	}
+	w.a.viol = append(w.a.viol, gbViolation{pos: sel.Pos(), spec: spec, write: write, fn: w.fn})
+}
+
+// escape reports a guarded field whose address is taken.
+func (w *guardWalker) escape(sel *ast.SelectorExpr) {
+	v, ok := w.info().Uses[sel.Sel].(*types.Var)
+	if !ok {
+		return
+	}
+	spec := w.a.guards.byField[v]
+	if spec == nil || w.freshRoot(sel.X) {
+		return
+	}
+	w.markSkip(sel)
+	w.a.viol = append(w.a.viol, gbViolation{pos: sel.Pos(), spec: spec, escape: true, fn: w.fn})
+}
+
+// freshRoot reports whether the access is rooted at a local freshly
+// constructed in this function (x := &T{...} / T{} / new(T)): the
+// object is not shared yet, so constructor writes need no lock.
+func (w *guardWalker) freshRoot(e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return w.fresh[w.info().Uses[x]]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// freshExpr reports whether e constructs a new object.
+func freshExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, lit := ast.Unparen(e.X).(*ast.CompositeLit)
+		return e.Op == token.AND && lit
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		return ok && id.Name == "new"
+	}
+	return false
+}
+
+func heldList(m map[string]heldLock) []heldLock {
+	out := make([]heldLock, 0, len(m))
+	for _, h := range m {
+		out = append(out, h)
+	}
+	return out
+}
+
+// holdsIn reports whether the held set satisfies the spec's guard: the
+// owning type + field must match, and a write needs the write lock.
+func holdsIn(held []heldLock, spec *guardSpec, write bool) bool {
+	for _, h := range held {
+		if h.owner == spec.lockOwner && h.field == spec.lockField && (h.write || !write) {
+			return true
+		}
+	}
+	return false
+}
+
+// finish resolves tentative violations through the callers-hold check,
+// reports the survivors, and runs the annotation-completeness pass.
+func (a *guardAnalysis) finish() {
+	type repKey struct {
+		pos    token.Pos
+		spec   *guardSpec
+		escape bool
+	}
+	byPos := map[token.Pos]gbViolation{}
+	for _, v := range a.viol {
+		// Keep the strongest classification per position: escape >
+		// write > read.
+		old, seen := byPos[v.pos]
+		if seen && (old.escape || (old.write && !v.escape)) {
+			continue
+		}
+		byPos[v.pos] = v
+	}
+	keys := make([]token.Pos, 0, len(byPos))
+	for p := range byPos {
+		keys = append(keys, p)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	reported := map[repKey]bool{}
+	for _, p := range keys {
+		v := byPos[p]
+		if !v.escape && v.fn != nil && a.justified(v.fn, v.spec, v.write, interprocDepth, map[*types.Func]bool{}) {
+			continue
+		}
+		k := repKey{pos: v.pos, spec: v.spec, escape: v.escape}
+		if reported[k] {
+			continue
+		}
+		reported[k] = true
+		name := v.spec.owner.Name() + "." + v.spec.fieldName
+		switch {
+		case v.escape:
+			a.pass.Reportf(v.pos, "&%s leaks a //dvlint:guardedby field by pointer; accesses through the alias evade %s",
+				name, v.spec.lockName())
+		case v.write:
+			a.pass.Reportf(v.pos, "write to %s without holding %s (write lock required; declared //dvlint:guardedby)",
+				name, v.spec.lockName())
+		default:
+			a.pass.Reportf(v.pos, "read of %s without holding %s (declared //dvlint:guardedby)",
+				name, v.spec.lockName())
+		}
+	}
+	a.inferUnannotated()
+}
+
+// justified reports whether every call site of fn (followed up to depth
+// levels through callers that themselves lack the lock) holds the
+// spec's guard — the callers-hold-the-lock idiom for unexported
+// helpers like pickStream/removeLocked. Exported functions are never
+// justified: callers outside the package are invisible here.
+func (a *guardAnalysis) justified(fn *types.Func, spec *guardSpec, write bool, depth int, seen map[*types.Func]bool) bool {
+	if seen[fn] || fn.Exported() {
+		return false
+	}
+	seen[fn] = true
+	sites := a.sites[fn]
+	if len(sites) == 0 {
+		return false
+	}
+	for _, s := range sites {
+		if holdsIn(s.held, spec, write) {
+			continue
+		}
+		if depth > 0 && s.caller != nil && a.justified(s.caller, spec, write, depth-1, seen) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// inferUnannotated flags de-facto guarded fields: an unannotated field
+// of an already-annotated struct whose every (non-constructor) access
+// holds one of the struct's declared locks, with at least one write —
+// the annotation is missing, not the locking.
+func (a *guardAnalysis) inferUnannotated() {
+	type cand struct {
+		v     *types.Var
+		owner *types.TypeName
+	}
+	var cands []cand
+	for v, owner := range a.accOwner {
+		if a.guards.byField[v] == nil && !inferExempt(v.Type()) {
+			cands = append(cands, cand{v, owner})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].v.Pos() < cands[j].v.Pos() })
+	for _, c := range cands {
+		for _, spec := range distinctLocks(a.guards.annotated[c.owner]) {
+			allHeld, anyWrite := true, false
+			for _, acc := range a.acc[c.v] {
+				if acc.fresh {
+					continue
+				}
+				if !holdsIn(acc.held, spec, acc.write) {
+					allHeld = false
+					break
+				}
+				if acc.write {
+					anyWrite = true
+				}
+			}
+			if allHeld && anyWrite {
+				a.pass.Reportf(c.v.Pos(), "field %s.%s is always accessed with %s held; annotate //dvlint:guardedby %s (or suppress with a reason)",
+					c.owner.Name(), c.v.Name(), spec.lockName(), spec.lockName())
+				break
+			}
+		}
+	}
+}
+
+// distinctLocks returns one spec per distinct guarding mutex.
+func distinctLocks(specs []*guardSpec) []*guardSpec {
+	var out []*guardSpec
+	seen := map[string]bool{}
+	for _, s := range specs {
+		k := s.lockName()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// inferExempt excludes field types with their own synchronization
+// story from the completeness check: sync/atomic primitives, channels
+// and funcs.
+func inferExempt(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		if pkg := n.Obj().Pkg(); pkg != nil && (pkg.Path() == "sync" || pkg.Path() == "sync/atomic") {
+			return true
+		}
+		t = n.Underlying()
+	}
+	switch t.(type) {
+	case *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}

@@ -24,6 +24,18 @@
 //	closecheck — values of the closable resource types (core.Rows,
 //	             cache.File, net.Conn) must be closed, transferred or
 //	             returned on every acquisition.
+//	guardedby  — every access to a struct field annotated
+//	             //dvlint:guardedby <mutexField> holds the named mutex
+//	             (write lock for writes, read lock sufficing for
+//	             reads), with pointer-escape reporting and a
+//	             depth-bounded callers-hold-the-lock check.
+//	golife     — every go statement has a provable termination path:
+//	             a done-channel select/return, a bounded loop, or
+//	             WaitGroup registration.
+//	frameproto — the cluster wire protocol's frame kinds (derived from
+//	             the frame* character constants) are each handled or
+//	             explicitly rejected by every demux switch, and each
+//	             has matched encode/decode sites.
 //	ignorereason — every //dvlint:ignore suppression names an analyzer
 //	             and carries a non-empty reason.
 //
@@ -52,7 +64,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{CtxFlow, LockIO, StatsSync, CloseCheck, IgnoreReason}
+	return []*Analyzer{CtxFlow, LockIO, StatsSync, CloseCheck, GuardedBy, GoLife, FrameProto, IgnoreReason}
 }
 
 // ByName resolves an analyzer from the suite, or nil.

@@ -161,6 +161,21 @@ func TestSuppressGolden(t *testing.T) {
 	runGolden(t, []*lint.Analyzer{lint.LockIO, lint.IgnoreReason}, "suppress")
 }
 
+// The three concurrency-contract analyzers pair with IgnoreReason so
+// their suppression cases also prove the directives are well-formed.
+
+func TestGuardedByGolden(t *testing.T) {
+	runGolden(t, []*lint.Analyzer{lint.GuardedBy, lint.IgnoreReason}, "guardedby")
+}
+
+func TestGoLifeGolden(t *testing.T) {
+	runGolden(t, []*lint.Analyzer{lint.GoLife, lint.IgnoreReason}, "golife")
+}
+
+func TestFrameProtoGolden(t *testing.T) {
+	runGolden(t, []*lint.Analyzer{lint.FrameProto, lint.IgnoreReason}, "frameproto")
+}
+
 // TestTreeClean is the regression gate dvlint enforces in CI, repeated
 // here so `go test ./...` catches violations too: the full analyzer
 // suite must be silent on every package of the module.

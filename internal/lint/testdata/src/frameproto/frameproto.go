@@ -1,0 +1,76 @@
+// Package cluster seeds the frameproto golden tests (the analyzer
+// gates on the package name). The kind set derives from the frame*
+// character constants: frameOrphan is produced but never demuxed,
+// frameGhost is demuxed but never produced, and the three switches
+// cover the exhaustive, defaultless, and silent-default shapes.
+package cluster
+
+import "fmt"
+
+const (
+	frameHello  = 'H'
+	frameData   = 'D'
+	frameEnd    = 'E'
+	frameOrphan = 'O' // want "frame kind frameOrphan is not handled by any demux switch"
+	frameGhost  = 'G' // want "frame kind frameGhost has no encode site"
+
+	frameHeaderLen = 9 // sized constant, not a kind
+)
+
+// Encode sites: everything except frameGhost is produced somewhere
+// outside a case clause.
+func encodeHello() byte  { return frameHello }
+func encodeData() byte   { return frameData }
+func encodeEnd() byte    { return frameEnd }
+func encodeOrphan() byte { return frameOrphan }
+
+// header pads a frame to the wire layout.
+func header(kind byte) [frameHeaderLen]byte {
+	var h [frameHeaderLen]byte
+	h[0] = kind
+	return h
+}
+
+// Demux misses frameOrphan but rejects it explicitly, which is fine.
+func Demux(k byte) error {
+	switch k {
+	case frameHello:
+	case frameData:
+	case frameEnd:
+	case frameGhost:
+	default:
+		return fmt.Errorf("unexpected frame %q", k)
+	}
+	return nil
+}
+
+// DemuxNoDefault drops three kinds on the floor with no default.
+func DemuxNoDefault(k byte) bool {
+	switch k { // want "demux switch does not handle frame kind"
+	case frameHello:
+		return true
+	case frameData:
+		return true
+	}
+	return false
+}
+
+// DemuxSilent has a default, but an empty one: unexpected frames are
+// silently ignored instead of rejected.
+func DemuxSilent(k byte) {
+	switch k { // want "demux switch silently ignores frame kind"
+	case frameHello:
+	default:
+	}
+}
+
+// DemuxPartial is a probe that only classifies hello frames; the
+// suppression records why non-exhaustiveness is intended.
+func DemuxPartial(k byte) bool {
+	//dvlint:ignore frameproto probe only classifies hello frames, the caller rejects the rest
+	switch k {
+	case frameHello:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,126 @@
+// Package glx seeds the golife golden tests: goroutines with and
+// without a provable termination path — the ctx.Done select idiom, the
+// break-inside-select trap, WaitGroup registration, bounded range
+// loops, named-callee resolution, dynamic function values, and
+// suppression.
+package glx
+
+import (
+	"context"
+	"sync"
+)
+
+// SpawnForever leaks: the loop has no escape.
+func SpawnForever(ch chan int) {
+	go func() { // want "goroutine has no provable termination path"
+		for {
+			<-ch
+		}
+	}()
+}
+
+// SpawnDone is the canonical ctx.Done select-and-return shape.
+func SpawnDone(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ch:
+			}
+		}
+	}()
+}
+
+// SpawnBreakInSelect looks like SpawnDone but the unlabeled break only
+// exits the select — the loop never ends.
+func SpawnBreakInSelect(ctx context.Context, ch chan int) {
+	go func() { // want "goroutine has no provable termination path"
+		for {
+			select {
+			case <-ctx.Done():
+				break
+			case <-ch:
+			}
+		}
+	}()
+}
+
+// SpawnLabeled escapes the loop through a labeled break.
+func SpawnLabeled(ctx context.Context, ch chan int) {
+	go func() {
+	drain:
+		for {
+			select {
+			case <-ctx.Done():
+				break drain
+			case <-ch:
+			}
+		}
+	}()
+}
+
+// SpawnWG spins forever but is WaitGroup-registered: a leak hangs
+// Wait in tests instead of vanishing.
+func SpawnWG(wg *sync.WaitGroup, ch chan int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			<-ch
+		}
+	}()
+}
+
+// SpawnRange is bounded: the range ends when the channel closes.
+func SpawnRange(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// server exercises named-callee resolution for `go s.method()`.
+type server struct {
+	done chan struct{}
+	in   chan int
+}
+
+// readLoop escapes via the done channel.
+func (s *server) readLoop() {
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.in:
+		}
+	}
+}
+
+// spin never escapes.
+func (s *server) spin() {
+	for {
+		<-s.in
+	}
+}
+
+// Start resolves readLoop's body and finds the escape.
+func (s *server) Start() {
+	go s.readLoop()
+}
+
+// StartBad resolves spin's body and finds none.
+func (s *server) StartBad() {
+	go s.spin() // want "goroutine has no provable termination path"
+}
+
+// SpawnDynamic cannot be proven: the function value is opaque.
+func SpawnDynamic(f func()) {
+	go f() // want "cannot be proven to terminate"
+}
+
+// SpawnSuppressed documents why its opaque spawn is acceptable.
+func SpawnSuppressed(f func()) {
+	//dvlint:ignore golife f is the caller's bounded driver closure
+	go f()
+}

@@ -1,0 +1,209 @@
+// Package gbx seeds the guardedby golden tests: locked and unlocked
+// accesses, RWMutex read/write asymmetry, pointer escape, constructor
+// freshness, cross-struct guards, the callers-hold-the-lock idiom, the
+// annotation-completeness (inference) check, suppression, and the
+// malformed-annotation reports.
+package gbx
+
+import "sync"
+
+// counter exercises the basic discipline plus inference: total is
+// de-facto guarded (every access holds mu, with a write) but carries
+// no annotation, so the completeness check demands one.
+type counter struct {
+	mu    sync.Mutex
+	n     int //dvlint:guardedby mu
+	total int // want "field counter.total is always accessed with mu held"
+}
+
+// NewCounter writes without the lock, legally: the object is freshly
+// constructed and not shared yet.
+func NewCounter() *counter {
+	c := &counter{}
+	c.n = 41
+	c.n++
+	return c
+}
+
+// Inc holds the lock across both writes.
+func (c *counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.total++
+	c.mu.Unlock()
+}
+
+// Get uses the defer-unlock idiom; the lock stays held to the return.
+func (c *counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// BadInc writes without any lock.
+func (c *counter) BadInc() {
+	c.n++ // want "write to counter.n without holding mu"
+}
+
+// BadGet reads without any lock.
+func (c *counter) BadGet() int {
+	return c.n // want "read of counter.n without holding mu"
+}
+
+// Racy only sometimes locks: the definitely-held intersection across
+// the two paths is empty at the write.
+func (c *counter) Racy(b bool) {
+	if b {
+		c.mu.Lock()
+	}
+	c.n++ // want "write to counter.n without holding mu"
+	if b {
+		c.mu.Unlock()
+	}
+}
+
+// Leak hands out the field's address; accesses through the alias would
+// evade the lock entirely.
+func Leak(c *counter) *int {
+	return &c.n // want "leaks a //dvlint:guardedby field by pointer"
+}
+
+// Snapshot documents why its lock-free read is safe.
+func (c *counter) Snapshot() int {
+	//dvlint:ignore guardedby snapshot runs before any concurrent writer starts
+	return c.n
+}
+
+// table exercises the RWMutex asymmetry: RLock suffices for reads,
+// writes need the write lock.
+type table struct {
+	rw sync.RWMutex
+	m  map[string]int //dvlint:guardedby rw
+}
+
+// Lookup reads under the read lock.
+func (t *table) Lookup(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.m[k]
+}
+
+// Store writes under the write lock.
+func (t *table) Store(k string, v int) {
+	t.rw.Lock()
+	defer t.rw.Unlock()
+	t.m[k] = v
+}
+
+// Drop mutates via the delete builtin, under the write lock.
+func (t *table) Drop(k string) {
+	t.rw.Lock()
+	defer t.rw.Unlock()
+	delete(t.m, k)
+}
+
+// BadStore writes under only the read lock.
+func (t *table) BadStore(k string, v int) {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	t.m[k] = v // want "write to table.m without holding rw"
+}
+
+// BadDrop deletes with no lock at all; delete mutates the map, so it
+// is classified as a write.
+func (t *table) BadDrop(k string) {
+	delete(t.m, k) // want "write to table.m without holding rw"
+}
+
+// gauge exercises the depth-bounded callers-hold check: addLocked is
+// clean because its every call site holds the lock, bumpUnsafe is not.
+type gauge struct {
+	mu sync.Mutex
+	v  int //dvlint:guardedby mu
+}
+
+// addLocked requires g.mu held; both callers satisfy that.
+func (g *gauge) addLocked(d int) {
+	g.v += d
+}
+
+// Add is the locked entry point.
+func (g *gauge) Add(d int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.addLocked(d)
+}
+
+// Reset also reaches addLocked under the lock.
+func (g *gauge) Reset() {
+	g.mu.Lock()
+	g.addLocked(-g.v)
+	g.mu.Unlock()
+}
+
+// bumpUnsafe skips the lock and one caller reaches it unlocked, so the
+// callers-hold justification fails.
+func (g *gauge) bumpUnsafe() {
+	g.v++ // want "write to gauge.v without holding mu"
+}
+
+// Touch calls bumpUnsafe without the lock.
+func (g *gauge) Touch() {
+	g.bumpUnsafe()
+}
+
+// owner/item exercise the cross-struct Type.field spec.
+type owner struct {
+	mu    sync.Mutex
+	items []*item
+}
+
+type item struct {
+	val int //dvlint:guardedby owner.mu
+}
+
+// Sum reads every item under the owning lock.
+func (o *owner) Sum() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s := 0
+	for _, it := range o.items {
+		s += it.val
+	}
+	return s
+}
+
+// Peek reads an item with no lock in sight.
+func Peek(it *item) int {
+	return it.val // want "read of item.val without holding owner.mu"
+}
+
+// holder exercises the method-call-through-guarded-field rule: the
+// receiver may be mutated, so the call counts as a write.
+type ring struct{ at int }
+
+func (r *ring) Spin() { r.at++ }
+
+type holder struct {
+	mu sync.Mutex
+	r  ring //dvlint:guardedby mu
+}
+
+// Turn spins under the lock.
+func (h *holder) Turn() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.r.Spin()
+}
+
+// BadTurn spins without it.
+func (h *holder) BadTurn() {
+	h.r.Spin() // want "write to holder.r without holding mu"
+}
+
+// badspec carries the two malformed-annotation shapes.
+type badspec struct {
+	mu sync.Mutex
+	a  int //dvlint:guardedby nosuch // want "badspec has no sync.Mutex/RWMutex field nosuch"
+	b  int //dvlint:guardedby Missing.mu // want "no type Missing in this package"
+}

@@ -22,14 +22,14 @@ type Page [PageSize]byte
 type File struct {
 	mu    sync.Mutex
 	f     *os.File
-	pages uint32
+	pages uint32 //dvlint:guardedby mu
 
-	frames  []frame
-	byID    map[uint32]int // page id → frame index
-	clockAt int
+	frames  []frame        //dvlint:guardedby mu
+	byID    map[uint32]int //dvlint:guardedby mu (page id → frame index)
+	clockAt int            //dvlint:guardedby mu
 
 	// Stats
-	hits, misses, evictions, writes int64
+	hits, misses, evictions, writes int64 //dvlint:guardedby mu
 }
 
 type frame struct {

@@ -109,8 +109,8 @@ func NewPartitioner(spec PartitionSpec, lookup ColumnLookup) (Partitioner, error
 
 type roundRobin struct {
 	mu   sync.Mutex
-	next int
-	n    int
+	next int //dvlint:guardedby mu
+	n    int // immutable after construction
 }
 
 func (r *roundRobin) Dest(table.Row) int {
@@ -200,8 +200,11 @@ func (m *Mover) Close() error {
 
 // SliceSink collects rows in memory (copies them).
 type SliceSink struct {
-	mu   sync.Mutex
-	Rows []table.Row
+	mu sync.Mutex
+	// Rows is guarded by mu while senders are active; read it only
+	// after the Mover completes. (Cross-package readers are outside
+	// guardedby's scope.)
+	Rows []table.Row //dvlint:guardedby mu
 }
 
 // Send implements Sink.
