@@ -32,6 +32,7 @@ func main() {
 	grid := flag.Int("grid", 400, "ipars: total grid points")
 	parts := flag.Int("parts", 4, "ipars: grid partitions (CLUSTER layout)")
 	attrs := flag.Int("attrs", 17, "ipars: per-cell variables")
+	replicas := flag.Int("replicas", 1, "ipars: replica-set width per partition (CLUSTER layout; chained node<i>..node<i+R-1 mod P>)")
 
 	points := flag.Int("points", 1_000_000, "titan: sensor readings")
 	xmax := flag.Int("xmax", 20000, "titan: X extent")
@@ -45,7 +46,7 @@ func main() {
 	case "ipars":
 		spec := gen.IparsSpec{
 			Realizations: *rel, TimeSteps: *steps, GridPoints: *grid,
-			Partitions: *parts, Attrs: *attrs, Seed: *seed,
+			Partitions: *parts, Attrs: *attrs, Replicas: *replicas, Seed: *seed,
 		}
 		descPath, err := gen.WriteIpars(*out, spec, *layout)
 		if err != nil {

@@ -47,14 +47,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// AllNodes, not Nodes: a replica-only standby never owns a DIR
+	// entry but is still a legitimate server for the partitions whose
+	// NODES sets list it.
 	known := false
-	for _, n := range svc.Nodes() {
+	for _, n := range svc.AllNodes() {
 		if n == *nodeName {
 			known = true
 		}
 	}
 	if !known {
-		fatal(fmt.Errorf("node %q is not in the descriptor's storage table %v", *nodeName, svc.Nodes()))
+		fatal(fmt.Errorf("node %q is not in the descriptor's storage table %v", *nodeName, svc.AllNodes()))
 	}
 	if _, err := cache.ResolveBackend(*cacheBackend); err != nil {
 		fatal(err)

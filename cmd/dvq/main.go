@@ -51,6 +51,8 @@ type config struct {
 
 	poolSize   int
 	hedgeAfter time.Duration
+	legStall   time.Duration
+	stageMB    int
 }
 
 // cacheConfig translates the cache flags into a cache.Config.
@@ -95,6 +97,8 @@ func main() {
 	flag.IntVar(&cfg.planCacheEntries, "plan-cache-entries", core.DefaultPlanCacheEntries, "plan cache capacity in entries")
 	flag.IntVar(&cfg.poolSize, "pool", 0, "with -nodes: persistent sessions per node (0 = default 2, negative = one connection per query)")
 	flag.DurationVar(&cfg.hedgeAfter, "hedge", 0, "with -nodes: hedge a node leg that has not answered within this duration (0 = off)")
+	flag.DurationVar(&cfg.legStall, "stall", 0, "with -nodes: fail a node leg whose stream makes no frame progress within this duration and re-dispatch it (0 = off)")
+	flag.IntVar(&cfg.stageMB, "failover-stage-mb", 0, "with -nodes: MiB of a replicated leg's results to withhold for exactly-once failover replay (0 = default 8)")
 	interactive := flag.Bool("i", false, "interactive mode: read queries from stdin, one per line")
 	flag.Parse()
 
@@ -250,6 +254,8 @@ func runCluster(ctx context.Context, descPath, nodeTable, sql string, cfg config
 	coord.SetPlanCacheConfig(cfg.planCacheConfig())
 	coord.PoolSize = cfg.poolSize
 	coord.HedgeAfter = cfg.hedgeAfter
+	coord.LegStallAfter = cfg.legStall
+	coord.FailoverStageBytes = int64(cfg.stageMB) << 20
 	defer coord.Close()
 
 	ctx, cancel := queryCtx(ctx, cfg)

@@ -36,6 +36,7 @@ func main() {
 	bounds := flag.String("bounds", "", "comma-separated range boundaries (range)")
 	stats := flag.Bool("stats", false, "print per-stage query statistics after the summary")
 	timeout := flag.Duration("timeout", 0, "cancel the query after this duration (0 = none)")
+	stall := flag.Duration("stall", 0, "fail a node leg whose stream makes no frame progress within this duration and re-dispatch it (0 = off)")
 	flag.Parse()
 
 	if *desc == "" || *nodes == "" || flag.NArg() != 1 {
@@ -61,6 +62,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	coord.LegStallAfter = *stall
 	defer coord.Close()
 
 	// Ctrl-C cancels the in-flight query; -timeout bounds it.

@@ -148,6 +148,7 @@ func Experiments() []Experiment {
 		{"plancache", "Semantic plan cache cold vs warm prepare on a repeated query mix (ours)", RunPlanCache},
 		{"mmap", "Cache backends pread vs mmap, cold and warm (ours)", RunMmap},
 		{"concurrency", "Closed-loop concurrent serving vs one-query-at-a-time (ours)", RunConcurrency},
+		{"failover", "Replica failover under a mid-workload node crash (ours)", RunFailover},
 		{"sparseindex", "Sparse block-index sidecars: data skipping on vs off (ours)", RunSparseIndex},
 		{"aggpush", "Push-down aggregation bytes + vectorized vs per-row filtering (ours)", RunAggPush},
 	}

@@ -36,6 +36,10 @@ import (
 type Coordinator struct {
 	svc   *core.Service
 	addrs map[string]string // node name → host:port
+	// replicas maps each partition (primary node name) to the ordered
+	// set of nodes able to serve it, primary first (core.Replicas).
+	// Immutable after NewCoordinator.
+	replicas map[string][]string
 
 	// DialTimeout bounds each connection attempt (default 5s).
 	DialTimeout time.Duration
@@ -73,6 +77,20 @@ type Coordinator struct {
 	// node (how far a node may run ahead of the merging consumer).
 	// Zero means the protocol default (1 MiB).
 	WindowBytes int64
+	// LegStallAfter, when positive, bounds the gap between frames
+	// received by one leg's stream: a leg with no frame progress for
+	// this long fails with errLegStalled and, when its partition has
+	// standby replicas, is re-dispatched to one. Unlike IOTimeout it is
+	// per-leg, so a blackholed query does not tear down the session it
+	// shares with healthy ones. Zero disables the watchdog.
+	LegStallAfter time.Duration
+	// FailoverStageBytes bounds how many result-payload bytes a
+	// replicated leg stages before the coordinator commits them to the
+	// merge. Staged legs can be re-dispatched to a standby replica
+	// after a mid-stream failure without delivering any row twice;
+	// once committed a leg's failure is final. Zero means 8 MiB;
+	// partitions with a single replica never stage. See legStage.
+	FailoverStageBytes int64
 
 	poolMu sync.Mutex
 	pools  map[string]*nodePool //dvlint:guardedby poolMu
@@ -84,7 +102,8 @@ type Coordinator struct {
 
 // NewCoordinator plans against the descriptor and dispatches to the
 // given node address table. Every node named by the descriptor's
-// storage section must appear in addrs.
+// storage section — primaries and standby replicas alike — must
+// appear in addrs.
 func NewCoordinator(d *metadata.Descriptor, addrs map[string]string) (*Coordinator, error) {
 	svc, err := core.Compile(d, func(node, file string) (string, error) {
 		return "", fmt.Errorf("cluster: coordinator does not read data files")
@@ -92,7 +111,7 @@ func NewCoordinator(d *metadata.Descriptor, addrs map[string]string) (*Coordinat
 	if err != nil {
 		return nil, err
 	}
-	for _, node := range svc.Nodes() {
+	for _, node := range svc.AllNodes() {
 		if _, ok := addrs[node]; !ok {
 			return nil, fmt.Errorf("cluster: no address for node %q", node)
 		}
@@ -100,6 +119,7 @@ func NewCoordinator(d *metadata.Descriptor, addrs map[string]string) (*Coordinat
 	return &Coordinator{
 		svc:          svc,
 		addrs:        addrs,
+		replicas:     svc.Replicas(),
 		DialTimeout:  5 * time.Second,
 		DialRetries:  2,
 		RetryBackoff: 50 * time.Millisecond,
@@ -314,6 +334,13 @@ func (c *Coordinator) run(ctx context.Context, sql string, spec storm.PartitionS
 type legCounters struct {
 	shed   atomic.Int64
 	hedged atomic.Int64
+	// redispatched counts legs dispatched more than once (any reason);
+	// failovers counts re-dispatches to a different replica after the
+	// serving node failed or stalled; retries counts same-node overload
+	// retries of a replicated leg.
+	redispatched atomic.Int64
+	failovers    atomic.Int64
+	retries      atomic.Int64
 }
 
 // runPrepared fans the prepared query out to every node over the
@@ -465,6 +492,11 @@ func (c *Coordinator) runPrepared(ctx context.Context, sql string, prep *core.Pr
 		ShedQueries:   counters.shed.Load(),
 		HedgedLegs:    counters.hedged.Load(),
 
+		// Failover counters: dispatches beyond a leg's first, and why.
+		LegRedispatches:  counters.redispatched.Load(),
+		ReplicaFailovers: counters.failovers.Load(),
+		ReplicaRetries:   counters.retries.Load(),
+
 		PlanTime:    plan,
 		IndexTime:   index,
 		QueueTime:   time.Duration(queueNS),
@@ -474,45 +506,147 @@ func (c *Coordinator) runPrepared(ctx context.Context, sql string, prep *core.Pr
 	return res, nil
 }
 
-// runLeg drives one node's leg: session checkout, hedging, and
-// bounded retry of legs shed by the node's admission control.
-func (c *Coordinator) runLeg(ctx context.Context, node string, req Request, codec *table.Codec,
+// runLeg drives one partition's leg: replica placement, session
+// checkout, hedging, bounded retry of legs shed by admission control,
+// and — when the partition has standby replicas — staged failover of
+// a leg whose serving node dies or stalls mid-stream.
+//
+// The loop terminates: every iteration either returns, permanently
+// adds a node to failed (candidates only shrink), or consumes one
+// unit of the overload-retry budget.
+func (c *Coordinator) runLeg(ctx context.Context, partition string, req Request, codec *table.Codec,
 	counters *legCounters, onBatch func(dest int, rows []table.Row), onAgg func(payload []byte) error) (Trailer, error) {
 
-	pool := c.pool(node)
-	retries := c.OverloadRetries
-	if retries == 0 {
-		retries = 2
+	replicas := c.replicas[partition]
+	if len(replicas) == 0 {
+		replicas = []string{partition}
 	}
-	if retries < 0 {
-		retries = 0
+	// Staged failover is only armed when a standby exists; a single-
+	// replica partition streams straight into the merge, exactly the
+	// pre-replica behavior.
+	var stage *legStage
+	if len(replicas) > 1 {
+		req.NodeFilter = partition
+		budget := c.FailoverStageBytes
+		if budget <= 0 {
+			budget = defaultStageBytes
+		}
+		stage = newLegStage(budget, int64(codec.RowBytes()), onBatch, onAgg)
+		onBatch = stage.batch
+		if onAgg != nil {
+			onAgg = stage.agg
+		}
+	}
+
+	overloadLeft := c.OverloadRetries
+	if overloadLeft == 0 {
+		overloadLeft = 2
+	}
+	if overloadLeft < 0 {
+		overloadLeft = 0
 	}
 	backoff := c.OverloadBackoff
 	if backoff <= 0 {
 		backoff = 25 * time.Millisecond
 	}
-	for attempt := 0; ; attempt++ {
+
+	failed := map[string]bool{}
+	dispatched := false
+	avoid := ""
+	for {
+		node, ok := c.pickReplica(replicas, failed, avoid)
+		if !ok {
+			return Trailer{}, fmt.Errorf("cluster: no live replica left for partition %s", partition)
+		}
+		avoid = ""
+		if dispatched {
+			counters.redispatched.Add(1)
+		}
+		dispatched = true
+
+		pool := c.pool(node)
+		pool.legStarted()
 		tr, err := c.legHedged(ctx, pool, req, codec, counters, onBatch, onAgg)
+		pool.legDone()
 		pool.reportResult(healthErr(err), c.RetryBackoff)
 		if err == nil {
+			if stage != nil {
+				if cerr := stage.commit(); cerr != nil {
+					return Trailer{}, cerr
+				}
+			}
 			return tr, nil
 		}
+		if cerr := ctx.Err(); cerr != nil {
+			return Trailer{}, cerr
+		}
 		if errors.Is(err, ErrOverloaded) {
+			// Shedding is a healthy node protecting itself: the node is
+			// not marked failed, but each shed consumes retry budget so a
+			// cluster-wide overload storm still surfaces promptly.
 			counters.shed.Add(1)
-			if attempt < retries && ctx.Err() == nil {
-				t := time.NewTimer(backoff)
-				select {
-				case <-t.C:
-				case <-ctx.Done():
-					t.Stop()
-					return Trailer{}, ctx.Err()
-				}
-				backoff *= 2
+			if overloadLeft <= 0 {
+				return Trailer{}, err
+			}
+			overloadLeft--
+			if other, ok := c.pickReplica(replicas, failed, node); ok && other != node {
+				// Another live replica can take the leg right now; no
+				// point backing off against the loaded one.
+				counters.failovers.Add(1)
+				avoid = node
 				continue
 			}
+			counters.retries.Add(1)
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return Trailer{}, ctx.Err()
+			}
+			backoff *= 2
+			continue
 		}
-		return Trailer{}, err
+		// Hard failure: connection loss, stall, or a server error.
+		if stage == nil || stage.committed {
+			// Unreplicated, or rows already released to the merge — the
+			// leg cannot be replayed without duplicating them.
+			return Trailer{}, err
+		}
+		failed[node] = true
+		if _, ok := c.pickReplica(replicas, failed, ""); !ok {
+			return Trailer{}, err
+		}
+		// Nothing reached the merge: discard the staged partial stream
+		// and replay the whole leg on a standby.
+		stage.reset()
+		counters.failovers.Add(1)
 	}
+}
+
+// pickReplica chooses the replica to dispatch a leg to: health-gated
+// nodes are considered only when no open one remains, the least
+// loaded (fewest in-flight legs) wins, and ties keep replica-set
+// order (primary first). avoid, when set, excludes that node unless
+// it is the only candidate; ok is false when every replica has
+// permanently failed.
+func (c *Coordinator) pickReplica(replicas []string, failed map[string]bool, avoid string) (node string, ok bool) {
+	var bestGated bool
+	var bestLoad int64
+	for _, n := range replicas {
+		if failed[n] || n == avoid {
+			continue
+		}
+		gated, inflight := c.pool(n).load()
+		if !ok || (bestGated && !gated) || (gated == bestGated && inflight < bestLoad) {
+			node, ok = n, true
+			bestGated, bestLoad = gated, inflight
+		}
+	}
+	if !ok && avoid != "" && !failed[avoid] {
+		return avoid, true
+	}
+	return node, ok
 }
 
 // healthErr filters errors that should not count against a node's
@@ -650,6 +784,20 @@ func (c *Coordinator) legStream(ctx context.Context, pool *nodePool, req Request
 		sess.abandon(leg, ctx.Err())
 	})
 	defer stop()
+	// The stall watchdog abandons a leg with no frame progress within
+	// LegStallAfter — a blackholed stream on an otherwise live session,
+	// which no session-level timeout can see. It is reset after every
+	// frame; a fire racing a late frame only costs a spurious
+	// re-dispatch, never a duplicate delivery (the leg's remaining
+	// events drain before next returns the stall error, and on a
+	// replicated partition the stage withholds them anyway).
+	var watchdog *time.Timer
+	if c.LegStallAfter > 0 {
+		watchdog = time.AfterFunc(c.LegStallAfter, func() {
+			sess.abandon(leg, errLegStalled)
+		})
+		defer watchdog.Stop()
+	}
 
 	claimed := false
 	tryClaim := func() bool {
@@ -664,6 +812,9 @@ func (c *Coordinator) legStream(ctx context.Context, pool *nodePool, req Request
 
 	for {
 		ev, err := leg.next()
+		if watchdog != nil {
+			watchdog.Reset(c.LegStallAfter)
+		}
 		if err != nil {
 			sess.abandon(leg, err)
 			return Trailer{}, claimed, ctxErr(err)

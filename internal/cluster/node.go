@@ -22,6 +22,10 @@ type Node struct {
 	name string
 	svc  *core.Service
 	ln   net.Listener
+	// replicaOf is the set of partition primaries this node may serve:
+	// its own name plus every primary whose replica set lists it.
+	// Immutable after StartNode.
+	replicaOf map[string]bool
 
 	// baseCtx parents every query's context; Close cancels it so
 	// in-flight extractions stop with the listener.
@@ -69,14 +73,23 @@ func StartNode(ctx context.Context, name string, svc *core.Service, addr string)
 		return nil, fmt.Errorf("cluster: node %s: %w", name, err)
 	}
 	baseCtx, cancel := context.WithCancel(ctx)
+	replicaOf := map[string]bool{name: true}
+	for primary, set := range svc.Replicas() {
+		for _, r := range set {
+			if r == name {
+				replicaOf[primary] = true
+			}
+		}
+	}
 	n := &Node{
-		name:    name,
-		svc:     svc,
-		ln:      ln,
-		baseCtx: baseCtx,
-		cancel:  cancel,
-		conns:   map[net.Conn]bool{},
-		Logf:    log.Printf,
+		name:      name,
+		svc:       svc,
+		ln:        ln,
+		replicaOf: replicaOf,
+		baseCtx:   baseCtx,
+		cancel:    cancel,
+		conns:     map[net.Conn]bool{},
+		Logf:      log.Printf,
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
@@ -110,6 +123,21 @@ func (n *Node) admission() *admission {
 		n.adm = &admission{max: maxC, maxQ: maxQ}
 	})
 	return n.adm
+}
+
+// partitionFor resolves the storage partition a request extracts: the
+// request's NodeFilter when set (a coordinator dispatching a failed
+// primary's leg to a standby), otherwise this node's own partition. A
+// node refuses partitions it holds no replica of — it could not read
+// their files.
+func (n *Node) partitionFor(req Request) (string, error) {
+	if req.NodeFilter == "" || req.NodeFilter == n.name {
+		return n.name, nil
+	}
+	if !n.replicaOf[req.NodeFilter] {
+		return "", fmt.Errorf("cluster: node %s does not replicate partition %s", n.name, req.NodeFilter)
+	}
+	return req.NodeFilter, nil
 }
 
 // AdmissionCounters reports how many queries have waited in the

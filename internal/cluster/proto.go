@@ -111,6 +111,13 @@ type Request struct {
 	// that streams more row-batch bytes than this is aborted with an
 	// error instead of saturating the wire indefinitely.
 	MaxResultBytes int64 `json:",omitempty"`
+	// NodeFilter names the storage partition (by its primary node) the
+	// leg should extract. Empty means the serving node's own partition
+	// — the only shape before replica sets existed, so the field is
+	// wire-compatible. A coordinator failing a leg over sets this to
+	// the partition's primary so a standby replica extracts the same
+	// files; the node rejects names whose partition it does not hold.
+	NodeFilter string `json:",omitempty"`
 }
 
 // Trailer is the JSON payload of a 'D' frame.

@@ -476,8 +476,12 @@ func (s *nodeSession) execute(ctx context.Context, st *outStream, req Request) (
 	if err != nil {
 		return Trailer{}, err
 	}
+	partition, err := n.partitionFor(req)
+	if err != nil {
+		return Trailer{}, err
+	}
 	if prep.Agg != nil {
-		return s.executeAggregate(ctx, st, req, prep)
+		return s.executeAggregate(ctx, st, req, prep, partition)
 	}
 	codec := table.NewCodec(prep.OutSchema)
 
@@ -526,7 +530,7 @@ func (s *nodeSession) execute(ctx context.Context, st *outStream, req Request) (
 	var rows int64
 	extractStart := time.Now()
 	stats, err := prep.RunContext(ctx, core.Options{
-		NodeFilter: n.name,
+		NodeFilter: partition,
 		Parallel:   req.Parallel,
 	}, func(row table.Row) error {
 		d := 0
@@ -573,14 +577,13 @@ func (s *nodeSession) execute(ctx context.Context, st *outStream, req Request) (
 // shipped to the coordinator in 'A' frames, each an independently
 // mergeable chunk of groups. The coordinator merges every leg's
 // partials and finalizes, so this leg never sees the final result.
-func (s *nodeSession) executeAggregate(ctx context.Context, st *outStream, req Request, prep *core.Prepared) (Trailer, error) {
-	n := s.node
+func (s *nodeSession) executeAggregate(ctx context.Context, st *outStream, req Request, prep *core.Prepared, partition string) (Trailer, error) {
 	if req.Partition.NumDests > 0 {
 		return Trailer{}, fmt.Errorf("cluster: aggregate queries cannot be partitioned")
 	}
 	extractStart := time.Now()
 	state, stats, err := prep.RunAggPartialContext(ctx, core.Options{
-		NodeFilter: n.name,
+		NodeFilter: partition,
 		Parallel:   req.Parallel,
 	})
 	extractNS := time.Since(extractStart).Nanoseconds()

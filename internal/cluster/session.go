@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -279,6 +280,11 @@ type nodePool struct {
 	size int
 	io   time.Duration
 
+	// inflight counts the legs currently dispatched to this node; the
+	// coordinator's replica placement prefers the least-loaded live
+	// replica of a partition.
+	inflight atomic.Int64
+
 	mu       sync.Mutex
 	sessions []*clientSession //dvlint:guardedby mu
 	next     int              //dvlint:guardedby mu
@@ -348,6 +354,20 @@ func (p *nodePool) session(ctx context.Context) (*clientSession, func(), error) 
 	s := newClientSession(conn, p.io)
 	p.sessions = append(p.sessions, s)
 	return s, func() {}, nil
+}
+
+// legStarted/legDone bracket a leg dispatch for load accounting.
+func (p *nodePool) legStarted() { p.inflight.Add(1) }
+func (p *nodePool) legDone()    { p.inflight.Add(-1) }
+
+// load snapshots the pool's placement signals: whether the node's
+// health gate is currently armed (repeated failures, fail-fast window
+// still open) and how many legs are in flight.
+func (p *nodePool) load() (gated bool, inflight int64) {
+	p.mu.Lock()
+	gated = p.fails > 0 && !p.retryAt.IsZero() && time.Now().Before(p.retryAt)
+	p.mu.Unlock()
+	return gated, p.inflight.Load()
 }
 
 // reportResult updates node health: failure arms (or extends) the

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"datavirt/internal/metadata"
+)
+
+// replicaDesc parses a storage section with the given DIR lines into a
+// descriptor (schema/layout kept minimal and constant).
+func replicaDesc(t *testing.T, dirs string) *metadata.Descriptor {
+	t.Helper()
+	src := `
+[IPARS]
+TIME = int
+SOIL = float
+
+[IparsData]
+DatasetDescription = IPARS
+` + dirs + `
+
+Dataset "IparsData" {
+  DATATYPE { IPARS }
+  DATASPACE {
+    LOOP TIME 1:4:1 { SOIL }
+  }
+  DATA { DIR[0]/DATA0 }
+}
+`
+	d, err := metadata.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestReplicasSingleNode(t *testing.T) {
+	s := &Service{desc: replicaDesc(t, "DIR[0] = osu0/ipars\nDIR[1] = osu1/ipars")}
+	want := map[string][]string{"osu0": {"osu0"}, "osu1": {"osu1"}}
+	if got := s.Replicas(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Replicas() = %v, want %v", got, want)
+	}
+	if got := s.AllNodes(); !reflect.DeepEqual(got, []string{"osu0", "osu1"}) {
+		t.Errorf("AllNodes() = %v", got)
+	}
+}
+
+func TestReplicasChained(t *testing.T) {
+	s := &Service{desc: replicaDesc(t,
+		"DIR[0] = NODES osu0, osu1/ipars\nDIR[1] = NODES osu1, osu2/ipars\nDIR[2] = NODES osu2, osu0/ipars")}
+	want := map[string][]string{
+		"osu0": {"osu0", "osu1"},
+		"osu1": {"osu1", "osu2"},
+		"osu2": {"osu2", "osu0"},
+	}
+	if got := s.Replicas(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Replicas() = %v, want %v", got, want)
+	}
+	if got := s.AllNodes(); !reflect.DeepEqual(got, []string{"osu0", "osu1", "osu2"}) {
+		t.Errorf("AllNodes() = %v", got)
+	}
+}
+
+// TestReplicasIntersection: a standby must replicate every directory a
+// primary owns before it can serve that primary's partition.
+func TestReplicasIntersection(t *testing.T) {
+	s := &Service{desc: replicaDesc(t,
+		"DIR[0] = NODES osu0, osu1, osu2/a\nDIR[1] = NODES osu0, osu2/b\nDIR[2] = osu1/c")}
+	got := s.Replicas()
+	// osu1 replicates DIR[0] but not DIR[1], so only osu2 can stand in
+	// for osu0.
+	if want := []string{"osu0", "osu2"}; !reflect.DeepEqual(got["osu0"], want) {
+		t.Errorf("Replicas()[osu0] = %v, want %v", got["osu0"], want)
+	}
+	if want := []string{"osu1"}; !reflect.DeepEqual(got["osu1"], want) {
+		t.Errorf("Replicas()[osu1] = %v, want %v", got["osu1"], want)
+	}
+}
+
+// TestAllNodesReplicaOnly: a standby that is primary of nothing still
+// appears in AllNodes (after the primaries) but not in Nodes.
+func TestAllNodesReplicaOnly(t *testing.T) {
+	s := &Service{desc: replicaDesc(t, "DIR[0] = NODES osu0, standby/ipars")}
+	if got := s.Nodes(); !reflect.DeepEqual(got, []string{"osu0"}) {
+		t.Errorf("Nodes() = %v", got)
+	}
+	if got := s.AllNodes(); !reflect.DeepEqual(got, []string{"osu0", "standby"}) {
+		t.Errorf("AllNodes() = %v", got)
+	}
+	if want := []string{"osu0", "standby"}; !reflect.DeepEqual(s.Replicas()["osu0"], want) {
+		t.Errorf("Replicas()[osu0] = %v, want %v", s.Replicas()["osu0"], want)
+	}
+}

@@ -827,3 +827,69 @@ func (s *Service) Nodes() []string {
 	}
 	return out
 }
+
+// Replicas returns, for each primary node, the ordered set of nodes
+// able to serve that primary's partition — the primary itself first,
+// then its standbys. A standby qualifies only if it appears in the
+// replica set of EVERY directory the primary owns: a server dispatched
+// a partition's legs must be able to read all of its files. With no
+// replicated directories the map degenerates to {node: [node]}.
+func (s *Service) Replicas() map[string][]string {
+	// Intersect the replica sets across each primary's directories.
+	counts := map[string]map[string]int{} // primary -> candidate -> #dirs listing it
+	dirs := map[string]int{}              // primary -> #dirs it owns
+	for _, d := range s.desc.Storage.Dirs {
+		dirs[d.Node]++
+		m := counts[d.Node]
+		if m == nil {
+			m = map[string]int{}
+			counts[d.Node] = m
+		}
+		seen := map[string]bool{}
+		for _, n := range d.ReplicaNodes() {
+			if !seen[n] { // guard against malformed duplicate entries
+				seen[n] = true
+				m[n]++
+			}
+		}
+	}
+	out := make(map[string][]string, len(dirs))
+	for _, primary := range s.Nodes() {
+		set := []string{primary}
+		// Follow the first owned directory's replica order for a
+		// deterministic result.
+		for _, d := range s.desc.Storage.Dirs {
+			if d.Node != primary {
+				continue
+			}
+			for _, n := range d.ReplicaNodes() {
+				if n != primary && counts[primary][n] == dirs[primary] {
+					set = append(set, n)
+				}
+			}
+			break
+		}
+		out[primary] = set
+	}
+	return out
+}
+
+// AllNodes returns every node the descriptor names: the primaries in
+// DIR order (same as Nodes), then replica-only nodes in order of first
+// appearance. A cluster deployment must run a server for each of these.
+func (s *Service) AllNodes() []string {
+	out := s.Nodes()
+	seen := map[string]bool{}
+	for _, n := range out {
+		seen[n] = true
+	}
+	for _, d := range s.desc.Storage.Dirs {
+		for _, n := range d.ReplicaNodes() {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}

@@ -1,8 +1,10 @@
 package gen
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"datavirt/internal/afc"
@@ -252,5 +254,51 @@ func TestTitanSpecValidate(t *testing.T) {
 		if err := s.Validate(); err == nil {
 			t.Errorf("bad spec %d accepted", i)
 		}
+	}
+}
+
+func TestIparsReplicatedCluster(t *testing.T) {
+	s := smallSpec()
+	s.Replicas = 2
+	src, err := IparsDescriptor(s, "CLUSTER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"DIR[0] = NODES node0, node1/ipars",
+		"DIR[1] = NODES node1, node2/ipars",
+		"DIR[2] = NODES node2, node0/ipars",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("descriptor missing %q:\n%s", want, src)
+		}
+	}
+	d, err := metadata.Parse(src)
+	if err != nil {
+		t.Fatalf("replicated CLUSTER descriptor does not parse: %v", err)
+	}
+	if got := d.Storage.Dirs[1].ReplicaNodes(); len(got) != 2 || got[0] != "node1" {
+		t.Errorf("DIR[1] replica set = %v", got)
+	}
+
+	// Replicas must not change the materialized bytes: standbys read the
+	// primary's files under the shared root.
+	base, err := IparsDescriptor(smallSpec(), "CLUSTER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped := src
+	for i := 0; i < s.Partitions; i++ {
+		old := fmt.Sprintf("DIR[%d] = NODES node%d, node%d/ipars", i, i, (i+1)%s.Partitions)
+		stripped = strings.Replace(stripped, old, fmt.Sprintf("DIR[%d] = node%d/ipars", i, i), 1)
+	}
+	if stripped != base {
+		t.Errorf("replicated layout differs beyond DIR lines:\n%s\nvs\n%s", stripped, base)
+	}
+
+	bad := s
+	bad.Replicas = s.Partitions + 1
+	if err := bad.Validate(); err == nil {
+		t.Error("replicas > partitions accepted")
 	}
 }

@@ -28,6 +28,13 @@ type IparsSpec struct {
 	// Attrs is the number of non-coordinate variables (17 in the paper;
 	// tests may use fewer).
 	Attrs int
+	// Replicas, when > 1, maps each CLUSTER directory to an R-way
+	// replica set in the chained layout: DIR[i]'s partition is served
+	// by node<i>, node<(i+1)%P>, ..., so every node is the primary of
+	// one partition and a standby for R-1 others. Requires Replicas <=
+	// Partitions; 0 or 1 keeps the single-node form. Non-CLUSTER
+	// layouts ignore it.
+	Replicas int
 	// Seed makes every value a pure function of its coordinates.
 	Seed int64
 }
@@ -65,6 +72,10 @@ func (s IparsSpec) Validate() error {
 	if s.GridPoints%s.Partitions != 0 {
 		return fmt.Errorf("gen: grid points (%d) must divide evenly into partitions (%d)",
 			s.GridPoints, s.Partitions)
+	}
+	if s.Replicas > s.Partitions {
+		return fmt.Errorf("gen: replicas (%d) cannot exceed partitions (%d): chained replication needs a distinct standby per copy",
+			s.Replicas, s.Partitions)
 	}
 	return nil
 }
@@ -144,7 +155,17 @@ func IparsDescriptor(s IparsSpec, layoutID string) (string, error) {
 		dirs = s.Partitions
 	}
 	for i := 0; i < dirs; i++ {
-		fmt.Fprintf(&b, "DIR[%d] = node%d/ipars\n", i, i)
+		if layoutID == "CLUSTER" && s.Replicas > 1 {
+			// Chained replication: partition i is readable by node i and
+			// the next Replicas-1 nodes (mod P).
+			set := make([]string, s.Replicas)
+			for r := range set {
+				set[r] = fmt.Sprintf("node%d", (i+r)%dirs)
+			}
+			fmt.Fprintf(&b, "DIR[%d] = NODES %s/ipars\n", i, strings.Join(set, ", "))
+		} else {
+			fmt.Fprintf(&b, "DIR[%d] = node%d/ipars\n", i, i)
+		}
 	}
 	b.WriteString("\n")
 

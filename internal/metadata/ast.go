@@ -69,18 +69,42 @@ type Storage struct {
 	Pos Pos
 }
 
-// DirEntry is one DIR[i] = node/path line.
+// DirEntry is one DIR[i] = node/path line, or its replicated form
+// DIR[i] = NODES n1, n2, n3/path.
 type DirEntry struct {
 	Index int
 	Node  string // first path component: the cluster node name
 	Path  string // remainder: directory on that node
 
+	// Nodes, when it has more than one entry, is the directory's full
+	// replica set, primary first (Node == Nodes[0]): every named node
+	// holds a copy of the directory's files under the primary's node
+	// path, so a query leg for this directory may be served by any of
+	// them. Nil or a single entry means the classic single-node form.
+	Nodes []string
+
 	// Pos is the DIR line's source position (zero when unknown).
 	Pos Pos
 }
 
+// ReplicaNodes returns the directory's full replica set, primary
+// first. Entries without a NODES list yield just the primary node.
+func (e DirEntry) ReplicaNodes() []string {
+	if len(e.Nodes) > 0 {
+		return e.Nodes
+	}
+	return []string{e.Node}
+}
+
 // Raw renders the entry's right-hand side.
 func (e DirEntry) Raw() string {
+	if len(e.Nodes) > 1 {
+		s := "NODES " + strings.Join(e.Nodes, ", ")
+		if e.Path == "" {
+			return s
+		}
+		return s + "/" + e.Path
+	}
 	if e.Path == "" {
 		return e.Node
 	}

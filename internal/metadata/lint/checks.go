@@ -69,6 +69,45 @@ func (c *checker) run() {
 	c.checkDims()
 	c.checkUnboundSchemaAttrs()
 	c.checkUnusedDirs()
+	c.checkReplicaSets()
+}
+
+// checkReplicaSets validates the storage description's DIR replica
+// sets: a node listed twice in one set is an error (the coordinator
+// would dispatch a failover leg back to the node that just failed),
+// and a replica naming a node that is never any directory's primary
+// is suspicious — such a node serves legs but owns no partition, so a
+// typo here silently removes the redundancy the set was meant to add.
+func (c *checker) checkReplicaSets() {
+	st := c.desc.Storage
+	if st == nil {
+		return
+	}
+	primaries := map[string]bool{}
+	for _, e := range st.Dirs {
+		primaries[e.Node] = true
+	}
+	for _, e := range st.Dirs {
+		set := e.ReplicaNodes()
+		if len(set) < 2 {
+			continue
+		}
+		seen := map[string]bool{}
+		for _, n := range set {
+			if seen[n] {
+				c.report(e.Pos, SevError, "replica-dup",
+					"storage [%s]: DIR[%d] lists node %q twice in its replica set",
+					st.DatasetName, e.Index, n)
+				continue
+			}
+			seen[n] = true
+			if !primaries[n] {
+				c.report(e.Pos, SevWarning, "replica-unknown",
+					"storage [%s]: DIR[%d] replica set names node %q, which is not the primary node of any storage directory",
+					st.DatasetName, e.Index, n)
+			}
+		}
+	}
 }
 
 // walkNode descends the layout tree carrying the effective type name

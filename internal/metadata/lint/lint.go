@@ -34,6 +34,10 @@
 //	dir-unused    (W) a storage directory referenced by no layout block
 //	file-overlap  (E) two DATA (or two INDEXFILE) clauses expand to the
 //	                  same concrete node:path file
+//	replica-dup   (E) a DIR replica set (DIR[i] = NODES n1, n2, ...)
+//	                  lists the same node twice
+//	replica-unknown (W) a DIR replica set names a node that is not the
+//	                  primary node of any storage directory
 //
 // One additional pass, CheckSidecars, is opt-in (dvdesc check -data)
 // because it inspects the data directory:

@@ -322,3 +322,69 @@ func TestDiagnosticString(t *testing.T) {
 		t.Errorf("String() = %q, want %q", got, want)
 	}
 }
+
+// replicaSrc builds a two-directory descriptor whose DIR lines are
+// given verbatim, with a layout using both directories.
+func replicaSrc(dir0, dir1 string) string {
+	return `[S]
+I = int
+A = float
+
+[Data]
+DatasetDescription = S
+DIR[0] = ` + dir0 + `
+DIR[1] = ` + dir1 + `
+
+Dataset "d" {
+  DATATYPE { S }
+  DATASPACE { LOOP I 0:5:1 { A } }
+  DATA { DIR[$DIRID]/f DIRID = 0:1:1 }
+}
+`
+}
+
+func TestReplicaDup(t *testing.T) {
+	ds := Check("test.dvd", replicaSrc("NODES node0, node0/d0", "node1/d1"))
+	d := wantDiag(t, ds, "replica-dup")
+	if d.Severity != SevError {
+		t.Errorf("severity = %s, want error", d.Severity)
+	}
+	if d.Line != 7 {
+		t.Errorf("line = %d, want 7 (the DIR[0] line)", d.Line)
+	}
+	if !strings.Contains(d.Message, `"node0"`) {
+		t.Errorf("message %q does not name the node", d.Message)
+	}
+	// The positioned pass suppresses the coarse validate fallback.
+	for _, diag := range ds {
+		if diag.Code == "validate" {
+			t.Errorf("validate fallback not suppressed: %v", diag)
+		}
+	}
+}
+
+func TestReplicaUnknown(t *testing.T) {
+	ds := Check("test.dvd", replicaSrc("NODES node0, standby/d0", "node1/d1"))
+	d := wantDiag(t, ds, "replica-unknown")
+	if d.Severity != SevWarning {
+		t.Errorf("severity = %s, want warning", d.Severity)
+	}
+	if !strings.Contains(d.Message, `"standby"`) {
+		t.Errorf("message %q does not name the node", d.Message)
+	}
+	if HasErrors(ds) {
+		t.Errorf("warning-only descriptor reported errors: %v", ds)
+	}
+}
+
+// TestReplicaChainClean checks the canonical chained replication
+// layout — every node primary of one directory, replica of another —
+// produces no replica diagnostics.
+func TestReplicaChainClean(t *testing.T) {
+	ds := Check("test.dvd", replicaSrc("NODES node0, node1/d0", "NODES node1, node0/d1"))
+	for _, d := range ds {
+		if strings.HasPrefix(d.Code, "replica-") {
+			t.Errorf("clean chained replica set flagged: %v", d)
+		}
+	}
+}

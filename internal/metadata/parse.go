@@ -223,11 +223,33 @@ func parseStorage(name string, headerLine int, lines []headLine) (*Storage, erro
 				return nil, fmt.Errorf("metadata: storage [%s]: duplicate DIR[%d]", name, idx)
 			}
 			seen[idx] = true
-			node, path, _ := strings.Cut(val, "/")
-			if node == "" {
-				return nil, fmt.Errorf("metadata: storage [%s]: DIR[%d] has empty node", name, idx)
+			entry := DirEntry{Index: idx, Pos: Pos{Line: hl.line, Col: 1}}
+			if rest, replicated := cutNodesKeyword(val); replicated {
+				// Replica form: NODES n1, n2, n3/path. Duplicate or
+				// otherwise suspicious replica names are accepted here so
+				// the lint checker can report them with positions; only
+				// emptiness is a parse error.
+				list, path, _ := strings.Cut(rest, "/")
+				for _, n := range strings.Split(list, ",") {
+					n = strings.TrimSpace(n)
+					if n == "" {
+						return nil, fmt.Errorf("metadata: storage [%s]: DIR[%d] has an empty node in its NODES list", name, idx)
+					}
+					entry.Nodes = append(entry.Nodes, n)
+				}
+				entry.Node = entry.Nodes[0]
+				entry.Path = strings.TrimSpace(path)
+				if len(entry.Nodes) == 1 {
+					entry.Nodes = nil // degenerate NODES list: single-node form
+				}
+			} else {
+				node, path, _ := strings.Cut(val, "/")
+				if node == "" {
+					return nil, fmt.Errorf("metadata: storage [%s]: DIR[%d] has empty node", name, idx)
+				}
+				entry.Node, entry.Path = node, path
 			}
-			st.Dirs = append(st.Dirs, DirEntry{Index: idx, Node: node, Path: path, Pos: Pos{Line: hl.line, Col: 1}})
+			st.Dirs = append(st.Dirs, entry)
 			continue
 		}
 		return nil, fmt.Errorf("metadata: storage [%s]: unknown key %q", name, key)
@@ -253,6 +275,22 @@ func parseStorage(name string, headerLine int, lines []headLine) (*Storage, erro
 		st.Dirs[want], st.Dirs[found] = st.Dirs[found], st.Dirs[want]
 	}
 	return st, nil
+}
+
+// cutNodesKeyword detects the replica form of a DIR value: a
+// case-insensitive NODES keyword followed by whitespace. It returns
+// the remainder (the comma-separated node list and optional /path).
+// A value like "NODES/data" is NOT the replica form — it is a single
+// node that happens to be named NODES.
+func cutNodesKeyword(val string) (string, bool) {
+	const kw = "NODES"
+	if len(val) <= len(kw) || !strings.EqualFold(val[:len(kw)], kw) {
+		return "", false
+	}
+	if c := val[len(kw)]; c != ' ' && c != '\t' {
+		return "", false
+	}
+	return strings.TrimSpace(val[len(kw):]), true
 }
 
 // parser consumes the token stream of Component III.

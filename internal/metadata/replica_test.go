@@ -1,0 +1,169 @@
+package metadata
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// replicaDescriptor maps each storage directory to a 2-way replica
+// set in the chained layout the cluster tests use: every node is the
+// primary of one directory and the standby of another.
+const replicaDescriptor = `
+[IPARS]
+REL = short int
+TIME = int
+SOIL = float
+
+[IparsData]
+DatasetDescription = IPARS
+DIR[0] = NODES osu0, osu1/ipars
+DIR[1] = NODES osu1, osu2/ipars
+DIR[2] = NODES osu2, osu0/ipars
+
+Dataset "IparsData" {
+  DATATYPE { IPARS }
+  DATASPACE {
+    LOOP TIME 1:10:1 { SOIL }
+  }
+  DATA { DIR[$DIRID]/DATA$REL REL = 0:1:1 DIRID = 0:2:1 }
+}
+`
+
+func TestParseReplicaDirs(t *testing.T) {
+	d, err := Parse(replicaDescriptor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := d.Storage.Dirs
+	if len(dirs) != 3 {
+		t.Fatalf("dirs = %d, want 3", len(dirs))
+	}
+	wantSets := [][]string{
+		{"osu0", "osu1"},
+		{"osu1", "osu2"},
+		{"osu2", "osu0"},
+	}
+	for i, e := range dirs {
+		if !reflect.DeepEqual(e.Nodes, wantSets[i]) {
+			t.Errorf("DIR[%d].Nodes = %v, want %v", i, e.Nodes, wantSets[i])
+		}
+		if e.Node != wantSets[i][0] {
+			t.Errorf("DIR[%d].Node = %q, want primary %q", i, e.Node, wantSets[i][0])
+		}
+		if e.Path != "ipars" {
+			t.Errorf("DIR[%d].Path = %q", i, e.Path)
+		}
+		if !reflect.DeepEqual(e.ReplicaNodes(), wantSets[i]) {
+			t.Errorf("DIR[%d].ReplicaNodes() = %v", i, e.ReplicaNodes())
+		}
+	}
+}
+
+func TestReplicaNodesSingleForm(t *testing.T) {
+	d, err := Parse(iparsDescriptor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := d.Storage.Dirs[0]
+	if e.Nodes != nil {
+		t.Errorf("single-node DIR carries Nodes %v", e.Nodes)
+	}
+	if got := e.ReplicaNodes(); len(got) != 1 || got[0] != e.Node {
+		t.Errorf("ReplicaNodes() = %v, want [%s]", got, e.Node)
+	}
+}
+
+func TestReplicaStringRoundTrip(t *testing.T) {
+	d1, err := Parse(replicaDescriptor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := d1.String()
+	if !strings.Contains(printed, "DIR[0] = NODES osu0, osu1/ipars") {
+		t.Fatalf("printer lost the replica form:\n%s", printed)
+	}
+	d2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, printed)
+	}
+	if d2.String() != printed {
+		t.Fatalf("print is not a fixpoint:\n%s\nvs\n%s", printed, d2.String())
+	}
+	if !reflect.DeepEqual(d2.Storage.Dirs[1].Nodes, []string{"osu1", "osu2"}) {
+		t.Errorf("re-parsed DIR[1].Nodes = %v", d2.Storage.Dirs[1].Nodes)
+	}
+}
+
+func TestReplicaXMLRoundTrip(t *testing.T) {
+	d1, err := Parse(replicaDescriptor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmlSrc, err := ToXML(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(xmlSrc, `nodes="osu0,osu1"`) {
+		t.Fatalf("XML lost the replica set:\n%s", xmlSrc)
+	}
+	d2, err := ParseXML(xmlSrc)
+	if err != nil {
+		t.Fatalf("ParseXML: %v\n%s", err, xmlSrc)
+	}
+	for i := range d1.Storage.Dirs {
+		if !reflect.DeepEqual(d1.Storage.Dirs[i].Nodes, d2.Storage.Dirs[i].Nodes) {
+			t.Errorf("DIR[%d] nodes changed across XML: %v vs %v",
+				i, d1.Storage.Dirs[i].Nodes, d2.Storage.Dirs[i].Nodes)
+		}
+		if d1.Storage.Dirs[i].Node != d2.Storage.Dirs[i].Node {
+			t.Errorf("DIR[%d] primary changed across XML", i)
+		}
+	}
+}
+
+func TestReplicaParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"empty replica name",
+			strings.Replace(replicaDescriptor, "NODES osu0, osu1/ipars", "NODES osu0, /ipars", 1),
+			"empty node"},
+		{"duplicate replica",
+			strings.Replace(replicaDescriptor, "NODES osu0, osu1/ipars", "NODES osu0, osu0/ipars", 1),
+			"twice in its replica set"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestNodesNamedNode keeps the degenerate spellings working: a single
+// node literally named NODES, and a one-element NODES list collapsing
+// to the single-node form.
+func TestNodesNamedNode(t *testing.T) {
+	src := strings.Replace(iparsDescriptor, "DIR[0] = osu0/ipars", "DIR[0] = NODES/special", 1)
+	d, err := ParseUnvalidated(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := d.Storage.Dirs[0]; e.Node != "NODES" || e.Path != "special" || e.Nodes != nil {
+		t.Errorf("DIR[0] = %+v", e)
+	}
+
+	src = strings.Replace(iparsDescriptor, "DIR[0] = osu0/ipars", "DIR[0] = NODES osu0/ipars", 1)
+	d, err = Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := d.Storage.Dirs[0]; e.Node != "osu0" || e.Path != "ipars" || e.Nodes != nil {
+		t.Errorf("one-element NODES list: DIR[0] = %+v", e)
+	}
+}

@@ -8,7 +8,9 @@ import (
 
 // Validate checks the structural rules of a descriptor:
 //
-//   - the storage description exists and references a declared schema;
+//   - the storage description exists and references a declared schema,
+//     and no DIR replica set (DIR[i] = NODES n1, n2, ...) names the
+//     same node twice;
 //   - the layout exists; every dataset node resolves to a schema via its
 //     own or an inherited DATATYPE;
 //   - leaves have DATA file clauses and exactly one of DATASPACE or
@@ -30,6 +32,16 @@ func Validate(d *Descriptor) error {
 	if d.Schema(d.Storage.SchemaName) == nil {
 		return fmt.Errorf("metadata: storage [%s] references unknown schema %q",
 			d.Storage.DatasetName, d.Storage.SchemaName)
+	}
+	for _, e := range d.Storage.Dirs {
+		dup := map[string]bool{}
+		for _, n := range e.ReplicaNodes() {
+			if dup[n] {
+				return fmt.Errorf("metadata: storage [%s]: DIR[%d] lists node %q twice in its replica set",
+					d.Storage.DatasetName, e.Index, n)
+			}
+			dup[n] = true
+		}
 	}
 	if d.Layout == nil {
 		return fmt.Errorf("metadata: descriptor has no layout description")

@@ -98,8 +98,14 @@ func encodeDescriptor(enc *xml.Encoder, d *Descriptor) error {
 			return err
 		}
 		for _, dir := range d.Storage.Dirs {
-			de := elem("dir", attr("index", fmt.Sprint(dir.Index)),
-				attr("node", dir.Node), attr("path", dir.Path))
+			attrs := []xml.Attr{attr("index", fmt.Sprint(dir.Index)),
+				attr("node", dir.Node), attr("path", dir.Path)}
+			if len(dir.Nodes) > 1 {
+				// Replica set: the node attribute stays the primary for
+				// compatibility; nodes carries the full ordered set.
+				attrs = append(attrs, attr("nodes", strings.Join(dir.Nodes, ",")))
+			}
+			de := elem("dir", attrs...)
 			if err := enc.EncodeToken(de); err != nil {
 				return err
 			}
@@ -370,10 +376,26 @@ func decodeStorage(dec *xml.Decoder, se xml.StartElement) (*Storage, error) {
 				return nil, fmt.Errorf("metadata: xml: bad dir index %q", attrOf(t, "index"))
 			}
 			node := attrOf(t, "node")
-			if node == "" {
+			entry := DirEntry{Index: idx, Node: node, Path: attrOf(t, "path")}
+			if list := attrOf(t, "nodes"); list != "" {
+				for _, n := range strings.Split(list, ",") {
+					n = strings.TrimSpace(n)
+					if n == "" {
+						return nil, fmt.Errorf("metadata: xml: <dir> has an empty node in its nodes list")
+					}
+					entry.Nodes = append(entry.Nodes, n)
+				}
+				entry.Node = entry.Nodes[0]
+				if len(entry.Nodes) == 1 {
+					entry.Nodes = nil
+				}
+				if node != "" && node != entry.Node {
+					return nil, fmt.Errorf("metadata: xml: <dir> node %q is not the first of nodes %q", node, list)
+				}
+			} else if node == "" {
 				return nil, fmt.Errorf("metadata: xml: <dir> without node")
 			}
-			st.Dirs = append(st.Dirs, DirEntry{Index: idx, Node: node, Path: attrOf(t, "path")})
+			st.Dirs = append(st.Dirs, entry)
 			if err := dec.Skip(); err != nil {
 				return nil, err
 			}

@@ -112,6 +112,17 @@ type QueryStats struct {
 	ShedQueries   int64
 	HedgedLegs    int64
 
+	// LegRedispatches counts cluster legs the coordinator dispatched
+	// more than once (any reason — overload, failover, stall);
+	// ReplicaFailovers counts re-dispatches that moved a leg to a
+	// different replica of its partition after the serving node failed,
+	// stalled, or shed while a standby was free; ReplicaRetries counts
+	// same-node overload retries. All stay zero for purely local
+	// execution and for clusters that never shed or fail.
+	LegRedispatches  int64
+	ReplicaFailovers int64
+	ReplicaRetries   int64
+
 	// AggPushedQueries counts executions (node legs, under the cluster)
 	// that evaluated a pushed-down aggregate over extracted blocks
 	// instead of materializing rows; AggPartialGroups sums the partial
@@ -200,6 +211,10 @@ func (s *QueryStats) String() string {
 	if s.QueuedQueries+s.ShedQueries+s.HedgedLegs > 0 {
 		fmt.Fprintf(&b, "\nserving: %d queued / %d shed / %d hedged",
 			s.QueuedQueries, s.ShedQueries, s.HedgedLegs)
+	}
+	if s.LegRedispatches+s.ReplicaFailovers+s.ReplicaRetries > 0 {
+		fmt.Fprintf(&b, "\nfailover: %d redispatched / %d failed over / %d retried",
+			s.LegRedispatches, s.ReplicaFailovers, s.ReplicaRetries)
 	}
 	if s.AggPushedQueries+s.AggPartialGroups > 0 {
 		fmt.Fprintf(&b, "\nagg: %d pushed / %d partial groups",
